@@ -1,0 +1,44 @@
+// Command hbencoder runs the adaptive-encoder experiments: internal
+// self-optimization (Figures 3 and 4, §5.2) and heartbeat-driven fault
+// tolerance (Figure 8, §5.4).
+//
+// Usage:
+//
+//	hbencoder [-experiment fig3|fig4|fig8|all] [-frames N]
+//	          [-chart-width W] [-chart-height H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "fig3, fig4, fig8, or all")
+	frames := flag.Int("frames", 0, "frame budget (0 = paper scale, 600)")
+	cw := flag.Int("chart-width", 72, "ASCII chart width")
+	ch := flag.Int("chart-height", 16, "ASCII chart height")
+	flag.Parse()
+
+	ids := []string{"fig3", "fig4", "fig8"}
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	opt := experiments.Options{EncoderFrames: *frames}
+	for _, id := range ids {
+		r, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbencoder:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", r.Title)
+		r.Series.Chart(os.Stdout, *cw, *ch)
+		for _, n := range r.Notes {
+			fmt.Println("note:", n)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Command hbexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hbexperiments [-run all|table2|overhead|fig2|...|fig8] [-out DIR]
+//	              [-frames N] [-seed N] [-chart-width W] [-chart-height H]
+//
+// Each experiment prints its notes (measured vs. paper shape criteria) and
+// either an aligned table or an ASCII chart; with -out, CSV files named
+// <id>.csv are written for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id or 'all' (ids: table2 overhead fig2..fig8 multiapp dvfs)")
+	out := flag.String("out", "", "directory for CSV output (created if missing)")
+	frames := flag.Int("frames", 0, "encoder experiment frame budget (0 = paper scale)")
+	units := flag.Int("overhead-units", 0, "blackscholes options for the overhead study (0 = 200000)")
+	seed := flag.Int64("seed", 0, "seed for procedural inputs")
+	cw := flag.Int("chart-width", 72, "ASCII chart width")
+	ch := flag.Int("chart-height", 16, "ASCII chart height")
+	flag.Parse()
+
+	opt := experiments.Options{EncoderFrames: *frames, OverheadUnits: *units, Seed: *seed}
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = []string{*run}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "hbexperiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		r, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbexperiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", r.Title)
+		if r.Table != nil {
+			r.Table.Render(os.Stdout)
+		}
+		if r.Series != nil {
+			r.Series.Chart(os.Stdout, *cw, *ch)
+		}
+		for _, n := range r.Notes {
+			fmt.Println("note:", n)
+		}
+		fmt.Println()
+		if *out != "" {
+			path := filepath.Join(*out, r.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbexperiments:", err)
+				os.Exit(1)
+			}
+			if r.Table != nil {
+				err = r.Table.WriteCSV(f)
+			} else {
+				err = r.Series.WriteCSV(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbexperiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command hbmon watches a heartbeat ring file and reports the observed
+// application's heart rate, goals, and health — the system-administration
+// use of §2.3: detect hangs, watch program phases, diagnose performance in
+// the field, all without touching the application.
+//
+// Usage:
+//
+//	hbmon -file app.hb [-interval 500ms] [-window N] [-count N]
+//
+// Each line reports: beat count, heart rate over the window, the advertised
+// target range, and the health classification (healthy / slow / fast /
+// erratic / flatlined / dead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/hbfile"
+	"repro/observer"
+)
+
+func main() {
+	path := flag.String("file", "", "heartbeat ring or log file to watch (required)")
+	interval := flag.Duration("interval", 500*time.Millisecond, "polling interval")
+	window := flag.Int("window", 0, "rate window in beats (0 = file default)")
+	count := flag.Int("count", 0, "stop after this many polls (0 = forever)")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Accept either file variant: the bounded ring or the append-only log.
+	var source observer.Source
+	fileWindow := 0
+	if r, err := hbfile.Open(*path); err == nil {
+		defer r.Close()
+		fmt.Printf("watching ring %s (pid %d, window %d, capacity %d)\n", *path, r.PID(), r.Window(), r.Capacity())
+		source = observer.FileSource(r)
+		fileWindow = r.Window()
+	} else if lr, lerr := hbfile.OpenLog(*path); lerr == nil {
+		defer lr.Close()
+		fmt.Printf("watching log %s (window %d, full history)\n", *path, lr.Window())
+		source = observer.LogSource(lr)
+		fileWindow = lr.Window()
+	} else {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		os.Exit(1)
+	}
+
+	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
+	maxRecords := *window
+	if maxRecords <= 0 {
+		maxRecords = fileWindow
+	}
+	for polls := 0; *count == 0 || polls < *count; polls++ {
+		snap, err := source.Snapshot(maxRecords)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		st := classifier.Classify(snap)
+		target := "no target"
+		if st.TargetSet {
+			target = fmt.Sprintf("target [%.2f, %.2f]", st.TargetMin, st.TargetMax)
+		}
+		rate := "rate  n/a"
+		if st.RateOK {
+			rate = fmt.Sprintf("rate %7.2f beats/s", st.Rate)
+		}
+		fmt.Printf("%s  beats %8d  %s  %s  health %s\n",
+			time.Now().Format("15:04:05.000"), st.Count, rate, target, st.Health)
+		time.Sleep(*interval)
+	}
+}

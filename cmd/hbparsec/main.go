@@ -1,0 +1,136 @@
+// Command hbparsec runs the instrumented PARSEC-class kernels.
+//
+// Two modes:
+//
+//	-mode sim  (default): regenerate Table 2 rows on the simulated 8-core
+//	           reference machine (deterministic).
+//	-mode real: run the selected kernel's real computation on this host's
+//	           wall clock for -duration, beating at the Table 2 granularity,
+//	           and report the measured heart rate. With -hbfile the
+//	           heartbeats are also published for external observers (watch
+//	           with hbmon in another terminal).
+//
+// Usage:
+//
+//	hbparsec [-bench all|blackscholes|...] [-mode sim|real]
+//	         [-duration 5s] [-hbfile PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/internal/experiments"
+	"repro/internal/parsec"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark name or 'all'")
+	mode := flag.String("mode", "sim", "'sim' (Table 2 reproduction) or 'real' (wall-clock kernels)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run each kernel in real mode")
+	hbPath := flag.String("hbfile", "", "publish heartbeats to this ring file (real mode)")
+	workers := flag.Int("workers", 1, "concurrent workers with per-thread heartbeats (real mode)")
+	flag.Parse()
+
+	switch *mode {
+	case "sim":
+		r := experiments.Table2(experiments.Options{})
+		if *bench != "all" {
+			filtered := *r.Table
+			filtered.Rows = nil
+			for _, row := range r.Table.Rows {
+				if row[0] == *bench {
+					filtered.Rows = append(filtered.Rows, row)
+				}
+			}
+			if len(filtered.Rows) == 0 {
+				fmt.Fprintf(os.Stderr, "hbparsec: unknown benchmark %q\n", *bench)
+				os.Exit(1)
+			}
+			filtered.Render(os.Stdout)
+			return
+		}
+		r.Table.Render(os.Stdout)
+		for _, n := range r.Notes {
+			fmt.Println("note:", n)
+		}
+	case "real":
+		kernels := parsec.Kernels()
+		if *bench != "all" {
+			k, ok := parsec.ByName(*bench)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hbparsec: unknown benchmark %q\n", *bench)
+				os.Exit(1)
+			}
+			kernels = []parsec.Kernel{k}
+		}
+		for _, k := range kernels {
+			if err := runReal(k, *duration, *hbPath, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "hbparsec:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hbparsec: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runReal(k parsec.Kernel, d time.Duration, hbPath string, workers int) error {
+	opts := []heartbeat.Option{heartbeat.WithCapacity(1 << 14)}
+	if hbPath != "" {
+		w, err := hbfile.Create(hbPath, 20, 1<<14)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, heartbeat.WithSink(w))
+	}
+	hb, err := heartbeat.New(20, opts...)
+	if err != nil {
+		return err
+	}
+	defer hb.Close()
+
+	var sink uint64
+	var units uint64
+	start := time.Now()
+	if workers > 1 {
+		// Per-thread heartbeats for every worker plus attributed global
+		// beats (see parsec.RunParallel). Sized by duration estimate:
+		// run in slices until the deadline.
+		deadline := start.Add(d)
+		slice := 4 * k.UnitsPerBeat()
+		for time.Now().Before(deadline) {
+			sink ^= parsec.RunParallel(func() parsec.Kernel {
+				nk, _ := parsec.ByName(k.Name())
+				return nk
+			}, hb, workers, slice, time.Now().UnixNano())
+			units += uint64(workers * slice)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		deadline := start.Add(d)
+		for time.Now().Before(deadline) {
+			for u := 0; u < k.UnitsPerBeat(); u++ {
+				cs, _ := k.DoUnit(rng)
+				sink ^= cs
+				units++
+			}
+			hb.Beat()
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(hb.Count()) / elapsed.Seconds()
+	winRate, _ := hb.Rate(0)
+	fmt.Printf("%-14s %-22s beats %6d  units %10d  avg %10.2f beats/s  window %10.2f beats/s  (checksum %x)\n",
+		k.Name(), k.BeatLabel(), hb.Count(), units, rate, winRate, sink&0xffff)
+	if err := hb.SinkErr(); err != nil {
+		return fmt.Errorf("heartbeat sink: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package control
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/sim"
+)
+
+func TestStepperBasicDecisions(t *testing.T) {
+	s := &Stepper{TargetMin: 30, TargetMax: 35}
+	cases := []struct {
+		rate float64
+		ok   bool
+		want Decision
+	}{
+		{0, false, Hold},
+		{10, true, StepUp},
+		{29.9, true, StepUp},
+		{30, true, Hold},
+		{32, true, Hold},
+		{35, true, Hold},
+		{35.1, true, StepDown},
+		{100, true, StepDown},
+	}
+	for _, c := range cases {
+		if got := s.Decide(c.rate, c.ok); got != c.want {
+			t.Errorf("Decide(%v, %v) = %v, want %v", c.rate, c.ok, got, c.want)
+		}
+	}
+}
+
+func TestStepperSettle(t *testing.T) {
+	s := &Stepper{TargetMin: 30, TargetMax: 35, Settle: 2}
+	if got := s.Decide(10, true); got != StepUp {
+		t.Fatalf("first decision = %v", got)
+	}
+	// Two held decisions while settling, then active again.
+	if got := s.Decide(10, true); got != Hold {
+		t.Fatalf("settling decision 1 = %v", got)
+	}
+	if got := s.Decide(10, true); got != Hold {
+		t.Fatalf("settling decision 2 = %v", got)
+	}
+	if got := s.Decide(10, true); got != StepUp {
+		t.Fatalf("post-settle decision = %v", got)
+	}
+	s.Reset()
+	s.Decide(10, true)
+	s.Reset()
+	if got := s.Decide(10, true); got != StepUp {
+		t.Fatalf("after Reset = %v", got)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if StepUp.String() != "step-up" || StepDown.String() != "step-down" || Hold.String() != "hold" {
+		t.Fatal("Decision.String broken")
+	}
+}
+
+// Property: driving a monotone plant (heart rate strictly increasing in
+// allocated cores, Amdahl-shaped) with the stepper converges into the
+// target window whenever some core count can satisfy it, and never leaves
+// afterwards.
+func TestStepperConvergesOnMonotonePlant(t *testing.T) {
+	f := func(baseRaw uint8, pRaw uint8) bool {
+		base := 1 + float64(baseRaw)/16 // single-core rate: 1..17 beats/s
+		p := 0.85 + 0.14*float64(pRaw)/255
+		const maxCores = 8
+		rate := func(c int) float64 { return base * sim.Speedup(c, p) }
+		// Pick an achievable window around the 5-core rate.
+		min, max := rate(5)*0.98, rate(5)*1.2
+		s := &Stepper{TargetMin: min, TargetMax: max}
+		cores := 1
+		inWindow := 0
+		for i := 0; i < 100; i++ {
+			r := rate(cores)
+			switch s.Decide(r, true) {
+			case StepUp:
+				if cores < maxCores {
+					cores++
+				}
+			case StepDown:
+				if cores > 1 {
+					cores--
+				}
+			}
+			if r >= min && r <= max {
+				inWindow++
+			} else if inWindow > 0 {
+				return false // left the window after entering
+			}
+		}
+		return inWindow > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPIConvergesToSetpoint(t *testing.T) {
+	// Plant: rate = 4 * output (e.g. output is fractional cores).
+	c := &PI{Kp: 0.05, Ki: 0.3, Setpoint: 32, MinOutput: 1, MaxOutput: 16}
+	out := 1.0
+	var rate float64
+	for i := 0; i < 400; i++ {
+		rate = 4 * out
+		out = c.Update(rate, 0.1)
+	}
+	if rate < 31 || rate > 33 {
+		t.Fatalf("PI settled at %v, want ~32", rate)
+	}
+}
+
+func TestPIOutputClamped(t *testing.T) {
+	c := &PI{Kp: 10, Ki: 10, Setpoint: 1000, MinOutput: 1, MaxOutput: 8}
+	for i := 0; i < 100; i++ {
+		out := c.Update(0, 1) // enormous positive error
+		if out < 1 || out > 8 {
+			t.Fatalf("output %v outside [1, 8]", out)
+		}
+	}
+	c2 := &PI{Kp: 10, Ki: 10, Setpoint: 0, MinOutput: 1, MaxOutput: 8}
+	for i := 0; i < 100; i++ {
+		out := c2.Update(1000, 1) // enormous negative error
+		if out < 1 || out > 8 {
+			t.Fatalf("output %v outside [1, 8]", out)
+		}
+	}
+}
+
+func TestPIAntiWindupRecovery(t *testing.T) {
+	// Saturate high for a long time, then flip the error sign: with
+	// anti-windup the output must unwind in a bounded number of steps.
+	c := &PI{Kp: 0.1, Ki: 1, Setpoint: 100, MinOutput: 0, MaxOutput: 10}
+	for i := 0; i < 1000; i++ {
+		c.Update(0, 1)
+	}
+	steps := 0
+	for ; steps < 50; steps++ {
+		if c.Update(200, 1) <= c.MinOutput+1e-9 {
+			break
+		}
+	}
+	if steps >= 50 {
+		t.Fatalf("output failed to unwind after %d steps", steps)
+	}
+	c.Reset()
+	if got := c.Update(100, 1); got != 0 {
+		t.Fatalf("after Reset with zero error, output = %v", got)
+	}
+}
+
+func TestPIDegenerateDt(t *testing.T) {
+	c := &PI{Kp: 1, Ki: 1, Setpoint: 10, MinOutput: 0, MaxOutput: 100}
+	if out := c.Update(5, 0); out != 5 {
+		t.Fatalf("dt=0 output = %v, want pure P = 5", out)
+	}
+}
+
+func TestLadderWalksDownAndClamps(t *testing.T) {
+	l := &Ladder{MaxLevel: 3, TargetMin: 30}
+	for want := 1; want <= 3; want++ {
+		if got := l.Decide(10, true); got != want {
+			t.Fatalf("Decide -> %d, want %d", got, want)
+		}
+	}
+	// At MaxLevel it stays.
+	if got := l.Decide(10, true); got != 3 {
+		t.Fatalf("beyond MaxLevel: %d", got)
+	}
+	// Without Recover it never steps back up.
+	if got := l.Decide(1000, true); got != 3 {
+		t.Fatalf("non-recovering ladder moved up: %d", got)
+	}
+}
+
+func TestLadderRecover(t *testing.T) {
+	l := &Ladder{MaxLevel: 5, TargetMin: 30, TargetMax: 40, Recover: true}
+	l.SetLevel(4)
+	if got := l.Decide(50, true); got != 3 {
+		t.Fatalf("recover step = %d, want 3", got)
+	}
+	if got := l.Decide(35, true); got != 3 {
+		t.Fatalf("in-window step = %d, want hold at 3", got)
+	}
+	// Clamp at 0.
+	l.SetLevel(0)
+	if got := l.Decide(50, true); got != 0 {
+		t.Fatalf("recover below 0: %d", got)
+	}
+}
+
+func TestLadderSettleAndSetLevelClamp(t *testing.T) {
+	l := &Ladder{MaxLevel: 10, TargetMin: 30, Settle: 1}
+	if got := l.Decide(10, true); got != 1 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := l.Decide(10, true); got != 1 {
+		t.Fatalf("settling = %d", got)
+	}
+	if got := l.Decide(10, true); got != 2 {
+		t.Fatalf("post-settle = %d", got)
+	}
+	l.SetLevel(-5)
+	if l.Level() != 0 {
+		t.Fatalf("SetLevel(-5) -> %d", l.Level())
+	}
+	l.SetLevel(99)
+	if l.Level() != 10 {
+		t.Fatalf("SetLevel(99) -> %d", l.Level())
+	}
+	if got := l.Decide(10, false); got != 10 {
+		t.Fatalf("not-ok measurement moved ladder: %d", got)
+	}
+}

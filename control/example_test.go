@@ -1,0 +1,46 @@
+package control_test
+
+import (
+	"fmt"
+
+	"repro/control"
+)
+
+// The paper's external-scheduler policy: one step toward the target window
+// per decision.
+func ExampleStepper() {
+	s := &control.Stepper{TargetMin: 30, TargetMax: 35}
+	for _, rate := range []float64{12, 22, 31, 50} {
+		fmt.Printf("rate %2.0f -> %s\n", rate, s.Decide(rate, true))
+	}
+	// Output:
+	// rate 12 -> step-up
+	// rate 22 -> step-up
+	// rate 31 -> hold
+	// rate 50 -> step-down
+}
+
+// The paper's adaptive-encoder policy: walk an ordered list of
+// configurations toward speed until the goal is met.
+func ExampleLadder() {
+	l := &control.Ladder{MaxLevel: 3, TargetMin: 30}
+	for _, rate := range []float64{9, 15, 24, 33, 33} {
+		fmt.Printf("rate %2.0f -> level %d\n", rate, l.Decide(rate, true))
+	}
+	// Output:
+	// rate  9 -> level 1
+	// rate 15 -> level 2
+	// rate 24 -> level 3
+	// rate 33 -> level 3
+	// rate 33 -> level 3
+}
+
+// The model-based extension: invert an Amdahl model and jump straight to
+// the smallest core count predicted to meet the goal.
+func ExampleAmdahlPlanner() {
+	p := &control.AmdahlPlanner{ParallelFrac: 0.95, TargetMin: 8, TargetMax: 10}
+	// Observed: 2 beats/s on 1 core of 8.
+	fmt.Println("desired cores:", p.DesiredCores(2, true, 1, 8))
+	// Output:
+	// desired cores: 5
+}

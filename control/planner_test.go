@@ -1,0 +1,88 @@
+package control
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/sim"
+)
+
+func TestPlannerHoldsInWindow(t *testing.T) {
+	p := &AmdahlPlanner{ParallelFrac: 0.95, TargetMin: 8, TargetMax: 10}
+	if got := p.DesiredCores(9, true, 5, 8); got != 5 {
+		t.Fatalf("in-window desired = %d, want hold at 5", got)
+	}
+	if got := p.DesiredCores(0, false, 5, 8); got != 5 {
+		t.Fatalf("no-measurement desired = %d, want hold", got)
+	}
+}
+
+// On an exactly-Amdahl plant the planner lands in the window in one jump.
+func TestPlannerOneShotConvergence(t *testing.T) {
+	const base = 2.0 // 1-core rate
+	const p = 0.95
+	plant := func(c int) float64 { return base * sim.Speedup(c, p) }
+	planner := &AmdahlPlanner{ParallelFrac: p, TargetMin: 8, TargetMax: 10}
+	cores := 1
+	cores = planner.DesiredCores(plant(cores), true, cores, 8)
+	rate := plant(cores)
+	if rate < 8 || rate > 10.5 {
+		t.Fatalf("after one decision: %d cores, %.2f beats/s", cores, rate)
+	}
+	// And it holds there.
+	if got := planner.DesiredCores(rate, true, cores, 8); got != cores {
+		t.Fatalf("second decision moved to %d", got)
+	}
+}
+
+// The planner picks the MINIMUM core count that reaches the window — the
+// paper's minimum-resource goal.
+func TestPlannerPicksMinimumCores(t *testing.T) {
+	const base, p = 2.0, 0.95
+	planner := &AmdahlPlanner{ParallelFrac: p, TargetMin: 8, TargetMax: 10}
+	got := planner.DesiredCores(base*sim.Speedup(8, p), true, 8, 8)
+	// Find the true minimum.
+	want := 0
+	for c := 1; c <= 8; c++ {
+		if base*sim.Speedup(c, p) >= 8 {
+			want = c
+			break
+		}
+	}
+	if got != want {
+		t.Fatalf("planner chose %d cores, minimum is %d", got, want)
+	}
+}
+
+func TestPlannerUnreachableTargetSaturates(t *testing.T) {
+	planner := &AmdahlPlanner{ParallelFrac: 0.5, TargetMin: 100, TargetMax: 200}
+	if got := planner.DesiredCores(1, true, 1, 8); got != 8 {
+		t.Fatalf("unreachable target desired = %d, want max 8", got)
+	}
+}
+
+// Property: the planner's output is always within [1, max], and when the
+// plant truly is Amdahl with the assumed fraction and the window is
+// reachable, the predicted rate at the chosen allocation meets TargetMin.
+func TestPlannerSoundnessProperty(t *testing.T) {
+	f := func(baseRaw uint8, pRaw uint8, curRaw uint8) bool {
+		base := 0.5 + float64(baseRaw)/16
+		p := float64(pRaw%90) / 100
+		cur := int(curRaw)%8 + 1
+		planner := &AmdahlPlanner{ParallelFrac: p, TargetMin: base * 2, TargetMax: base * 3}
+		rate := base * sim.Speedup(cur, p)
+		got := planner.DesiredCores(rate, true, cur, 8)
+		if got < 1 || got > 8 {
+			return false
+		}
+		reachable := base*sim.Speedup(8, p) >= planner.TargetMin
+		if reachable && rate < planner.TargetMin {
+			// The chosen allocation must be predicted to reach the goal.
+			return base*sim.Speedup(got, p) >= planner.TargetMin-1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a Go reproduction of "Application Heartbeats for
+// Software Performance and Health" (Hoffmann, Eastep, Santambrogio,
+// Miller, Agarwal — MIT CSAIL, PPoPP 2010).
+//
+// The library lives in the subpackages:
+//
+//   - heartbeat: the Application Heartbeats API (the paper's contribution)
+//   - heartbeat/compat: Table-1-shaped wrappers for C-reference parity
+//   - hbfile: the file-backed ring for cross-process observation
+//   - observer: external observation and health classification
+//   - control: adaptation policies (threshold stepper, PI, quality ladder)
+//   - scheduler: heart-rate-driven core allocation
+//   - sim: the deterministic simulated multicore machine
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-figure reproduction record. The benchmarks in
+// bench_test.go regenerate the paper's tables and figures under go test
+// -bench and ablate the main design choices.
+package repro

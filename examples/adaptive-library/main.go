@@ -1,0 +1,126 @@
+// Self-tuning library (§2.2): the paper's example is a CAD place-and-route
+// library whose approximation precision is a free knob — "its data
+// structures and algorithms have a degree of freedom in their internal
+// precision that can be manipulated to maximize performance while meeting
+// a user-defined constraint for how long place and route can run".
+//
+// Here a simulated-annealing placement library anneals in stages, beating
+// once per stage. From the caller's deadline it derives a target stage
+// rate; while the measured rate has slack it RAISES precision (more moves
+// per stage, better final placement), and when it falls behind it sheds
+// precision — control.Ladder with recovery enabled, run on real
+// computation and the wall clock. A tight deadline finishes on time with a
+// rougher placement; a generous one invests the slack in quality.
+//
+//	go run ./examples/adaptive-library
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/control"
+	"repro/heartbeat"
+)
+
+// placer is the "library": a simulated-annealing placement engine.
+type placer struct {
+	grid []int32
+	w, h int
+	cost float64 // current total wirelength
+	temp float64
+	rng  *rand.Rand
+}
+
+func newPlacer(w, h int, seed int64) *placer {
+	p := &placer{grid: make([]int32, w*h), w: w, h: h, temp: 30, rng: rand.New(rand.NewSource(seed))}
+	// Scrambled initial placement.
+	perm := p.rng.Perm(w * h)
+	for i, v := range perm {
+		p.grid[i] = int32(v)
+	}
+	for loc := range p.grid {
+		p.cost += p.wireCost(loc, p.grid[loc])
+	}
+	return p
+}
+
+// wireCost is the Manhattan distance of an element from its ideal spot.
+func (p *placer) wireCost(loc int, id int32) float64 {
+	lx, ly := loc%p.w, loc/p.w
+	ix, iy := int(id)%p.w, int(id)/p.w
+	return math.Abs(float64(lx-ix)) + math.Abs(float64(ly-iy))
+}
+
+// anneal performs moves Metropolis steps and returns the updated cost.
+func (p *placer) anneal(moves int) float64 {
+	for m := 0; m < moves; m++ {
+		a, b := p.rng.Intn(len(p.grid)), p.rng.Intn(len(p.grid))
+		before := p.wireCost(a, p.grid[a]) + p.wireCost(b, p.grid[b])
+		after := p.wireCost(a, p.grid[b]) + p.wireCost(b, p.grid[a])
+		delta := after - before
+		if delta < 0 || p.rng.Float64() < math.Exp(-delta/p.temp) {
+			p.grid[a], p.grid[b] = p.grid[b], p.grid[a]
+			p.cost += delta
+		}
+		if p.temp > 0.05 {
+			p.temp *= 0.99999
+		}
+	}
+	return p.cost
+}
+
+// movesPerStage is the precision ladder, best quality first (level 0).
+var movesPerStage = []int{200000, 120000, 70000, 40000, 22000, 12000}
+
+// place runs the library under a deadline and returns the final cost.
+func place(deadline time.Duration, seed int64) (cost float64, elapsed time.Duration, moves int) {
+	const stages = 80
+	targetRate := float64(stages) / deadline.Seconds() // stages per second
+
+	hb, err := heartbeat.New(8)
+	if err != nil {
+		panic(err)
+	}
+	hb.SetTarget(targetRate, math.Inf(1))
+	// Start at lowest precision and let slack buy quality: recovery
+	// steps toward level 0 whenever the rate clears the target with
+	// 30% headroom.
+	ladder := &control.Ladder{
+		MaxLevel:  len(movesPerStage) - 1,
+		TargetMin: targetRate,
+		TargetMax: targetRate * 1.3,
+		Recover:   true,
+		Settle:    1,
+	}
+	ladder.SetLevel(len(movesPerStage) - 1)
+
+	p := newPlacer(48, 48, seed)
+	start := time.Now()
+	for s := 0; s < stages; s++ {
+		n := movesPerStage[ladder.Level()]
+		p.anneal(n)
+		moves += n
+		hb.Beat()
+		rate, ok := hb.Rate(0)
+		ladder.Decide(rate, ok)
+	}
+	return p.cost, time.Since(start), moves
+}
+
+func main() {
+	fmt.Println("placing a 48x48 netlist (80 annealing stages), precision tuned to the deadline:")
+	for _, d := range []time.Duration{120 * time.Millisecond, 1200 * time.Millisecond} {
+		cost, elapsed, moves := place(d, 7)
+		status := "on time"
+		if elapsed > d+d/4 {
+			status = "LATE"
+		}
+		fmt.Printf("  deadline %6s: finished in %7.0fms (%s), %8d moves, final wirelength %8.0f\n",
+			d, float64(elapsed.Microseconds())/1000, status, moves, cost)
+	}
+	fmt.Println("\nthe generous deadline buys a much better placement; both meet their constraint")
+	fmt.Println("(same library, same API — the heartbeat feedback chose the precision)")
+}

@@ -1,0 +1,124 @@
+// Cloud load balancing and failover (§2.6): each server node exposes a
+// heartbeat; a balancer routes traffic toward nodes with healthy heart
+// rates, detects a flatlined node from its heartbeats alone, fails over,
+// and later reclaims it. The paper: "a lack of heartbeats from a
+// particular node would indicate that it has failed, and slow or erratic
+// heartbeats could indicate that a machine is about to fail".
+//
+//	go run ./examples/cloud-balancer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/sim"
+)
+
+// node is one simulated server: it beats once per served request.
+type node struct {
+	name     string
+	hb       *heartbeat.Heartbeat
+	perReq   time.Duration // service time per request
+	hung     bool
+	source   observer.Source
+	classify *observer.Classifier
+}
+
+func (n *node) serve() {
+	if n.hung {
+		return // a hung node consumes the request but never beats
+	}
+	n.hb.Beat()
+}
+
+func main() {
+	clk := sim.NewClock(time.Time{})
+	mkNode := func(name string, perReq time.Duration) *node {
+		hb, err := heartbeat.New(10, heartbeat.WithClock(clk))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Each node advertises the request rate it is provisioned for.
+		if err := hb.SetTarget(5, 1000); err != nil {
+			log.Fatal(err)
+		}
+		return &node{
+			name: name, hb: hb, perReq: perReq,
+			source:   observer.HeartbeatSource(hb),
+			classify: &observer.Classifier{Clock: clk, FlatlineFactor: 8},
+		}
+	}
+	nodes := []*node{
+		mkNode("node-a", 8*time.Millisecond),
+		mkNode("node-b", 12*time.Millisecond),
+		mkNode("node-c", 10*time.Millisecond),
+	}
+
+	alive := func() []*node {
+		var out []*node
+		for _, n := range nodes {
+			snap, err := n.source.Snapshot(0)
+			if err != nil {
+				continue
+			}
+			st := n.classify.Classify(snap)
+			if st.Health != observer.Flatlined && st.Health != observer.Dead {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	const totalRequests = 3000
+	served := map[string]int{}
+	rr := 0
+	for req := 0; req < totalRequests; req++ {
+		// Fault injection: node-b hangs a third of the way in and is
+		// repaired at two thirds.
+		if req == totalRequests/3 {
+			nodes[1].hung = true
+			fmt.Printf("req %4d: node-b hangs (stops beating — nothing else announces the failure)\n", req)
+		}
+		if req == 2*totalRequests/3 {
+			nodes[1].hung = false
+			fmt.Printf("req %4d: node-b repaired (beats resume)\n", req)
+		}
+
+		// The balancer consults heartbeats only — plus an occasional
+		// canary probe so repaired nodes get a chance to beat again.
+		var n *node
+		if req%20 == 0 {
+			n = nodes[(req/20)%len(nodes)]
+		} else {
+			pool := alive()
+			if len(pool) == 0 {
+				log.Fatal("all nodes flatlined")
+			}
+			n = pool[rr%len(pool)]
+			rr++
+		}
+		clk.Advance(n.perReq / 3) // three-ish nodes serve concurrently
+		n.serve()
+		served[n.name]++
+
+		if req%500 == 499 {
+			fmt.Printf("req %4d: ", req+1)
+			for _, n := range nodes {
+				snap, _ := n.source.Snapshot(0)
+				st := n.classify.Classify(snap)
+				fmt.Printf("%s[%s beats=%d] ", n.name, st.Health, st.Count)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\nrequests served per node (note the failover window):")
+	for _, n := range nodes {
+		fmt.Printf("  %s: %d\n", n.name, served[n.name])
+	}
+	fmt.Println("node-b lost traffic only while flatlined; detection and recovery both came from heartbeats alone")
+}

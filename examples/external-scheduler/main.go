@@ -1,0 +1,99 @@
+// External scheduler (§5.3) across a process boundary: the application
+// publishes heartbeats into a ring file; a scheduler that knows nothing
+// about the application reads the file, compares the heart rate to the
+// advertised target window, and adjusts the core allocation. This is
+// Figure 1(b) of the paper.
+//
+// For a true two-process demonstration, run the application half with an
+// -hbfile flag (see cmd/hbparsec) and watch it with cmd/hbmon; here both
+// roles run in one process for a self-contained example, but they share
+// nothing except the file.
+//
+//	go run ./examples/external-scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/control"
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/scheduler"
+	"repro/sim"
+)
+
+func main() {
+	path := filepath.Join(os.TempDir(), "external-scheduler-demo.hb")
+	defer os.Remove(path)
+
+	// ---- Application side: beats into the file, knows nothing about
+	// schedulers.
+	writer, err := hbfile.Create(path, 10, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clk := sim.NewClock(sim.Epoch)
+	machine := sim.NewMachine(clk, 8, 1e6)
+	machine.SetCores(1)
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithSink(writer))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hb.Close()
+	if err := hb.SetTarget(8, 10); err != nil { // goal: 8-10 beats/s
+		log.Fatal(err)
+	}
+
+	// ---- Scheduler side: reads ONLY the file.
+	reader, err := hbfile.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+	sched, err := scheduler.New(
+		observer.FileSource(reader),
+		machine,
+		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 8, TargetMax: 10}},
+		scheduler.WithWindow(10),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application works: heavy at first, then the load halves.
+	work := func(beat int) sim.Work {
+		ops := 0.5e6
+		if beat > 250 {
+			ops = 0.22e6
+		}
+		return sim.Work{Ops: ops, ParallelFrac: 0.95}
+	}
+	fmt.Println("beat  rate(beats/s)  cores  decision source: heartbeat file only")
+	peak := 1
+	for beat := 1; beat <= 500; beat++ {
+		machine.Execute(work(beat))
+		hb.Beat()
+		if beat%10 == 0 {
+			s, err := sched.Step()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s.Cores > peak {
+				peak = s.Cores
+			}
+			if beat%50 == 0 {
+				fmt.Printf("%4d  %13.2f  %5d\n", beat, s.Rate, s.Cores)
+			}
+		}
+	}
+	if err := hb.SinkErr(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nload halved at beat 250; final allocation %d cores (peak was %d)\n",
+		machine.Cores(), peak)
+	fmt.Println("the scheduler used the minimum cores that kept the rate in [8, 10]")
+}

@@ -1,0 +1,72 @@
+// Quickstart: instrument an application with Application Heartbeats,
+// advertise a performance goal, and observe progress — the minimal pattern
+// every other example builds on.
+//
+// The "application" processes batches of real work (Black-Scholes option
+// pricing), beats once per batch, and watches its own heart rate.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/heartbeat"
+	"repro/internal/parsec"
+)
+
+func main() {
+	// 1. Initialize with a default averaging window of 10 beats.
+	hb, err := heartbeat.New(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hb.Close()
+
+	// 2. Advertise the goal: 50-200 batches per second.
+	if err := hb.SetTarget(50, 200); err != nil {
+		log.Fatal(err)
+	}
+
+	kernel := parsec.NewBlackscholes()
+	rng := rand.New(rand.NewSource(1))
+	var checksum uint64
+
+	const batches = 60
+	for batch := 1; batch <= batches; batch++ {
+		// One batch of real work: price 2000 options.
+		for i := 0; i < 2000; i++ {
+			cs, _ := kernel.DoUnit(rng)
+			checksum ^= cs
+		}
+
+		// 3. Register progress.
+		hb.BeatTag(int64(batch))
+
+		// 4. Observe: the application reads its own heart rate and could
+		// adapt (shrink batches, shed precision, ...) if it missed goal.
+		if batch%10 == 0 {
+			if rate, ok := hb.Rate(0); ok {
+				min, max, _ := hb.Target()
+				status := "on target"
+				if rate < min {
+					status = "TOO SLOW"
+				} else if rate > max {
+					status = "faster than needed"
+				}
+				fmt.Printf("batch %3d: %8.1f beats/s (goal %g-%g) — %s\n",
+					batch, rate, min, max, status)
+			}
+		}
+	}
+
+	// 5. The history is available for deeper analysis (HB_get_history).
+	recs := hb.History(5)
+	fmt.Println("\nlast 5 heartbeats:")
+	for _, r := range recs {
+		fmt.Printf("  seq %2d  tag %2d  %s\n", r.Seq, r.Tag, r.Time.Format("15:04:05.000000"))
+	}
+	fmt.Printf("\ntotal beats: %d (checksum %x)\n", hb.Count(), checksum&0xffff)
+}

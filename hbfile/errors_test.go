@@ -1,0 +1,175 @@
+package hbfile_test
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+)
+
+// corruptHeader writes a ring-file header with one field patched.
+func corruptHeader(t *testing.T, patch func(buf []byte)) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bad.hb")
+	w, err := hbfile.Create(p, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	buf, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch(buf)
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOpenRejectsBadVersion(t *testing.T) {
+	p := corruptHeader(t, func(buf []byte) {
+		binary.LittleEndian.PutUint32(buf[8:], 99)
+	})
+	if _, err := hbfile.Open(p); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestOpenRejectsBadRecordSize(t *testing.T) {
+	p := corruptHeader(t, func(buf []byte) {
+		binary.LittleEndian.PutUint32(buf[12:], 64)
+	})
+	if _, err := hbfile.Open(p); err == nil {
+		t.Fatal("bad record size accepted")
+	}
+}
+
+func TestOpenRejectsZeroCapacity(t *testing.T) {
+	p := corruptHeader(t, func(buf []byte) {
+		binary.LittleEndian.PutUint32(buf[16:], 0)
+	})
+	if _, err := hbfile.Open(p); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestOpenRejectsShortFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "short.hb")
+	if err := os.WriteFile(p, []byte("APPHBv1\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hbfile.Open(p); err == nil {
+		t.Fatal("short file accepted")
+	}
+}
+
+func TestWriterOperationsAfterClose(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "c.hb")
+	w, err := hbfile.Create(p, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(heartbeat.Record{Seq: 1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.WriteTarget(1, 2); err == nil {
+		t.Fatal("target after close accepted")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync after close accepted")
+	}
+}
+
+func TestLogWriterOperationsAfterClose(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "c.hblog")
+	w, err := hbfile.CreateLog(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(heartbeat.Record{Seq: 1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.WriteTarget(1, 2); err == nil {
+		t.Fatal("target after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second close not idempotent")
+	}
+}
+
+func TestWriterSyncAndCursor(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "s.hb")
+	w, err := hbfile.Create(p, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Cursor() != 0 {
+		t.Fatal("fresh cursor nonzero")
+	}
+	if err := w.WriteRecord(heartbeat.Record{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(heartbeat.Record{Seq: 1}); err != nil {
+		t.Fatal(err) // out-of-order arrival
+	}
+	if w.Cursor() != 3 {
+		t.Fatalf("cursor = %d, want monotone max 3", w.Cursor())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRateInsufficientRecords(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "r.hb")
+	w, err := hbfile.Create(p, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := hbfile.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok, err := r.Rate(0); err != nil || ok {
+		t.Fatalf("Rate on empty file: ok=%v err=%v", ok, err)
+	}
+	if recs, err := r.Last(0); err != nil || recs != nil {
+		t.Fatalf("Last(0) = %v, %v", recs, err)
+	}
+}
+
+func TestLogReadEdges(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "e.hblog")
+	w, err := hbfile.CreateLog(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := hbfile.OpenLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if recs, err := r.Read(0, 10); err != nil || recs != nil {
+		t.Fatalf("Read on empty log = %v, %v", recs, err)
+	}
+	if recs, err := r.Last(5); err != nil || recs != nil {
+		t.Fatalf("Last on empty log = %v, %v", recs, err)
+	}
+	if _, ok, err := r.Rate(0); err != nil || ok {
+		t.Fatalf("Rate on empty log: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package hbfile implements a file-backed heartbeat ring so that external
+// processes can observe a Heartbeat-enabled application, mirroring the
+// paper's reference implementation ("when the HB_heartbeat function is
+// called, a new entry containing a timestamp, tag and thread ID is written
+// into a file ... when an external service wants to get information on a
+// Heartbeat-enabled program, the corresponding file is read; the target
+// heart rates are also written into the appropriate file").
+//
+// The file holds a fixed-size header followed by a ring of fixed-size
+// records. One process writes (the instrumented application, via
+// heartbeat.WithSink); any number of processes read concurrently without
+// coordinating with the writer. Consistency uses the same discipline as the
+// in-memory store: each record embeds its sequence number, the header
+// carries a monotone cursor, and targets are guarded by a version field
+// bumped odd before and even after each update, so readers detect and retry
+// or discard torn data instead of consuming it. This is a seqlock over a
+// file — the closest idiomatic Go analogue of the shared memory buffer the
+// paper standardizes for hardware observers.
+package hbfile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/heartbeat"
+)
+
+// Format constants. Version bumps on any layout change.
+const (
+	Magic      = "APPHBv1\x00"
+	Version    = 1
+	HeaderSize = 128
+	RecordSize = 32
+)
+
+// Header field offsets.
+const (
+	offMagic      = 0  // 8 bytes
+	offVersion    = 8  // uint32
+	offRecordSize = 12 // uint32
+	offCapacity   = 16 // uint32
+	offWindow     = 20 // uint32
+	offPID        = 24 // uint64
+	offTargetVer  = 32 // uint64, odd while target update in progress
+	offTargetMin  = 40 // float64 bits
+	offTargetMax  = 48 // float64 bits
+	offCursor     = 56 // uint64, total records ever written
+)
+
+// Record field offsets (within a 32-byte record).
+const (
+	recOffSeq      = 0  // uint64
+	recOffTime     = 8  // int64 unix nanos
+	recOffTag      = 16 // int64
+	recOffProducer = 24 // int32
+)
+
+var byteOrder = binary.LittleEndian
+
+// header is the decoded file header (static fields only; cursor and target
+// are re-read on demand since they change continuously).
+type header struct {
+	version    uint32
+	recordSize uint32
+	capacity   uint32
+	window     uint32
+	pid        uint64
+}
+
+func encodeStaticHeader(h header) []byte {
+	buf := make([]byte, HeaderSize)
+	copy(buf[offMagic:], Magic)
+	byteOrder.PutUint32(buf[offVersion:], h.version)
+	byteOrder.PutUint32(buf[offRecordSize:], h.recordSize)
+	byteOrder.PutUint32(buf[offCapacity:], h.capacity)
+	byteOrder.PutUint32(buf[offWindow:], h.window)
+	byteOrder.PutUint64(buf[offPID:], h.pid)
+	return buf
+}
+
+func decodeStaticHeader(buf []byte) (header, error) {
+	if len(buf) < HeaderSize {
+		return header{}, fmt.Errorf("hbfile: short header (%d bytes)", len(buf))
+	}
+	if string(buf[offMagic:offMagic+8]) != Magic {
+		return header{}, fmt.Errorf("hbfile: bad magic %q", buf[offMagic:offMagic+8])
+	}
+	h := header{
+		version:    byteOrder.Uint32(buf[offVersion:]),
+		recordSize: byteOrder.Uint32(buf[offRecordSize:]),
+		capacity:   byteOrder.Uint32(buf[offCapacity:]),
+		window:     byteOrder.Uint32(buf[offWindow:]),
+		pid:        byteOrder.Uint64(buf[offPID:]),
+	}
+	if h.version != Version {
+		return header{}, fmt.Errorf("hbfile: unsupported version %d", h.version)
+	}
+	if h.recordSize != RecordSize {
+		return header{}, fmt.Errorf("hbfile: unsupported record size %d", h.recordSize)
+	}
+	if h.capacity == 0 {
+		return header{}, fmt.Errorf("hbfile: zero capacity")
+	}
+	return h, nil
+}
+
+func encodeRecord(r heartbeat.Record) []byte {
+	buf := make([]byte, RecordSize)
+	byteOrder.PutUint64(buf[recOffSeq:], r.Seq)
+	byteOrder.PutUint64(buf[recOffTime:], uint64(r.Time.UnixNano()))
+	byteOrder.PutUint64(buf[recOffTag:], uint64(r.Tag))
+	byteOrder.PutUint32(buf[recOffProducer:], uint32(r.Producer))
+	return buf
+}
+
+func decodeRecord(buf []byte) heartbeat.Record {
+	return heartbeat.Record{
+		Seq:      byteOrder.Uint64(buf[recOffSeq:]),
+		Time:     unixTime(int64(byteOrder.Uint64(buf[recOffTime:]))),
+		Tag:      int64(byteOrder.Uint64(buf[recOffTag:])),
+		Producer: int32(byteOrder.Uint32(buf[recOffProducer:])),
+	}
+}
+
+// slotOffset returns the file offset of the ring slot holding seq.
+func slotOffset(seq uint64, capacity uint32) int64 {
+	return HeaderSize + int64((seq-1)%uint64(capacity))*RecordSize
+}

@@ -1,0 +1,266 @@
+package hbfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/heartbeat"
+)
+
+// LogMagic identifies the append-only variant of the heartbeat file.
+//
+// The ring file (Writer/Reader) bounds history, which §3 recommends for
+// efficiency; the paper's reference implementation, however, keeps the
+// complete history ("the HB_get_history function can support any value for
+// n because the entire heartbeat history is kept in the file"). LogWriter/
+// LogReader reproduce that behaviour: every heartbeat is appended, and
+// observers can read any range of the full history at the cost of
+// unbounded file growth.
+const LogMagic = "APPHBL1\x00"
+
+// LogWriter appends heartbeats to a log file. It implements
+// heartbeat.Sink and heartbeat.TargetSink. One process writes a given
+// file; within it, LogWriter is safe for concurrent use.
+type LogWriter struct {
+	mu        sync.Mutex
+	f         *os.File
+	count     uint64
+	targetVer uint64
+	closed    bool
+}
+
+var _ heartbeat.TargetSink = (*LogWriter)(nil)
+
+// CreateLog creates (or truncates) an append-only heartbeat log.
+func CreateLog(path string, window int) (*LogWriter, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("hbfile: invalid window %d", window)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hbfile: create log: %w", err)
+	}
+	buf := make([]byte, HeaderSize)
+	copy(buf[offMagic:], LogMagic)
+	byteOrder.PutUint32(buf[offVersion:], Version)
+	byteOrder.PutUint32(buf[offRecordSize:], RecordSize)
+	byteOrder.PutUint32(buf[offWindow:], uint32(window))
+	byteOrder.PutUint64(buf[offPID:], uint64(os.Getpid()))
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: write log header: %w", err)
+	}
+	return &LogWriter{f: f}, nil
+}
+
+// WriteRecord appends one heartbeat (heartbeat.Sink). Records are stored
+// in arrival order; each embeds its sequence number, so observers can
+// reorder if concurrent producers interleave.
+func (w *LogWriter) WriteRecord(r heartbeat.Record) error {
+	if r.Seq == 0 {
+		return fmt.Errorf("hbfile: record with zero sequence number")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbfile: log writer closed")
+	}
+	off := HeaderSize + int64(w.count)*RecordSize
+	if _, err := w.f.WriteAt(encodeRecord(r), off); err != nil {
+		return fmt.Errorf("hbfile: append record: %w", err)
+	}
+	w.count++
+	var buf [8]byte
+	byteOrder.PutUint64(buf[:], w.count)
+	if _, err := w.f.WriteAt(buf[:], offCursor); err != nil {
+		return fmt.Errorf("hbfile: write count: %w", err)
+	}
+	return nil
+}
+
+// WriteTarget publishes the target range (heartbeat.TargetSink).
+func (w *LogWriter) WriteTarget(min, max float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbfile: log writer closed")
+	}
+	var buf [8]byte
+	w.targetVer++
+	byteOrder.PutUint64(buf[:], w.targetVer)
+	if _, err := w.f.WriteAt(buf[:], offTargetVer); err != nil {
+		return err
+	}
+	byteOrder.PutUint64(buf[:], math.Float64bits(min))
+	if _, err := w.f.WriteAt(buf[:], offTargetMin); err != nil {
+		return err
+	}
+	byteOrder.PutUint64(buf[:], math.Float64bits(max))
+	if _, err := w.f.WriteAt(buf[:], offTargetMax); err != nil {
+		return err
+	}
+	w.targetVer++
+	byteOrder.PutUint64(buf[:], w.targetVer)
+	_, err := w.f.WriteAt(buf[:], offTargetVer)
+	return err
+}
+
+// Count returns how many records have been appended.
+func (w *LogWriter) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Close flushes and closes the log. Idempotent.
+func (w *LogWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// LogReader observes an append-only heartbeat log, possibly while another
+// process is appending to it.
+type LogReader struct {
+	f      *os.File
+	window int
+}
+
+// OpenLog opens a heartbeat log for observation.
+func OpenLog(path string) (*LogReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hbfile: open log: %w", err)
+	}
+	buf := make([]byte, HeaderSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: read log header: %w", err)
+	}
+	if string(buf[offMagic:offMagic+8]) != LogMagic {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: not a heartbeat log (magic %q)", buf[offMagic:offMagic+8])
+	}
+	if v := byteOrder.Uint32(buf[offVersion:]); v != Version {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: unsupported log version %d", v)
+	}
+	return &LogReader{f: f, window: int(byteOrder.Uint32(buf[offWindow:]))}, nil
+}
+
+// Window returns the application's default averaging window.
+func (r *LogReader) Window() int { return r.window }
+
+// Count returns the number of records appended so far.
+func (r *LogReader) Count() (uint64, error) {
+	var buf [8]byte
+	if _, err := r.f.ReadAt(buf[:], offCursor); err != nil {
+		return 0, fmt.Errorf("hbfile: read count: %w", err)
+	}
+	return byteOrder.Uint64(buf[:]), nil
+}
+
+// Read returns n records starting at index from (0-based, in append
+// order). It clips to the available range — the full history is always
+// addressable, matching the reference implementation's unbounded
+// HB_get_history.
+func (r *LogReader) Read(from uint64, n int) ([]heartbeat.Record, error) {
+	count, err := r.Count()
+	if err != nil {
+		return nil, err
+	}
+	if from >= count || n <= 0 {
+		return nil, nil
+	}
+	if uint64(n) > count-from {
+		n = int(count - from)
+	}
+	buf := make([]byte, n*RecordSize)
+	if _, err := r.f.ReadAt(buf, HeaderSize+int64(from)*RecordSize); err != nil {
+		return nil, fmt.Errorf("hbfile: read log records: %w", err)
+	}
+	out := make([]heartbeat.Record, n)
+	for i := range out {
+		out[i] = decodeRecord(buf[i*RecordSize:])
+	}
+	return out, nil
+}
+
+// Last returns the most recent n records in append order.
+func (r *LogReader) Last(n int) ([]heartbeat.Record, error) {
+	count, err := r.Count()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || count == 0 {
+		return nil, nil
+	}
+	from := uint64(0)
+	if uint64(n) < count {
+		from = count - uint64(n)
+	}
+	return r.Read(from, n)
+}
+
+// Target returns the advertised target range, if set.
+func (r *LogReader) Target() (min, max float64, ok bool, err error) {
+	// Same seqlock discipline as the ring reader.
+	var buf [24]byte
+	const maxTries = 100
+	for tries := 0; tries < maxTries; tries++ {
+		if _, err := r.f.ReadAt(buf[:], offTargetVer); err != nil {
+			return 0, 0, false, err
+		}
+		v1 := byteOrder.Uint64(buf[0:8])
+		if v1%2 == 1 {
+			continue
+		}
+		minBits := byteOrder.Uint64(buf[8:16])
+		maxBits := byteOrder.Uint64(buf[16:24])
+		var check [8]byte
+		if _, err := r.f.ReadAt(check[:], offTargetVer); err != nil {
+			return 0, 0, false, err
+		}
+		if byteOrder.Uint64(check[:]) != v1 {
+			continue
+		}
+		if v1 == 0 {
+			return 0, 0, false, nil
+		}
+		return math.Float64frombits(minBits), math.Float64frombits(maxBits), true, nil
+	}
+	return 0, 0, false, fmt.Errorf("hbfile: log target read contended")
+}
+
+// Rate computes the average heart rate over the last window records
+// (window <= 0: the file's default window).
+func (r *LogReader) Rate(window int) (perSec float64, ok bool, err error) {
+	if window <= 0 {
+		window = r.window
+	}
+	recs, err := r.Last(window)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(recs) < 2 {
+		return 0, false, nil
+	}
+	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
+	if span <= 0 {
+		return 0, false, nil
+	}
+	return float64(len(recs)-1) / span.Seconds(), true, nil
+}
+
+// Close closes the log file.
+func (r *LogReader) Close() error { return r.f.Close() }

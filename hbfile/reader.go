@@ -1,0 +1,169 @@
+package hbfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/heartbeat"
+)
+
+// Reader observes a heartbeat ring file written by another process (or the
+// same one). Readers never block the writer and never coordinate with it;
+// they detect overwritten or in-flight data and discard it. Reader is safe
+// for concurrent use.
+type Reader struct {
+	f   *os.File
+	hdr header
+}
+
+// Open opens an existing heartbeat ring file for observation.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hbfile: open: %w", err)
+	}
+	buf := make([]byte, HeaderSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: read header: %w", err)
+	}
+	hdr, err := decodeStaticHeader(buf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Reader{f: f, hdr: hdr}, nil
+}
+
+// Window returns the application's default averaging window.
+func (r *Reader) Window() int { return int(r.hdr.window) }
+
+// Capacity returns how many records the ring retains.
+func (r *Reader) Capacity() int { return int(r.hdr.capacity) }
+
+// PID returns the process id recorded by the writing application.
+func (r *Reader) PID() uint64 { return r.hdr.pid }
+
+// Cursor returns the total number of heartbeats published so far.
+func (r *Reader) Cursor() (uint64, error) {
+	var buf [8]byte
+	if _, err := r.f.ReadAt(buf[:], offCursor); err != nil {
+		return 0, fmt.Errorf("hbfile: read cursor: %w", err)
+	}
+	return byteOrder.Uint64(buf[:]), nil
+}
+
+// Target returns the advertised target range; ok is false when the
+// application never set one. Torn updates are retried a bounded number of
+// times.
+func (r *Reader) Target() (min, max float64, ok bool, err error) {
+	var buf [24]byte // ver, min, max are contiguous in the header
+	const maxTries = 100
+	for tries := 0; tries < maxTries; tries++ {
+		if _, err := r.f.ReadAt(buf[:], offTargetVer); err != nil {
+			return 0, 0, false, fmt.Errorf("hbfile: read target: %w", err)
+		}
+		v1 := byteOrder.Uint64(buf[0:8])
+		if v1%2 == 1 {
+			continue // writer mid-update
+		}
+		minBits := byteOrder.Uint64(buf[8:16])
+		maxBits := byteOrder.Uint64(buf[16:24])
+		var check [8]byte
+		if _, err := r.f.ReadAt(check[:], offTargetVer); err != nil {
+			return 0, 0, false, fmt.Errorf("hbfile: read target: %w", err)
+		}
+		if byteOrder.Uint64(check[:]) != v1 {
+			continue // raced with an update
+		}
+		if v1 == 0 {
+			return 0, 0, false, nil // never set
+		}
+		return math.Float64frombits(minBits), math.Float64frombits(maxBits), true, nil
+	}
+	return 0, 0, false, fmt.Errorf("hbfile: target read contended beyond %d retries", maxTries)
+}
+
+// Last returns up to n of the most recent records, oldest to newest.
+// Records overwritten or in flight during the read are omitted.
+func (r *Reader) Last(n int) ([]heartbeat.Record, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	cur, err := r.Cursor()
+	if err != nil {
+		return nil, err
+	}
+	if cur == 0 {
+		return nil, nil
+	}
+	if uint64(n) > cur {
+		n = int(cur)
+	}
+	if n > int(r.hdr.capacity) {
+		n = int(r.hdr.capacity)
+	}
+	first := cur - uint64(n) + 1
+	// Bulk-read the byte range covering the slots, then validate per slot.
+	// The range may wrap the ring; read it as up to two spans.
+	buf := make([]byte, n*RecordSize)
+	firstSlot := (first - 1) % uint64(r.hdr.capacity)
+	span1 := uint64(r.hdr.capacity) - firstSlot
+	if span1 > uint64(n) {
+		span1 = uint64(n)
+	}
+	if _, err := r.f.ReadAt(buf[:span1*RecordSize], HeaderSize+int64(firstSlot)*RecordSize); err != nil {
+		return nil, fmt.Errorf("hbfile: read records: %w", err)
+	}
+	if span1 < uint64(n) {
+		if _, err := r.f.ReadAt(buf[span1*RecordSize:], HeaderSize); err != nil {
+			return nil, fmt.Errorf("hbfile: read records: %w", err)
+		}
+	}
+	// Re-read the cursor: anything the writer might have lapped during our
+	// read window is suspect and dropped (seqlock validation step).
+	cur2, err := r.Cursor()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]heartbeat.Record, 0, n)
+	for i := 0; i < n; i++ {
+		want := first + uint64(i)
+		rec := decodeRecord(buf[i*RecordSize:])
+		if rec.Seq != want {
+			continue // slot not yet written, lapped, or torn
+		}
+		// The writer may be mid-write of want+capacity as soon as the
+		// cursor reaches want+capacity-1; such a slot is suspect.
+		if cur2+1 >= want+uint64(r.hdr.capacity) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Rate computes the average heart rate over the last window records;
+// window <= 0 uses the file's default window. ok is false with fewer than
+// two readable records.
+func (r *Reader) Rate(window int) (perSec float64, ok bool, err error) {
+	if window <= 0 {
+		window = int(r.hdr.window)
+	}
+	recs, err := r.Last(window)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(recs) < 2 {
+		return 0, false, nil
+	}
+	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
+	if span <= 0 {
+		return 0, false, nil
+	}
+	return float64(len(recs)-1) / span.Seconds(), true, nil
+}
+
+// Close closes the file.
+func (r *Reader) Close() error { return r.f.Close() }

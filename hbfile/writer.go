@@ -1,0 +1,149 @@
+package hbfile
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"repro/heartbeat"
+)
+
+// Writer publishes heartbeats into a ring file for external observers.
+// It implements heartbeat.Sink and heartbeat.TargetSink, so it is normally
+// attached with heartbeat.WithSink. A file has exactly one writing process;
+// within that process Writer is safe for concurrent use.
+type Writer struct {
+	mu        sync.Mutex
+	f         *os.File
+	capacity  uint32
+	cursor    uint64 // highest sequence number published
+	targetVer uint64
+	closed    bool
+}
+
+var _ heartbeat.TargetSink = (*Writer)(nil)
+
+// Create creates (or truncates) a heartbeat ring file retaining capacity
+// records and advertising the application's default window.
+func Create(path string, window, capacity int) (*Writer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("hbfile: invalid window %d", window)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("hbfile: invalid capacity %d", capacity)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hbfile: create: %w", err)
+	}
+	hdr := header{
+		version:    Version,
+		recordSize: RecordSize,
+		capacity:   uint32(capacity),
+		window:     uint32(window),
+		pid:        uint64(os.Getpid()),
+	}
+	if _, err := f.WriteAt(encodeStaticHeader(hdr), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: write header: %w", err)
+	}
+	// Pre-size the ring so readers never see a short file.
+	if err := f.Truncate(HeaderSize + int64(capacity)*RecordSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbfile: truncate: %w", err)
+	}
+	return &Writer{f: f, capacity: uint32(capacity)}, nil
+}
+
+// WriteRecord publishes one heartbeat record (heartbeat.Sink).
+// Records may arrive out of sequence order when multiple goroutines beat
+// concurrently; the cursor only ever moves forward.
+func (w *Writer) WriteRecord(r heartbeat.Record) error {
+	if r.Seq == 0 {
+		return fmt.Errorf("hbfile: record with zero sequence number")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbfile: writer closed")
+	}
+	if _, err := w.f.WriteAt(encodeRecord(r), slotOffset(r.Seq, w.capacity)); err != nil {
+		return fmt.Errorf("hbfile: write record: %w", err)
+	}
+	if r.Seq > w.cursor {
+		w.cursor = r.Seq
+		var buf [8]byte
+		byteOrder.PutUint64(buf[:], w.cursor)
+		if _, err := w.f.WriteAt(buf[:], offCursor); err != nil {
+			return fmt.Errorf("hbfile: write cursor: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteTarget publishes the target heart-rate range
+// (heartbeat.TargetSink). Readers validate against the version field.
+func (w *Writer) WriteTarget(min, max float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbfile: writer closed")
+	}
+	var buf [8]byte
+	w.targetVer++ // odd: update in progress
+	byteOrder.PutUint64(buf[:], w.targetVer)
+	if _, err := w.f.WriteAt(buf[:], offTargetVer); err != nil {
+		return fmt.Errorf("hbfile: write target version: %w", err)
+	}
+	byteOrder.PutUint64(buf[:], math.Float64bits(min))
+	if _, err := w.f.WriteAt(buf[:], offTargetMin); err != nil {
+		return fmt.Errorf("hbfile: write target min: %w", err)
+	}
+	byteOrder.PutUint64(buf[:], math.Float64bits(max))
+	if _, err := w.f.WriteAt(buf[:], offTargetMax); err != nil {
+		return fmt.Errorf("hbfile: write target max: %w", err)
+	}
+	w.targetVer++ // even: stable
+	byteOrder.PutUint64(buf[:], w.targetVer)
+	if _, err := w.f.WriteAt(buf[:], offTargetVer); err != nil {
+		return fmt.Errorf("hbfile: write target version: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage. Observers on the same host read
+// through the page cache and do not require it.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbfile: writer closed")
+	}
+	return w.f.Sync()
+}
+
+// Cursor returns the highest sequence number published so far.
+func (w *Writer) Cursor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursor
+}
+
+// Close flushes and closes the file. Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func unixTime(nanos int64) time.Time { return time.Unix(0, nanos) }

@@ -1,0 +1,95 @@
+package heartbeat
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// This file holds the in-depth analysis helpers the paper motivates for
+// HB_get_history: "examine intervals between individual heartbeats or
+// filter heartbeats according to their tags" (§3). A video encoder tags
+// beats with the frame type and asks for the I-frame rate; a pipeline tags
+// beats with the stage and asks for per-stage progress.
+
+// FilterTag returns the records of recs carrying the given tag, preserving
+// order.
+func FilterTag(recs []Record, tag int64) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Tag == tag {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterProducer returns the records of recs emitted by the given
+// registered thread (0 selects records beaten directly on the global
+// handle), preserving order.
+func FilterProducer(recs []Record, producer int32) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Producer == producer {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RateByTag computes the heart rate of only the records carrying tag,
+// over the last n global records.
+func (h *Heartbeat) RateByTag(n int, tag int64) (Rate, bool) {
+	return rateOf(FilterTag(h.History(n), tag))
+}
+
+// Tags returns the distinct tags present in the last n global records, in
+// first-appearance order — a cheap way for an observer to discover an
+// application's tag vocabulary.
+func (h *Heartbeat) Tags(n int) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, r := range h.History(n) {
+		if !seen[r.Tag] {
+			seen[r.Tag] = true
+			out = append(out, r.Tag)
+		}
+	}
+	return out
+}
+
+// IntervalStats summarizes the inter-beat gaps of a window of records.
+type IntervalStats struct {
+	// Beats is the number of records examined.
+	Beats int
+	// Mean, Min, Max and StdDev describe the gaps between consecutive
+	// records.
+	Mean, Min, Max, StdDev time.Duration
+	// CV is the coefficient of variation (StdDev/Mean): the "erratic"
+	// metric used by health classification.
+	CV float64
+}
+
+// IntervalStatsOf computes interval statistics over recs (oldest first).
+// ok is false with fewer than two records.
+func IntervalStatsOf(recs []Record) (IntervalStats, bool) {
+	gaps := Intervals(recs)
+	if len(gaps) == 0 {
+		return IntervalStats{}, false
+	}
+	s := stats.Summarize(gaps)
+	return IntervalStats{
+		Beats:  len(recs),
+		Mean:   time.Duration(s.Mean * float64(time.Second)),
+		Min:    time.Duration(s.Min * float64(time.Second)),
+		Max:    time.Duration(s.Max * float64(time.Second)),
+		StdDev: time.Duration(s.StdDev * float64(time.Second)),
+		CV:     s.CV(),
+	}, true
+}
+
+// IntervalStats summarizes the gaps of the last window global beats;
+// window <= 0 uses the default window.
+func (h *Heartbeat) IntervalStats(window int) (IntervalStats, bool) {
+	return IntervalStatsOf(h.History(h.clipWindow(window)))
+}

@@ -1,0 +1,19 @@
+package heartbeat
+
+import "time"
+
+// Clock supplies timestamps for heartbeats. The default clock is the wall
+// clock (time.Now). Deterministic tests and the simulated-machine experiments
+// inject a manual clock (see package sim).
+type Clock interface {
+	Now() time.Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }
+
+// SystemClock returns the wall clock.
+func SystemClock() Clock { return ClockFunc(time.Now) }

@@ -1,0 +1,52 @@
+// Package heartbeat implements the Application Heartbeats framework from
+// "Application Heartbeats for Software Performance and Health" (Hoffmann,
+// Eastep, Santambrogio, Miller, Agarwal — MIT CSAIL, PPoPP 2010).
+//
+// Applications call Beat at significant points (a processed frame, a
+// completed query, a finished chunk) to register progress. The intervals
+// between heartbeats expose the application's actual performance — its heart
+// rate, in beats per second — to the application itself and to external
+// observers such as schedulers, runtimes, or health monitors. Applications
+// declare their goal by setting a target heart-rate window; observers adapt
+// resources (or the application adapts itself) to keep the measured rate
+// inside that window.
+//
+// # Core concepts
+//
+//   - A Heartbeat owns a global (per-application) history of Records and a
+//     default averaging window, both fixed at construction.
+//   - Beat / BeatTag append a timestamped Record to the global history.
+//   - Rate reports the average heart rate over the last w beats; w == 0 uses
+//     the default window, and windows larger than the retained history are
+//     silently clipped (as the paper specifies).
+//   - SetTarget publishes the [min, max] beats-per-second goal so that
+//     external observers can read it.
+//   - History returns the most recent Records for in-depth analysis.
+//   - Thread registers a per-thread handle with a private history, mirroring
+//     the paper's local heartbeats. Go exposes no thread identity, so local
+//     heartbeats attach to explicitly registered *Thread handles, one per
+//     worker goroutine.
+//
+// The global history is a lock-free ring with seqlock-validated slots:
+// producers never block each other and observers never block producers,
+// mirroring the paper's requirement that hardware or external software may
+// read heartbeat buffers concurrently with the application. A mutex-guarded
+// variant (WithLockedStore) exists for comparison; the subdirectory package
+// compat offers the paper's exact Table 1 function shapes.
+//
+// Cross-process observation — the paper's reference implementation writes
+// heartbeats to a file — is provided by the companion package hbfile via the
+// Sink hook (WithSink).
+//
+// # Quick start
+//
+//	hb, _ := heartbeat.New(20)            // 20-beat default window
+//	hb.SetTarget(30, 35)                  // goal: 30–35 beats/s
+//	for _, frame := range frames {
+//	    encode(frame)
+//	    hb.Beat()
+//	    if r, ok := hb.Rate(0); ok && r < 30 {
+//	        lowerQuality()
+//	    }
+//	}
+package heartbeat

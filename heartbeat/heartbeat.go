@@ -1,0 +1,243 @@
+package heartbeat
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWindow is the default-window fallback used when New is given a
+// window of 0.
+const DefaultWindow = 20
+
+// Heartbeat is an application's heartbeat handle: a global history of
+// records, a default averaging window, and an advertised target heart-rate
+// range. A single Heartbeat is shared by the whole application; per-thread
+// histories hang off it via Thread. All methods are safe for concurrent use.
+type Heartbeat struct {
+	window int
+	clock  Clock
+	store  store
+	sink   Sink
+
+	targetMin atomic.Uint64 // math.Float64bits
+	targetMax atomic.Uint64
+	targetSet atomic.Bool
+
+	sinkErr atomic.Pointer[error]
+
+	mu           sync.Mutex
+	threads      []*Thread
+	nextThreadID int32
+	threadCap    int
+	closed       bool
+}
+
+type config struct {
+	capacity  int
+	threadCap int
+	clock     Clock
+	sink      Sink
+	locked    bool
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithCapacity sets how many global records are retained (the history ring
+// size). The default is max(4*window, 64). Capacities below the window are
+// raised to the window so the default window is always computable.
+func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
+
+// WithThreadCapacity sets how many records each per-thread history retains.
+// It defaults to the global capacity.
+func WithThreadCapacity(n int) Option { return func(c *config) { c.threadCap = n } }
+
+// WithClock injects the timestamp source (default: the wall clock).
+func WithClock(clk Clock) Option { return func(c *config) { c.clock = clk } }
+
+// WithSink registers a Sink that receives every global record as it is
+// produced, e.g. an hbfile.Writer exposing the heartbeat to other processes.
+func WithSink(s Sink) Option { return func(c *config) { c.sink = s } }
+
+// WithLockedStore selects the mutex-guarded history instead of the default
+// lock-free one. It exists for the locking-strategy ablation; the lock-free
+// store is preferred.
+func WithLockedStore() Option { return func(c *config) { c.locked = true } }
+
+// New creates a Heartbeat whose default averaging window is window beats
+// (HB_initialize in the paper). A window of 0 selects DefaultWindow;
+// negative windows are an error.
+func New(window int, opts ...Option) (*Heartbeat, error) {
+	if window < 0 {
+		return nil, fmt.Errorf("heartbeat: negative window %d", window)
+	}
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if window < 2 {
+		window = 2 // a rate needs at least two beats
+	}
+	cfg := config{clock: SystemClock()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.capacity <= 0 {
+		cfg.capacity = 4 * window
+		if cfg.capacity < 64 {
+			cfg.capacity = 64
+		}
+	}
+	if cfg.capacity < window {
+		cfg.capacity = window
+	}
+	if cfg.threadCap <= 0 {
+		cfg.threadCap = cfg.capacity
+	}
+	if cfg.clock == nil {
+		return nil, errors.New("heartbeat: nil clock")
+	}
+	h := &Heartbeat{
+		window:    window,
+		clock:     cfg.clock,
+		sink:      cfg.sink,
+		threadCap: cfg.threadCap,
+	}
+	if cfg.locked {
+		h.store = newLockedStore(cfg.capacity)
+	} else {
+		h.store = newLockfreeStore(cfg.capacity)
+	}
+	return h, nil
+}
+
+// Window returns the default averaging window in beats.
+func (h *Heartbeat) Window() int { return h.window }
+
+// Capacity returns how many global records are retained.
+func (h *Heartbeat) Capacity() int { return h.store.capacity() }
+
+// Beat registers a global heartbeat with tag 0 (HB_heartbeat, local=false).
+func (h *Heartbeat) Beat() { h.beat(0, 0) }
+
+// BeatTag registers a global heartbeat carrying a caller-defined tag, e.g.
+// the frame type of a video encoder or a sequence number.
+func (h *Heartbeat) BeatTag(tag int64) { h.beat(tag, 0) }
+
+func (h *Heartbeat) beat(tag int64, producer int32) {
+	now := h.clock.Now()
+	seq := h.store.append(now.UnixNano(), tag, producer)
+	if h.sink != nil {
+		r := Record{Seq: seq, Time: now, Tag: tag, Producer: producer}
+		if err := h.sink.WriteRecord(r); err != nil {
+			h.sinkErr.Store(&err)
+		}
+	}
+}
+
+// Count returns the total number of global heartbeats ever registered.
+func (h *Heartbeat) Count() uint64 { return h.store.total() }
+
+// Rate returns the average heart rate over the last window beats
+// (HB_current_rate). window == 0 uses the default window; windows larger
+// than the retained history are silently clipped. ok is false until at
+// least two beats spanning positive time are available.
+func (h *Heartbeat) Rate(window int) (perSec float64, ok bool) {
+	r, ok := h.RateDetail(window)
+	return r.PerSec, ok
+}
+
+// RateDetail is Rate with the full measurement (span, window endpoints).
+func (h *Heartbeat) RateDetail(window int) (Rate, bool) {
+	return rateOf(h.History(h.clipWindow(window)))
+}
+
+func (h *Heartbeat) clipWindow(window int) int {
+	if window <= 0 {
+		return h.window
+	}
+	if window > h.store.capacity() {
+		return h.store.capacity()
+	}
+	return window
+}
+
+// History returns up to n of the most recent global records, oldest to
+// newest (HB_get_history). n larger than the retained history is clipped.
+func (h *Heartbeat) History(n int) []Record { return h.store.last(n) }
+
+// SetTarget advertises the heart-rate goal [min, max] beats per second
+// (HB_set_target_rate) for external observers.
+func (h *Heartbeat) SetTarget(min, max float64) error {
+	if math.IsNaN(min) || math.IsNaN(max) || min < 0 || max < min {
+		return fmt.Errorf("heartbeat: invalid target [%v, %v]", min, max)
+	}
+	h.targetMin.Store(math.Float64bits(min))
+	h.targetMax.Store(math.Float64bits(max))
+	h.targetSet.Store(true)
+	if h.sink != nil {
+		if ts, ok := h.sink.(TargetSink); ok {
+			if err := ts.WriteTarget(min, max); err != nil {
+				h.sinkErr.Store(&err)
+			}
+		}
+	}
+	return nil
+}
+
+// Target returns the advertised heart-rate goal (HB_get_target_min/max).
+// ok is false if SetTarget was never called.
+func (h *Heartbeat) Target() (min, max float64, ok bool) {
+	if !h.targetSet.Load() {
+		return 0, 0, false
+	}
+	return math.Float64frombits(h.targetMin.Load()), math.Float64frombits(h.targetMax.Load()), true
+}
+
+// Thread registers a per-thread heartbeat handle with a private history
+// (the paper's local heartbeats). Each concurrent worker should register its
+// own handle; handles remain valid for the life of the Heartbeat.
+func (h *Heartbeat) Thread(name string) *Thread {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextThreadID++
+	t := newThread(h, h.nextThreadID, name, h.threadCap)
+	h.threads = append(h.threads, t)
+	return t
+}
+
+// Threads returns all registered per-thread handles in registration order.
+func (h *Heartbeat) Threads() []*Thread {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Thread, len(h.threads))
+	copy(out, h.threads)
+	return out
+}
+
+// SinkErr returns the most recent error reported by the sink, if any.
+func (h *Heartbeat) SinkErr() error {
+	if p := h.sinkErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close releases the sink (if it implements io.Closer). The Heartbeat
+// itself holds no other resources; beats after Close still record in memory
+// but sink writes will report errors via SinkErr. Close is idempotent.
+func (h *Heartbeat) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if c, ok := h.sink.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package heartbeat
+
+// Sink receives every global record as it is produced. Sinks expose the
+// heartbeat to the world outside the process — the paper's reference
+// implementation writes each heartbeat to a file that external services
+// read; package hbfile provides that sink. WriteRecord is called
+// synchronously from Beat, potentially from many goroutines at once, so
+// implementations must be concurrency-safe and should be fast.
+type Sink interface {
+	WriteRecord(Record) error
+}
+
+// TargetSink is implemented by sinks that can also publish the target
+// heart-rate range to external observers (the reference implementation
+// writes targets into the same file as the heartbeats).
+type TargetSink interface {
+	Sink
+	WriteTarget(min, max float64) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Record) error
+
+// WriteRecord implements Sink.
+func (f SinkFunc) WriteRecord(r Record) error { return f(r) }
+
+// MultiSink fans records out to several sinks, returning the first error.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) WriteRecord(r Record) error {
+	var first error
+	for _, s := range m {
+		if err := s.WriteRecord(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m multiSink) WriteTarget(min, max float64) error {
+	var first error
+	for _, s := range m {
+		if ts, ok := s.(TargetSink); ok {
+			if err := ts.WriteTarget(min, max); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

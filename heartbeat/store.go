@@ -1,0 +1,146 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+)
+
+// store is the global heartbeat history. Implementations retain the most
+// recent capacity records and allow concurrent producers and observers.
+type store interface {
+	// append claims the next sequence number and stores a record.
+	append(unixNanos int64, tag int64, producer int32) (seq uint64)
+	// total returns the number of records ever appended.
+	total() uint64
+	// capacity returns the number of retained records.
+	capacity() int
+	// last returns up to n of the most recent records, oldest to newest.
+	// Records that were overwritten or are mid-write are skipped.
+	last(n int) []Record
+}
+
+// lockfreeStore is a ring of seqlock-validated slots. Producers claim a slot
+// by atomically incrementing next, bracket their field stores with an odd
+// and then an even version stamp, and never block. Observers validate each
+// slot's version before and after reading its fields, so a torn read is
+// detected and the slot skipped rather than returned corrupt. This mirrors
+// the paper's requirement that external software (or hardware) read the
+// heartbeat buffers without coordinating with the application.
+type lockfreeStore struct {
+	slots []lfSlot
+	next  atomic.Uint64 // last claimed sequence number
+}
+
+type lfSlot struct {
+	// ver holds 2*seq when the record for seq is stable in this slot and
+	// 2*seq-1 while it is being written. 0 means never written.
+	ver  atomic.Uint64
+	time atomic.Int64
+	tag  atomic.Int64
+	prod atomic.Int32
+}
+
+func newLockfreeStore(capacity int) *lockfreeStore {
+	return &lockfreeStore{slots: make([]lfSlot, capacity)}
+}
+
+func (s *lockfreeStore) append(unixNanos int64, tag int64, producer int32) uint64 {
+	seq := s.next.Add(1)
+	sl := &s.slots[(seq-1)%uint64(len(s.slots))]
+	sl.ver.Store(2*seq - 1)
+	sl.time.Store(unixNanos)
+	sl.tag.Store(tag)
+	sl.prod.Store(producer)
+	sl.ver.Store(2 * seq)
+	return seq
+}
+
+func (s *lockfreeStore) total() uint64 { return s.next.Load() }
+func (s *lockfreeStore) capacity() int { return len(s.slots) }
+
+// read returns the record with the given sequence number if it is still
+// retained and stable.
+func (s *lockfreeStore) read(seq uint64) (Record, bool) {
+	if seq == 0 {
+		return Record{}, false
+	}
+	sl := &s.slots[(seq-1)%uint64(len(s.slots))]
+	const maxTries = 64
+	for tries := 0; tries < maxTries; tries++ {
+		v1 := sl.ver.Load()
+		switch {
+		case v1 == 2*seq-1:
+			continue // mid-write; retry
+		case v1 != 2*seq:
+			return Record{}, false // not yet written, or overwritten
+		}
+		t := sl.time.Load()
+		tag := sl.tag.Load()
+		p := sl.prod.Load()
+		if sl.ver.Load() == v1 {
+			return Record{Seq: seq, Time: time.Unix(0, t), Tag: tag, Producer: p}, true
+		}
+	}
+	return Record{}, false
+}
+
+func (s *lockfreeStore) last(n int) []Record {
+	if n <= 0 {
+		return nil
+	}
+	cur := s.next.Load()
+	if cur == 0 {
+		return nil
+	}
+	if uint64(n) > cur {
+		n = int(cur)
+	}
+	if n > len(s.slots) {
+		n = len(s.slots)
+	}
+	out := make([]Record, 0, n)
+	for seq := cur - uint64(n) + 1; seq <= cur; seq++ {
+		if r, ok := s.read(seq); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// lockedStore is the straightforward mutex-guarded variant, matching the
+// paper's reference implementation ("a mutex is used to guarantee mutual
+// exclusion and ordering"). Kept for the lock-free-vs-locked ablation
+// benchmark and as a simple correctness oracle in tests.
+type lockedStore struct {
+	mu  sync.Mutex
+	buf *ring.Buffer[Record]
+}
+
+func newLockedStore(capacity int) *lockedStore {
+	return &lockedStore{buf: ring.New[Record](capacity)}
+}
+
+func (s *lockedStore) append(unixNanos int64, tag int64, producer int32) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.buf.Total() + 1
+	s.buf.Push(Record{Seq: seq, Time: time.Unix(0, unixNanos), Tag: tag, Producer: producer})
+	return seq
+}
+
+func (s *lockedStore) total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Total()
+}
+
+func (s *lockedStore) capacity() int { return s.buf.Cap() }
+
+func (s *lockedStore) last(n int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Last(n)
+}

@@ -1,0 +1,170 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Both store implementations must agree on everything observable when
+// driven sequentially: the locked store is the oracle for the lock-free one.
+func TestStoreEquivalenceProperty(t *testing.T) {
+	f := func(capRaw uint8, ops []uint16) bool {
+		capacity := int(capRaw)%50 + 2
+		lf := newLockfreeStore(capacity)
+		lk := newLockedStore(capacity)
+		now := int64(1)
+		for _, op := range ops {
+			tag := int64(op)
+			now += int64(op%97) + 1
+			s1 := lf.append(now, tag, 3)
+			s2 := lk.append(now, tag, 3)
+			if s1 != s2 {
+				return false
+			}
+		}
+		if lf.total() != lk.total() || lf.capacity() != lk.capacity() {
+			return false
+		}
+		for _, n := range []int{0, 1, capacity / 2, capacity, capacity + 10} {
+			a, b := lf.last(n), lk.last(n)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Records returned by the lock-free store under concurrent writers must
+// never be torn: we encode a checksum relation between tag and time and
+// verify every record read maintains it.
+func TestLockfreeStoreNoTornReads(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+		capacity  = 64 // small: force heavy wraparound
+	)
+	s := newLockfreeStore(capacity)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers hammer last() while writers wrap the ring.
+	var torn atomic.Int64
+	var readerWg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range s.last(capacity) {
+					// invariant stamped by the writers: time == tag*2+7
+					if rec.Time.UnixNano() != rec.Tag*2+7 {
+						torn.Add(1)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tag := int64(w*perWriter + i)
+				s.append(tag*2+7, tag, int32(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("observed %d torn records", torn.Load())
+	}
+	if got := s.total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	// After quiescence every retained record must be valid and dense-ish.
+	recs := s.last(capacity)
+	if len(recs) != capacity {
+		t.Fatalf("retained %d records, want %d", len(recs), capacity)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("records out of order: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestLockfreeReadStates(t *testing.T) {
+	s := newLockfreeStore(4)
+	if _, ok := s.read(0); ok {
+		t.Fatal("read(0) ok")
+	}
+	if _, ok := s.read(1); ok {
+		t.Fatal("read of unwritten slot ok")
+	}
+	for i := int64(1); i <= 6; i++ {
+		s.append(i, i, 0)
+	}
+	// seq 1 and 2 have been overwritten by 5 and 6 (capacity 4).
+	if _, ok := s.read(1); ok {
+		t.Fatal("read of overwritten record ok")
+	}
+	r, ok := s.read(5)
+	if !ok || r.Tag != 5 || r.Time != time.Unix(0, 5) {
+		t.Fatalf("read(5) = %+v, %v", r, ok)
+	}
+}
+
+func TestConcurrentBeatsAllCounted(t *testing.T) {
+	hb, err := New(10, WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, each = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				hb.Beat()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := hb.Count(); got != goroutines*each {
+		t.Fatalf("Count = %d, want %d", got, goroutines*each)
+	}
+	recs := hb.History(goroutines * each)
+	if len(recs) != goroutines*each {
+		t.Fatalf("History kept %d records, want %d", len(recs), goroutines*each)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}

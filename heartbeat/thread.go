@@ -1,0 +1,83 @@
+package heartbeat
+
+import (
+	"sync"
+
+	"repro/internal/ring"
+)
+
+// Thread is a per-thread heartbeat handle with a private history — the
+// paper's "local" heartbeats. Threads working on independent objects beat on
+// their own handles so observers can reason about them separately; threads
+// cooperating on one object share the application's global heartbeat.
+//
+// A Thread is intended to be beaten by a single goroutine, but all methods
+// are nevertheless safe for concurrent use (observers read concurrently).
+type Thread struct {
+	h    *Heartbeat
+	id   int32
+	name string
+
+	mu  sync.Mutex
+	buf *ring.Buffer[Record]
+}
+
+func newThread(h *Heartbeat, id int32, name string, capacity int) *Thread {
+	return &Thread{h: h, id: id, name: name, buf: ring.New[Record](capacity)}
+}
+
+// ID returns the registration identifier stamped into this thread's records
+// (and into global records emitted via GlobalBeat).
+func (t *Thread) ID() int32 { return t.id }
+
+// Name returns the label supplied at registration.
+func (t *Thread) Name() string { return t.name }
+
+// Beat registers a local heartbeat with tag 0 (HB_heartbeat, local=true).
+func (t *Thread) Beat() { t.BeatTag(0) }
+
+// BeatTag registers a local heartbeat carrying a caller-defined tag.
+func (t *Thread) BeatTag(tag int64) {
+	now := t.h.clock.Now()
+	t.mu.Lock()
+	seq := t.buf.Total() + 1
+	t.buf.Push(Record{Seq: seq, Time: now, Tag: tag, Producer: t.id})
+	t.mu.Unlock()
+}
+
+// GlobalBeat registers a heartbeat on the application's global history,
+// attributed to this thread.
+func (t *Thread) GlobalBeat() { t.h.beat(0, t.id) }
+
+// GlobalBeatTag is GlobalBeat with a tag.
+func (t *Thread) GlobalBeatTag(tag int64) { t.h.beat(tag, t.id) }
+
+// Count returns the number of local heartbeats ever registered.
+func (t *Thread) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.Total()
+}
+
+// Rate returns the local heart rate over the last window beats; window == 0
+// uses the application's default window. Windows beyond the retained
+// history are clipped.
+func (t *Thread) Rate(window int) (perSec float64, ok bool) {
+	r, ok := t.RateDetail(window)
+	return r.PerSec, ok
+}
+
+// RateDetail is Rate with the full measurement.
+func (t *Thread) RateDetail(window int) (Rate, bool) {
+	if window <= 0 {
+		window = t.h.window
+	}
+	return rateOf(t.History(window))
+}
+
+// History returns up to n of the most recent local records, oldest first.
+func (t *Thread) History(n int) []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.Last(n)
+}

@@ -1,0 +1,107 @@
+package heartbeat_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+)
+
+func TestThreadRegistration(t *testing.T) {
+	hb, _ := newTestHB(t, 5)
+	t1 := hb.Thread("worker-1")
+	t2 := hb.Thread("worker-2")
+	if t1.ID() == t2.ID() {
+		t.Fatalf("thread IDs collide: %d", t1.ID())
+	}
+	if t1.Name() != "worker-1" || t2.Name() != "worker-2" {
+		t.Fatalf("names = %q, %q", t1.Name(), t2.Name())
+	}
+	ths := hb.Threads()
+	if len(ths) != 2 || ths[0] != t1 || ths[1] != t2 {
+		t.Fatalf("Threads() = %v", ths)
+	}
+}
+
+func TestThreadLocalHistoriesArePrivate(t *testing.T) {
+	hb, clk := newTestHB(t, 5)
+	t1 := hb.Thread("a")
+	t2 := hb.Thread("b")
+	for i := 0; i < 4; i++ {
+		clk.Advance(100 * time.Millisecond)
+		t1.BeatTag(int64(i))
+	}
+	clk.Advance(100 * time.Millisecond)
+	t2.Beat()
+
+	if t1.Count() != 4 || t2.Count() != 1 {
+		t.Fatalf("counts = %d, %d", t1.Count(), t2.Count())
+	}
+	if hb.Count() != 0 {
+		t.Fatalf("local beats leaked to global history: %d", hb.Count())
+	}
+	recs := t1.History(10)
+	if len(recs) != 4 {
+		t.Fatalf("t1 history = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Producer != t1.ID() || r.Tag != int64(i) || r.Seq != uint64(i+1) {
+			t.Fatalf("t1 record %d = %+v", i, r)
+		}
+	}
+	r, ok := t1.Rate(0)
+	if !ok || r < 9.99 || r > 10.01 {
+		t.Fatalf("t1 Rate = %v, want 10", r)
+	}
+	if _, ok := t2.Rate(0); ok {
+		t.Fatal("t2 Rate ok with a single beat")
+	}
+}
+
+func TestThreadGlobalBeatAttribution(t *testing.T) {
+	hb, clk := newTestHB(t, 5)
+	tr := hb.Thread("worker")
+	clk.Advance(time.Millisecond)
+	tr.GlobalBeat()
+	tr.GlobalBeatTag(9)
+	if hb.Count() != 2 {
+		t.Fatalf("global Count = %d, want 2", hb.Count())
+	}
+	if tr.Count() != 0 {
+		t.Fatalf("global beats leaked into local history: %d", tr.Count())
+	}
+	recs := hb.History(2)
+	if recs[0].Producer != tr.ID() || recs[1].Tag != 9 {
+		t.Fatalf("History = %+v", recs)
+	}
+}
+
+func TestThreadsConcurrentWithGlobal(t *testing.T) {
+	hb, err := heartbeat.New(10, heartbeat.WithCapacity(1<<13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, beats = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := hb.Thread("w")
+			for i := 0; i < beats; i++ {
+				tr.Beat()
+				tr.GlobalBeat()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if hb.Count() != workers*beats {
+		t.Fatalf("global Count = %d, want %d", hb.Count(), workers*beats)
+	}
+	for _, tr := range hb.Threads() {
+		if tr.Count() != beats {
+			t.Fatalf("thread Count = %d, want %d", tr.Count(), beats)
+		}
+	}
+}

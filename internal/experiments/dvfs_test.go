@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDVFSSavesEnergyAtEqualPerformance(t *testing.T) {
+	r := DVFS(Options{})
+	rateGov := seriesCol(t, r, "rate_governed")
+	freq := seriesCol(t, r, "freq_governed_x10")
+	rateFixed := seriesCol(t, r, "rate_fixed")
+
+	// The energy note must exist; TestDVFSSavingMagnitude checks the
+	// saving quantitatively.
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "% saved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no energy note")
+	}
+
+	// Steady-state behaviour: half frequency in the light phases, full in
+	// the heavy one, delivered rate paced identically to the fixed run.
+	if f := freq[150] / 10; f != 0.5 {
+		t.Errorf("light-phase frequency = %v, want 0.5", f)
+	}
+	if f := freq[300] / 10; f != 1.0 {
+		t.Errorf("heavy-phase frequency = %v, want 1.0", f)
+	}
+	for _, i := range []int{150, 300, 550} {
+		if rateGov[i] < 29 || rateGov[i] > 33 {
+			t.Errorf("governed rate at beat %d = %.1f outside window", i+1, rateGov[i])
+		}
+		if rateFixed[i] < 29 || rateFixed[i] > 33 {
+			t.Errorf("fixed rate at beat %d = %.1f outside window", i+1, rateFixed[i])
+		}
+	}
+}
+
+// Quantitative check of the saving, independent of note formatting.
+func TestDVFSSavingMagnitude(t *testing.T) {
+	r := DVFS(Options{})
+	var savingNote string
+	for _, n := range r.Notes {
+		if strings.Contains(n, "saved") {
+			savingNote = n
+		}
+	}
+	// Expect a double-digit percentage saving on this workload.
+	gotDouble := false
+	for pct := 10; pct <= 60; pct++ {
+		if strings.Contains(savingNote, itoa(pct)+"% saved") {
+			gotDouble = true
+			break
+		}
+	}
+	if !gotDouble {
+		t.Fatalf("expected a 10-60%% saving, note: %q", savingNote)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

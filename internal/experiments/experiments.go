@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on this repository's substrates: the Table 2 PARSEC
+// heart-rate survey, the §5.1 instrumentation-overhead study, the Figure 2
+// phase analysis, the Figures 3-4 adaptive encoder, the Figures 5-7
+// external scheduler, and the Figure 8 fault-tolerance study. Each
+// experiment returns a Result holding a table or data series plus notes
+// summarizing the measured shape against the paper's.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier: "table2", "overhead", "fig2" ...
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table holds tabular results (Table 2, overhead study).
+	Table *plot.Table
+	// Series holds figure data (Figs 2-8).
+	Series *plot.Series
+	// Notes summarize measured-vs-paper shape criteria.
+	Notes []string
+}
+
+// Options scales the experiments. The zero value reproduces the paper's
+// full scale; tests use reduced scales.
+type Options struct {
+	// EncoderFrames caps the frame count of the encoder experiments
+	// (Figs 2-4, 8). 0 means the paper's scale (500-600 frames).
+	EncoderFrames int
+	// OverheadUnits is the option count of the blackscholes overhead
+	// study (0: 200000).
+	OverheadUnits int
+	// Seed makes all procedural inputs deterministic (0 is a valid
+	// seed; runs with equal Options are identical).
+	Seed int64
+}
+
+func (o Options) encoderFrames(paperScale int) int {
+	if o.EncoderFrames <= 0 || o.EncoderFrames > paperScale {
+		return paperScale
+	}
+	return o.EncoderFrames
+}
+
+func (o Options) overheadUnits() int {
+	if o.OverheadUnits <= 0 {
+		return 200000
+	}
+	return o.OverheadUnits
+}
+
+// IDs lists all experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"table2", "overhead", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "multiapp", "dvfs"}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options) (Result, error) {
+	switch id {
+	case "table2":
+		return Table2(opt), nil
+	case "overhead":
+		return Overhead(opt), nil
+	case "fig2":
+		return Fig2(opt), nil
+	case "fig3":
+		return Fig3(opt), nil
+	case "fig4":
+		return Fig4(opt), nil
+	case "fig5":
+		return Fig5(opt), nil
+	case "fig6":
+		return Fig6(opt), nil
+	case "fig7":
+		return Fig7(opt), nil
+	case "fig8":
+		return Fig8(opt), nil
+	case "multiapp":
+		return MultiApp(opt), nil
+	case "dvfs":
+		return DVFS(opt), nil
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) []Result {
+	ids := IDs()
+	out := make([]Result, 0, len(ids))
+	for _, id := range ids {
+		r, err := Run(id, opt)
+		if err != nil {
+			panic(err) // unreachable: IDs() and Run agree
+		}
+		out = append(out, r)
+	}
+	return out
+}

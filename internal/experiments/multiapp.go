@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/heartbeat"
+	"repro/internal/plot"
+	"repro/observer"
+	"repro/scheduler"
+	"repro/sim"
+)
+
+// MultiApp is the multi-application extension experiment. The paper argues
+// (§1, §2.4) that registering goals with the system lets resources be
+// "reallocated to provide the best global outcome" when several
+// heartbeat-enabled applications compete; its evaluation only schedules one
+// application at a time, so this experiment completes the claim: two
+// applications with different goals share the eight-core machine, one's
+// load quadruples mid-run, and the partitioner keeps BOTH inside their
+// windows by shifting cores between them using nothing but heartbeats.
+func MultiApp(Options) Result {
+	const (
+		coreRate = 1e6
+		decide   = 2 * time.Second // scheduler polling period
+		steps    = 260
+		loadStep = 90 // decision step at which app A's load rises
+	)
+	clk := sim.NewClock(sim.Epoch)
+	cluster := sim.NewCluster(clk, 8, coreRate)
+
+	type app struct {
+		hb   *heartbeat.Heartbeat
+		proc *sim.Proc
+	}
+	mkApp := func(name string, initial int, min, max float64, ops func(beat uint64) float64, pf float64) *app {
+		hb, err := heartbeat.New(10, heartbeat.WithClock(clk))
+		if err != nil {
+			panic(err)
+		}
+		if err := hb.SetTarget(min, max); err != nil {
+			panic(err)
+		}
+		a := &app{hb: hb}
+		beat := uint64(0)
+		a.proc = cluster.AddProc(name, initial, func() (sim.Work, bool) {
+			if beat > 0 {
+				hb.Beat()
+			}
+			beat++
+			return sim.Work{Ops: ops(beat), ParallelFrac: pf}, true
+		})
+		return a
+	}
+
+	// App A: interactive-style goal 8-10 beats/s, needing 4 cores at first
+	// and 6 after its per-beat cost rises ~1.4x. App B: background-style
+	// goal 2-3 beats/s, steady on 2 cores. Post-rise the pool is exactly
+	// full, so the partitioner must run A right at the feasibility edge.
+	loadBoundary := uint64(0) // beat at which A's cost rises; set below
+	a := mkApp("A", 1, 8, 10, func(beat uint64) float64 {
+		if loadBoundary > 0 && beat > loadBoundary {
+			return 0.58e6
+		}
+		return 0.42e6
+	}, 0.95)
+	b := mkApp("B", 1, 2, 3, func(uint64) float64 { return 0.8e6 }, 0.90)
+
+	part, err := scheduler.NewPartitioner(8, 10)
+	if err != nil {
+		panic(err)
+	}
+	if err := part.Add("A", observer.HeartbeatSource(a.hb), a.proc.SetCores, 1); err != nil {
+		panic(err)
+	}
+	if err := part.Add("B", observer.HeartbeatSource(b.hb), b.proc.SetCores, 1); err != nil {
+		panic(err)
+	}
+
+	series := &plot.Series{
+		Title:  "Extension: two heartbeat applications sharing 8 cores (global reallocation)",
+		XLabel: "decision",
+		Cols:   []string{"rate_A", "rate_B", "cores_A", "cores_B"},
+	}
+	bothInWindowBefore, bothInWindowAfter := -1, -1
+	for step := 1; step <= steps; step++ {
+		if step == loadStep {
+			loadBoundary = a.hb.Count() // A's next beats get heavier
+		}
+		cluster.RunUntil(clk.Now().Add(decide))
+		sts, err := part.Step()
+		if err != nil {
+			panic(err)
+		}
+		series.Add(float64(step), sts[0].Rate, sts[1].Rate, float64(sts[0].Cores), float64(sts[1].Cores))
+		inA := sts[0].RateOK && sts[0].Rate >= 8 && sts[0].Rate <= 10
+		inB := sts[1].RateOK && sts[1].Rate >= 2 && sts[1].Rate <= 3
+		if inA && inB {
+			if step < loadStep && bothInWindowBefore == -1 {
+				bothInWindowBefore = step
+			}
+			if step > loadStep && bothInWindowAfter == -1 {
+				bothInWindowAfter = step
+			}
+		}
+	}
+	finalA := series.Y[2][len(series.Y[2])-1]
+	finalB := series.Y[3][len(series.Y[3])-1]
+	return Result{
+		ID: "multiapp", Title: series.Title, Series: series,
+		Notes: []string{
+			fmt.Sprintf("both apps inside their windows by decision %d (of %d)", bothInWindowBefore, steps),
+			fmt.Sprintf("A's load rises 1.4x at decision %d; both back in window by decision %d", loadStep, bothInWindowAfter),
+			fmt.Sprintf("final allocation: A=%g cores, B=%g cores (pool of 8, minimum-resource goal)", finalA, finalB),
+			"extension beyond the paper's evaluation: completes the §1 multi-application claim",
+		},
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestMultiAppGlobalOutcome(t *testing.T) {
+	r := MultiApp(Options{})
+	rateA := seriesCol(t, r, "rate_A")
+	rateB := seriesCol(t, r, "rate_B")
+	coresA := seriesCol(t, r, "cores_A")
+	coresB := seriesCol(t, r, "cores_B")
+	last := len(rateA) - 1
+
+	// Both applications end inside their own windows.
+	if rateA[last] < 8 || rateA[last] > 10 {
+		t.Errorf("A final rate %.2f outside [8, 10]", rateA[last])
+	}
+	if rateB[last] < 2 || rateB[last] > 3 {
+		t.Errorf("B final rate %.2f outside [2, 3]", rateB[last])
+	}
+	// The pool is never oversubscribed and no app is starved.
+	for i := range coresA {
+		if coresA[i]+coresB[i] > 8 {
+			t.Fatalf("decision %d: %g + %g cores oversubscribes", i+1, coresA[i], coresB[i])
+		}
+		if coresA[i] < 1 || coresB[i] < 1 {
+			t.Fatalf("decision %d: an app was starved below one core", i+1)
+		}
+	}
+	// The load rise shifted cores to A without pushing B out of window.
+	if coresA[last] <= coresA[60] {
+		t.Errorf("A's allocation did not grow after its load rise: %g then %g", coresA[60], coresA[last])
+	}
+	// B holds its window across the second half too.
+	for i := 140; i <= last; i++ {
+		if rateB[i] < 2*0.9 || rateB[i] > 3*1.1 {
+			t.Fatalf("B left its window at decision %d: %.2f", i+1, rateB[i])
+		}
+	}
+}

@@ -1,0 +1,595 @@
+// Package parsec provides synthetic stand-ins for the PARSEC benchmarks the
+// paper instruments (Table 2, §5.1) and the workload profiles of its
+// external-scheduler experiments (Figs 5-7). Each kernel performs the
+// benchmark's characteristic computation on procedurally generated data —
+// Black-Scholes pricing, particle-filter tracking, simulated annealing,
+// content-defined chunking, an iterative solver, nearest-neighbour search,
+// an SPH pass, online clustering, Monte-Carlo swaption pricing, and motion
+// estimation — so heartbeat overhead and scaling are measured against real
+// work, not busy-waiting.
+package parsec
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/video"
+	"repro/internal/x264"
+)
+
+// Kernel is one benchmark's unit of real work. Implementations are not
+// safe for concurrent use; create one Kernel per worker goroutine (they are
+// cheap) and drive each with its own *rand.Rand.
+type Kernel interface {
+	// Name is the PARSEC benchmark name.
+	Name() string
+	// BeatLabel describes where the paper inserts the heartbeat
+	// (Table 2's "Heartbeat Location").
+	BeatLabel() string
+	// UnitsPerBeat is how many units of work separate heartbeats.
+	UnitsPerBeat() int
+	// DoUnit performs one unit of work, returning a checksum (so the
+	// compiler cannot elide the computation) and the approximate
+	// operation count performed.
+	DoUnit(rng *rand.Rand) (checksum uint64, ops float64)
+}
+
+// Kernels returns one instance of every kernel, in Table 2 order.
+func Kernels() []Kernel {
+	return []Kernel{
+		NewBlackscholes(),
+		NewBodytrack(),
+		NewCanneal(),
+		NewDedup(),
+		NewFacesim(),
+		NewFerret(),
+		NewFluidanimate(),
+		NewStreamcluster(),
+		NewSwaptions(),
+		NewX264Kernel(),
+	}
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range Kernels() {
+		if k.Name() == name {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------- blackscholes
+
+// Blackscholes prices European options with the Black-Scholes formula,
+// PARSEC's blackscholes inner loop.
+type Blackscholes struct{}
+
+// NewBlackscholes returns the kernel.
+func NewBlackscholes() *Blackscholes { return &Blackscholes{} }
+
+// Name implements Kernel.
+func (*Blackscholes) Name() string { return "blackscholes" }
+
+// BeatLabel implements Kernel.
+func (*Blackscholes) BeatLabel() string { return "Every 25000 options" }
+
+// UnitsPerBeat implements Kernel (one unit = one option).
+func (*Blackscholes) UnitsPerBeat() int { return 25000 }
+
+// cnd is the cumulative normal distribution (Abramowitz & Stegun 26.2.17),
+// the same approximation the PARSEC kernel uses.
+func cnd(x float64) float64 {
+	l := math.Abs(x)
+	k := 1 / (1 + 0.2316419*l)
+	w := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-l*l/2)*
+		(0.31938153*k-0.356563782*k*k+1.781477937*k*k*k-
+			1.821255978*k*k*k*k+1.330274429*k*k*k*k*k)
+	if x < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+// DoUnit prices one call and one put.
+func (*Blackscholes) DoUnit(rng *rand.Rand) (uint64, float64) {
+	s := 50 + rng.Float64()*100 // spot
+	k := 50 + rng.Float64()*100 // strike
+	r := 0.01 + rng.Float64()*0.05
+	v := 0.1 + rng.Float64()*0.4 // volatility
+	t := 0.25 + rng.Float64()*2  // years
+	d1 := (math.Log(s/k) + (r+v*v/2)*t) / (v * math.Sqrt(t))
+	d2 := d1 - v*math.Sqrt(t)
+	call := s*cnd(d1) - k*math.Exp(-r*t)*cnd(d2)
+	put := k*math.Exp(-r*t)*cnd(-d2) - s*cnd(-d1)
+	return math.Float64bits(call) ^ math.Float64bits(put), 120
+}
+
+// ---------------------------------------------------------------- bodytrack
+
+// Bodytrack runs a particle-filter tracking step, the heart of PARSEC's
+// bodytrack vision workload.
+type Bodytrack struct {
+	px, py, pw []float64 // particle states and weights
+	tx, ty     float64   // true target
+}
+
+// NewBodytrack returns the kernel with 128 particles.
+func NewBodytrack() *Bodytrack {
+	const n = 128
+	b := &Bodytrack{px: make([]float64, n), py: make([]float64, n), pw: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		b.px[i] = float64(i % 16)
+		b.py[i] = float64(i / 16)
+	}
+	b.tx, b.ty = 8, 4
+	return b
+}
+
+// Name implements Kernel.
+func (*Bodytrack) Name() string { return "bodytrack" }
+
+// BeatLabel implements Kernel.
+func (*Bodytrack) BeatLabel() string { return "Every frame" }
+
+// UnitsPerBeat implements Kernel (one unit = one frame's filter update).
+func (*Bodytrack) UnitsPerBeat() int { return 1 }
+
+// DoUnit propagates, weights, estimates and resamples the particle cloud.
+func (b *Bodytrack) DoUnit(rng *rand.Rand) (uint64, float64) {
+	n := len(b.px)
+	// Target moves.
+	b.tx += rng.NormFloat64() * 0.5
+	b.ty += rng.NormFloat64() * 0.5
+	// Propagate and weight.
+	var wsum float64
+	for i := 0; i < n; i++ {
+		b.px[i] += rng.NormFloat64()
+		b.py[i] += rng.NormFloat64()
+		dx, dy := b.px[i]-b.tx, b.py[i]-b.ty
+		b.pw[i] = math.Exp(-(dx*dx + dy*dy) / 8)
+		wsum += b.pw[i]
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	// Estimate.
+	var ex, ey float64
+	for i := 0; i < n; i++ {
+		ex += b.px[i] * b.pw[i] / wsum
+		ey += b.py[i] * b.pw[i] / wsum
+	}
+	// Systematic resample.
+	step := wsum / float64(n)
+	u := rng.Float64() * step
+	var acc float64
+	j := 0
+	for i := 0; i < n; i++ {
+		for acc+b.pw[j] < u && j < n-1 {
+			acc += b.pw[j]
+			j++
+		}
+		b.px[i], b.py[i] = b.px[j], b.py[j]
+		u += step
+	}
+	return math.Float64bits(ex) ^ math.Float64bits(ey), float64(n) * 40
+}
+
+// ---------------------------------------------------------------- canneal
+
+// Canneal evaluates simulated-annealing element swaps on a netlist grid,
+// PARSEC's canneal move loop.
+type Canneal struct {
+	grid []int32 // element id at each location
+	w, h int
+	temp float64
+}
+
+// NewCanneal returns the kernel on a 64x64 netlist.
+func NewCanneal() *Canneal {
+	w, h := 64, 64
+	g := make([]int32, w*h)
+	for i := range g {
+		g[i] = int32(i)
+	}
+	return &Canneal{grid: g, w: w, h: h, temp: 100}
+}
+
+// Name implements Kernel.
+func (*Canneal) Name() string { return "canneal" }
+
+// BeatLabel implements Kernel.
+func (*Canneal) BeatLabel() string { return "Every 1875 moves" }
+
+// UnitsPerBeat implements Kernel (one unit = one move).
+func (*Canneal) UnitsPerBeat() int { return 1875 }
+
+// wireCost is the Manhattan attraction of an element to its net neighbours
+// (its id's grid position in a reference placement).
+func (c *Canneal) wireCost(loc int, id int32) float64 {
+	lx, ly := loc%c.w, loc/c.w
+	ix, iy := int(id)%c.w, int(id)/c.w
+	return math.Abs(float64(lx-ix)) + math.Abs(float64(ly-iy))
+}
+
+// DoUnit proposes one swap and accepts it with the Metropolis criterion.
+func (c *Canneal) DoUnit(rng *rand.Rand) (uint64, float64) {
+	a := rng.Intn(len(c.grid))
+	b := rng.Intn(len(c.grid))
+	before := c.wireCost(a, c.grid[a]) + c.wireCost(b, c.grid[b])
+	after := c.wireCost(a, c.grid[b]) + c.wireCost(b, c.grid[a])
+	delta := after - before
+	accept := delta < 0 || rng.Float64() < math.Exp(-delta/c.temp)
+	if accept {
+		c.grid[a], c.grid[b] = c.grid[b], c.grid[a]
+	}
+	if c.temp > 1 {
+		c.temp *= 0.999999
+	}
+	return uint64(c.grid[a])<<32 | uint64(uint32(c.grid[b])), 60
+}
+
+// ---------------------------------------------------------------- dedup
+
+// Dedup performs content-defined chunking with a rolling hash plus FNV-1a
+// fingerprinting, PARSEC's dedup pipeline stages.
+type Dedup struct {
+	buf []byte
+}
+
+// NewDedup returns the kernel with a 4 KiB working buffer.
+func NewDedup() *Dedup { return &Dedup{buf: make([]byte, 4096)} }
+
+// Name implements Kernel.
+func (*Dedup) Name() string { return "dedup" }
+
+// BeatLabel implements Kernel.
+func (*Dedup) BeatLabel() string { return "Every \"chunk\"" }
+
+// UnitsPerBeat implements Kernel (one unit = one coarse chunk).
+func (*Dedup) UnitsPerBeat() int { return 1 }
+
+// DoUnit fills the buffer, finds content-defined boundaries with a rolling
+// hash, and fingerprints each fine-grained chunk.
+func (d *Dedup) DoUnit(rng *rand.Rand) (uint64, float64) {
+	for i := range d.buf {
+		d.buf[i] = byte(rng.Uint32())
+	}
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	var roll uint32
+	var sum uint64
+	fp := uint64(fnvOffset)
+	for _, b := range d.buf {
+		roll = roll<<1 + uint32(b)
+		fp = (fp ^ uint64(b)) * fnvPrime
+		if roll&0xfff == 0xfff { // boundary ~ every 4 KiB of entropy
+			sum ^= fp
+			fp = fnvOffset
+		}
+	}
+	sum ^= fp
+	return sum, float64(len(d.buf)) * 6
+}
+
+// ---------------------------------------------------------------- facesim
+
+// Facesim runs Jacobi relaxation sweeps over a deformation grid, standing
+// in for PARSEC facesim's iterative physics solve.
+type Facesim struct {
+	a, b []float64
+	n    int
+}
+
+// NewFacesim returns the kernel on a 32x32 grid.
+func NewFacesim() *Facesim {
+	n := 32
+	f := &Facesim{a: make([]float64, n*n), b: make([]float64, n*n), n: n}
+	for i := range f.a {
+		f.a[i] = float64(i % 17)
+	}
+	return f
+}
+
+// Name implements Kernel.
+func (*Facesim) Name() string { return "facesim" }
+
+// BeatLabel implements Kernel.
+func (*Facesim) BeatLabel() string { return "Every frame" }
+
+// UnitsPerBeat implements Kernel (one unit = one simulated frame).
+func (*Facesim) UnitsPerBeat() int { return 1 }
+
+// DoUnit perturbs the boundary and runs 20 Jacobi sweeps.
+func (f *Facesim) DoUnit(rng *rand.Rand) (uint64, float64) {
+	n := f.n
+	for x := 0; x < n; x++ { // new boundary forces, present in both buffers
+		v := rng.Float64() * 10
+		f.a[x] = v
+		f.b[x] = v
+	}
+	const sweeps = 20
+	src, dst := f.a, f.b
+	for s := 0; s < sweeps; s++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				dst[y*n+x] = 0.25 * (src[y*n+x-1] + src[y*n+x+1] + src[(y-1)*n+x] + src[(y+1)*n+x])
+			}
+		}
+		src, dst = dst, src
+	}
+	f.a, f.b = src, dst
+	center := f.a[(n/2)*n+n/2]
+	return math.Float64bits(center), float64(sweeps) * float64((n-2)*(n-2)) * 5
+}
+
+// ---------------------------------------------------------------- ferret
+
+// Ferret answers similarity queries against a feature database, PARSEC
+// ferret's content-based search.
+type Ferret struct {
+	db   []float64 // nVec × dim
+	nVec int
+	dim  int
+}
+
+// NewFerret returns the kernel with 256 32-dimensional vectors.
+func NewFerret() *Ferret {
+	nVec, dim := 256, 32
+	rng := rand.New(rand.NewSource(1234))
+	db := make([]float64, nVec*dim)
+	for i := range db {
+		db[i] = rng.Float64()
+	}
+	return &Ferret{db: db, nVec: nVec, dim: dim}
+}
+
+// Name implements Kernel.
+func (*Ferret) Name() string { return "ferret" }
+
+// BeatLabel implements Kernel.
+func (*Ferret) BeatLabel() string { return "Every query" }
+
+// UnitsPerBeat implements Kernel (one unit = one query).
+func (*Ferret) UnitsPerBeat() int { return 1 }
+
+// DoUnit finds the 4 nearest neighbours of a random query vector.
+func (f *Ferret) DoUnit(rng *rand.Rand) (uint64, float64) {
+	q := make([]float64, f.dim)
+	for i := range q {
+		q[i] = rng.Float64()
+	}
+	var top [4]int
+	var topD [4]float64
+	for i := range topD {
+		topD[i] = math.Inf(1)
+	}
+	for v := 0; v < f.nVec; v++ {
+		var d float64
+		row := f.db[v*f.dim:]
+		for i := 0; i < f.dim; i++ {
+			diff := q[i] - row[i]
+			d += diff * diff
+		}
+		for s := 0; s < len(top); s++ { // insertion into top-k
+			if d < topD[s] {
+				copy(topD[s+1:], topD[s:len(topD)-1])
+				copy(top[s+1:], top[s:len(top)-1])
+				topD[s], top[s] = d, v
+				break
+			}
+		}
+	}
+	return uint64(top[0])<<48 ^ uint64(top[1])<<32 ^ uint64(top[2])<<16 ^ uint64(top[3]),
+		float64(f.nVec) * float64(f.dim) * 3
+}
+
+// ---------------------------------------------------------------- fluidanimate
+
+// Fluidanimate runs a smoothed-particle-hydrodynamics density/force pass,
+// PARSEC fluidanimate's per-frame computation.
+type Fluidanimate struct {
+	x, y, z    []float64
+	vx, vy, vz []float64
+	n          int
+}
+
+// NewFluidanimate returns the kernel with 160 particles.
+func NewFluidanimate() *Fluidanimate {
+	n := 160
+	f := &Fluidanimate{
+		x: make([]float64, n), y: make([]float64, n), z: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		n: n,
+	}
+	rng := rand.New(rand.NewSource(5678))
+	for i := 0; i < n; i++ {
+		f.x[i], f.y[i], f.z[i] = rng.Float64(), rng.Float64(), rng.Float64()
+	}
+	return f
+}
+
+// Name implements Kernel.
+func (*Fluidanimate) Name() string { return "fluidanimate" }
+
+// BeatLabel implements Kernel.
+func (*Fluidanimate) BeatLabel() string { return "Every frame" }
+
+// UnitsPerBeat implements Kernel (one unit = one frame step).
+func (*Fluidanimate) UnitsPerBeat() int { return 1 }
+
+// DoUnit computes densities and pressure forces over a neighbour window and
+// integrates the particles one step.
+func (f *Fluidanimate) DoUnit(rng *rand.Rand) (uint64, float64) {
+	const h2 = 0.05 // smoothing radius squared
+	var ops float64
+	// Neighbour window of 16 following particles (cell-list stand-in).
+	for i := 0; i < f.n; i++ {
+		var fx, fy, fz float64
+		for k := 1; k <= 16; k++ {
+			j := (i + k) % f.n
+			dx, dy, dz := f.x[i]-f.x[j], f.y[i]-f.y[j], f.z[i]-f.z[j]
+			d2 := dx*dx + dy*dy + dz*dz
+			if d2 < h2 {
+				w := (h2 - d2) * (h2 - d2) * (h2 - d2) // poly6 kernel
+				fx += w * dx
+				fy += w * dy
+				fz += w * dz
+			}
+			ops += 15
+		}
+		f.vx[i] += fx*50 + rng.NormFloat64()*1e-4
+		f.vy[i] += fy*50 - 1e-3 // gravity
+		f.vz[i] += fz * 50
+	}
+	var cs uint64
+	for i := 0; i < f.n; i++ {
+		f.x[i] = wrapUnit(f.x[i] + f.vx[i]*0.01)
+		f.y[i] = wrapUnit(f.y[i] + f.vy[i]*0.01)
+		f.z[i] = wrapUnit(f.z[i] + f.vz[i]*0.01)
+		ops += 10
+	}
+	cs = math.Float64bits(f.x[0]) ^ math.Float64bits(f.y[f.n/2])
+	return cs, ops
+}
+
+func wrapUnit(v float64) float64 {
+	for v < 0 {
+		v++
+	}
+	for v > 1 {
+		v--
+	}
+	return v
+}
+
+// ---------------------------------------------------------------- streamcluster
+
+// Streamcluster assigns streamed points to the nearest of k medians and
+// accumulates the clustering cost, PARSEC streamcluster's gain evaluation.
+type Streamcluster struct {
+	medians []float64 // k × dim
+	k, dim  int
+}
+
+// NewStreamcluster returns the kernel with 16 medians in 8 dimensions.
+func NewStreamcluster() *Streamcluster {
+	k, dim := 16, 8
+	rng := rand.New(rand.NewSource(91011))
+	m := make([]float64, k*dim)
+	for i := range m {
+		m[i] = rng.Float64()
+	}
+	return &Streamcluster{medians: m, k: k, dim: dim}
+}
+
+// Name implements Kernel.
+func (*Streamcluster) Name() string { return "streamcluster" }
+
+// BeatLabel implements Kernel.
+func (*Streamcluster) BeatLabel() string { return "Every 200000 points" }
+
+// UnitsPerBeat implements Kernel (one unit = a block of 500 points;
+// 400 units per beat at the Table 2 granularity).
+func (*Streamcluster) UnitsPerBeat() int { return 400 }
+
+// DoUnit clusters a block of 500 random points.
+func (s *Streamcluster) DoUnit(rng *rand.Rand) (uint64, float64) {
+	const points = 500
+	var cost float64
+	var pick uint64
+	p := make([]float64, s.dim)
+	for n := 0; n < points; n++ {
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		best, bestD := 0, math.Inf(1)
+		for m := 0; m < s.k; m++ {
+			var d float64
+			row := s.medians[m*s.dim:]
+			for i := 0; i < s.dim; i++ {
+				diff := p[i] - row[i]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = m, d
+			}
+		}
+		cost += bestD
+		pick ^= uint64(best) << (n % 60)
+	}
+	return pick ^ math.Float64bits(cost), float64(points) * float64(s.k) * float64(s.dim) * 3
+}
+
+// ---------------------------------------------------------------- swaptions
+
+// Swaptions prices a swaption by Monte-Carlo simulation of the short rate,
+// PARSEC swaptions' HJM kernel.
+type Swaptions struct{}
+
+// NewSwaptions returns the kernel.
+func NewSwaptions() *Swaptions { return &Swaptions{} }
+
+// Name implements Kernel.
+func (*Swaptions) Name() string { return "swaptions" }
+
+// BeatLabel implements Kernel.
+func (*Swaptions) BeatLabel() string { return "Every \"swaption\"" }
+
+// UnitsPerBeat implements Kernel (one unit = one swaption).
+func (*Swaptions) UnitsPerBeat() int { return 1 }
+
+// DoUnit simulates 128 rate paths of 16 steps and averages the payoff.
+func (*Swaptions) DoUnit(rng *rand.Rand) (uint64, float64) {
+	const paths, steps = 128, 16
+	strike := 0.005 + rng.Float64()*0.02
+	var payoff, lastRate float64
+	for p := 0; p < paths; p++ {
+		rate := 0.02
+		for s := 0; s < steps; s++ {
+			rate *= math.Exp(-0.5*0.01 + 0.1*rng.NormFloat64()*0.25)
+		}
+		if rate > strike {
+			payoff += rate - strike
+		}
+		lastRate = rate
+	}
+	price := payoff / paths
+	return math.Float64bits(price) ^ math.Float64bits(lastRate), paths * steps * 12
+}
+
+// ---------------------------------------------------------------- x264
+
+// X264Kernel encodes procedural video frames with the hexagon-search
+// configuration PARSEC's x264 defaults resemble.
+type X264Kernel struct {
+	src *video.Source
+	enc *x264.Encoder
+}
+
+// NewX264Kernel returns the kernel on 96x64 frames.
+func NewX264Kernel() *X264Kernel {
+	return &X264Kernel{
+		src: video.NewSource(96, 64, 2024, video.Uniform(video.Complexity{Motion: 2, Detail: 12, Noise: 3})),
+		enc: x264.NewEncoder(x264.Config{Search: x264.Hex, SubpelLevels: 1, RefFrames: 1}),
+	}
+}
+
+// Name implements Kernel.
+func (*X264Kernel) Name() string { return "x264" }
+
+// BeatLabel implements Kernel.
+func (*X264Kernel) BeatLabel() string { return "Every frame" }
+
+// UnitsPerBeat implements Kernel (one unit = one frame).
+func (*X264Kernel) UnitsPerBeat() int { return 1 }
+
+// DoUnit encodes the next frame.
+func (k *X264Kernel) DoUnit(_ *rand.Rand) (uint64, float64) {
+	f, _ := k.src.Next()
+	st, err := k.enc.Encode(f)
+	if err != nil {
+		panic(err) // unreachable: source frames are block-aligned
+	}
+	return st.PredSAD ^ uint64(st.Evals16), st.Ops
+}

@@ -1,0 +1,67 @@
+package parsec
+
+import (
+	"fmt"
+
+	"repro/sim"
+)
+
+// Profile describes one PARSEC benchmark's behaviour on the paper's
+// eight-core reference platform (Table 2): its average heart rate on the
+// native input and its parallel scaling. Together with a simulated
+// machine's per-core rate, it yields the abstract cost of one beat of work.
+type Profile struct {
+	// Name is the benchmark name.
+	Name string
+	// BeatLabel is where the heartbeat is inserted (Table 2).
+	BeatLabel string
+	// PaperRate is the average heart rate the paper reports on the
+	// eight-core x86 server (beats/s).
+	PaperRate float64
+	// ParallelFrac is the Amdahl parallel fraction used in simulation.
+	ParallelFrac float64
+	// Beats is how many heartbeats the Table 2 reproduction simulates.
+	Beats int
+}
+
+// Profiles returns the ten benchmarks in Table 2 order, with the paper's
+// measured rates.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", BeatLabel: "Every 25000 options", PaperRate: 561.03, ParallelFrac: 0.99, Beats: 400},
+		{Name: "bodytrack", BeatLabel: "Every frame", PaperRate: 4.31, ParallelFrac: 0.95, Beats: 261},
+		{Name: "canneal", BeatLabel: "Every 1875 moves", PaperRate: 1043.76, ParallelFrac: 0.90, Beats: 400},
+		{Name: "dedup", BeatLabel: "Every \"chunk\"", PaperRate: 264.30, ParallelFrac: 0.95, Beats: 400},
+		{Name: "facesim", BeatLabel: "Every frame", PaperRate: 0.72, ParallelFrac: 0.90, Beats: 100},
+		{Name: "ferret", BeatLabel: "Every query", PaperRate: 40.78, ParallelFrac: 0.97, Beats: 400},
+		{Name: "fluidanimate", BeatLabel: "Every frame", PaperRate: 41.25, ParallelFrac: 0.96, Beats: 400},
+		{Name: "streamcluster", BeatLabel: "Every 200000 points", PaperRate: 0.02, ParallelFrac: 0.93, Beats: 60},
+		{Name: "swaptions", BeatLabel: "Every \"swaption\"", PaperRate: 2.27, ParallelFrac: 0.99, Beats: 200},
+		{Name: "x264", BeatLabel: "Every frame", PaperRate: 11.32, ParallelFrac: 0.93, Beats: 512},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("parsec: unknown benchmark %q", name)
+}
+
+// OpsPerBeat returns the abstract operation count of one beat of work,
+// calibrated so that a machine with the given per-core rate reproduces
+// PaperRate on cores cores. (Table 2's absolute values are platform
+// measurements; the calibration anchors our simulated platform to the
+// paper's and the experiment then validates the whole pipeline — kernels,
+// machine, heartbeats, rate windows — against it.)
+func (p Profile) OpsPerBeat(coreRate float64, cores int) float64 {
+	return coreRate * sim.Speedup(cores, p.ParallelFrac) / p.PaperRate
+}
+
+// Work returns one beat of simulated work.
+func (p Profile) Work(coreRate float64, cores int) sim.Work {
+	return sim.Work{Ops: p.OpsPerBeat(coreRate, cores), ParallelFrac: p.ParallelFrac}
+}

@@ -1,0 +1,108 @@
+package parsec
+
+import "repro/sim"
+
+// SchedWorkload describes one of the external-scheduler experiments of
+// §5.3: a beat-indexed cost stream, the target window the application
+// advertises, and the cadence at which the scheduler re-decides. The
+// single-core base rate and Amdahl fraction are chosen so the simulated
+// core-allocation trajectory reproduces the corresponding figure's shape.
+type SchedWorkload struct {
+	// Name is the benchmark name.
+	Name string
+	// TargetMin and TargetMax are the advertised window (beats/s).
+	TargetMin, TargetMax float64
+	// Beats is the experiment length in heartbeats.
+	Beats int
+	// CheckEvery is how many beats separate scheduler decisions.
+	CheckEvery int
+	// Window is the rate-averaging window in beats.
+	Window int
+	// ParallelFrac is the Amdahl fraction of each work item.
+	ParallelFrac float64
+	// BaseRate is the single-core heart rate on the nominal-load phase.
+	BaseRate float64
+	// Shape multiplies the nominal per-beat cost as the run progresses.
+	Shape func(beat int) float64
+}
+
+// Work returns the simulated work of the given beat for a machine with the
+// given per-core op rate.
+func (w SchedWorkload) Work(coreRate float64, beat int) sim.Work {
+	return sim.Work{
+		Ops:          coreRate / w.BaseRate * w.Shape(beat),
+		ParallelFrac: w.ParallelFrac,
+	}
+}
+
+// BodytrackSched reproduces Figure 5: target 2.5-3.5 beats/s; the scheduler
+// ramps to seven cores, a load bump around beat 102 forces the eighth and
+// final core, and a sharp load drop at beat 141 lets the scheduler reclaim
+// cores until a single core meets the goal.
+func BodytrackSched() SchedWorkload {
+	return SchedWorkload{
+		Name:      "bodytrack",
+		TargetMin: 2.5, TargetMax: 3.5,
+		Beats:      260,
+		CheckEvery: 5,
+		Window:     10,
+		// Base rate 0.52 beats/s on one core with p=0.95 puts the
+		// seven-core rate just above 2.5 (the paper's initial plateau).
+		ParallelFrac: 0.95,
+		BaseRate:     0.52,
+		Shape: func(beat int) float64 {
+			switch {
+			case beat > 141:
+				return 0.16 // load collapses: one core suffices
+			case beat > 95:
+				return 1.17 // the dip that demands the eighth core
+			default:
+				return 1
+			}
+		},
+	}
+}
+
+// StreamclusterSched reproduces Figure 6: a narrow 0.50-0.55 beats/s window
+// reached by roughly the twenty-second heartbeat and held thereafter.
+func StreamclusterSched() SchedWorkload {
+	return SchedWorkload{
+		Name:      "streamcluster",
+		TargetMin: 0.50, TargetMax: 0.55,
+		Beats:      90,
+		CheckEvery: 4,
+		Window:     8,
+		// Base rate 0.139 with p=0.93: five cores give ~0.53 beats/s,
+		// inside the paper's narrow window.
+		ParallelFrac: 0.93,
+		BaseRate:     0.139,
+		Shape:        func(int) float64 { return 1 },
+	}
+}
+
+// X264Sched reproduces Figure 7: target 30-35 beats/s held with a handful
+// of cores, absorbing two transient spikes where easy content pushes the
+// encoder above 45 beats/s.
+func X264Sched() SchedWorkload {
+	return SchedWorkload{
+		Name:      "x264",
+		TargetMin: 30, TargetMax: 35,
+		Beats:      600,
+		CheckEvery: 10,
+		Window:     10,
+		// Base rate 8.96 with p=0.90: five cores give 32 beats/s.
+		ParallelFrac: 0.90,
+		BaseRate:     8.96,
+		Shape: func(beat int) float64 {
+			if (beat >= 180 && beat < 230) || (beat >= 400 && beat < 450) {
+				return 0.68 // easy scenes: rate spikes past 45
+			}
+			return 1
+		},
+	}
+}
+
+// SchedWorkloads returns the three §5.3 experiments in paper order.
+func SchedWorkloads() []SchedWorkload {
+	return []SchedWorkload{BodytrackSched(), StreamclusterSched(), X264Sched()}
+}

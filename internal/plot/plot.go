@@ -1,0 +1,198 @@
+// Package plot renders experiment results as CSV files and quick ASCII
+// charts, so every table and figure of the paper can be regenerated and
+// inspected from the terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rectangular result with string cells (Table 2 mixes text and
+// numbers).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteCSV writes the table in CSV form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvLine(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, csvLine(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvLine(cells []string) string {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		quoted[i] = c
+	}
+	return strings.Join(quoted, ",")
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a figure: one x axis and one or more named y columns.
+type Series struct {
+	Title  string
+	XLabel string
+	Cols   []string
+	X      []float64
+	Y      [][]float64 // Y[c][i] pairs with X[i]
+}
+
+// Add appends one x position with one value per column.
+func (s *Series) Add(x float64, ys ...float64) {
+	if len(ys) != len(s.Cols) {
+		panic(fmt.Sprintf("plot: %d values for %d columns", len(ys), len(s.Cols)))
+	}
+	if s.Y == nil {
+		s.Y = make([][]float64, len(s.Cols))
+	}
+	s.X = append(s.X, x)
+	for c, v := range ys {
+		s.Y[c] = append(s.Y[c], v)
+	}
+}
+
+// WriteCSV writes x plus all columns.
+func (s *Series) WriteCSV(w io.Writer) error {
+	header := append([]string{s.XLabel}, s.Cols...)
+	if _, err := fmt.Fprintln(w, csvLine(header)); err != nil {
+		return err
+	}
+	for i := range s.X {
+		cells := make([]string, 0, len(s.Cols)+1)
+		cells = append(cells, trimFloat(s.X[i]))
+		for c := range s.Cols {
+			cells = append(cells, trimFloat(s.Y[c][i]))
+		}
+		if _, err := fmt.Fprintln(w, csvLine(cells)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+var chartMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Chart draws all columns on one ASCII grid of the given size.
+func (s *Series) Chart(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(s.X) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", s.Title)
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, col := range s.Y {
+		for _, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > hi { // all values invalid
+		lo, hi = 0, 1
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xmin, xmax := s.X[0], s.X[len(s.X)-1]
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	for c := len(s.Y) - 1; c >= 0; c-- { // first column drawn last (on top)
+		mark := chartMarks[c%len(chartMarks)]
+		for i, v := range s.Y[c] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	if s.Title != "" {
+		fmt.Fprintln(w, s.Title)
+	}
+	for r, rowBytes := range grid {
+		val := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%10.2f |%s\n", val, string(rowBytes))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s  %-*s%s\n", "", width-len(trimFloat(xmax)), trimFloat(xmin)+" "+s.XLabel, trimFloat(xmax))
+	legend := make([]string, len(s.Cols))
+	for c, name := range s.Cols {
+		legend[c] = fmt.Sprintf("%c=%s", chartMarks[c%len(chartMarks)], name)
+	}
+	fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "  "))
+}

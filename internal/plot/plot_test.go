@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"a", "benchmark"},
+		Rows:   [][]string{{"x264", "1"}, {"bs", "22"}},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("render = %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "T" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a     benchmark") {
+		t.Fatalf("header = %q", lines[1])
+	}
+}
+
+func TestSeriesAddAndCSV(t *testing.T) {
+	s := &Series{XLabel: "beat", Cols: []string{"rate", "cores"}}
+	s.Add(1, 2.5, 1)
+	s.Add(2, 3.25, 2)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "beat,rate,cores\n1,2.5000,1\n2,3.2500,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSeriesAddPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity accepted")
+		}
+	}()
+	s := &Series{Cols: []string{"one"}}
+	s.Add(1, 2, 3)
+}
+
+func TestChartDrawsAllColumns(t *testing.T) {
+	s := &Series{Title: "demo", XLabel: "x", Cols: []string{"up", "down"}}
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), float64(i), float64(50-i))
+	}
+	var buf bytes.Buffer
+	s.Chart(&buf, 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Fatalf("chart missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("chart missing marks")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(&Series{Title: "empty", Cols: []string{"y"}}).Chart(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart = %q", buf.String())
+	}
+	// Constant values and NaN must not panic or divide by zero.
+	s := &Series{Title: "flat", Cols: []string{"y"}}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	s.Add(3, math.NaN())
+	buf.Reset()
+	s.Chart(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat chart drew nothing")
+	}
+	// All-NaN series.
+	n := &Series{Title: "nan", Cols: []string{"y"}}
+	n.Add(1, math.NaN())
+	buf.Reset()
+	n.Chart(&buf, 40, 10)
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	s := &Series{Cols: []string{"y"}}
+	s.Add(0, 1)
+	s.Add(1, 2)
+	var buf bytes.Buffer
+	s.Chart(&buf, 1, 1) // must clamp, not panic
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" || trimFloat(3.5) != "3.5000" || trimFloat(-2) != "-2" {
+		t.Fatalf("trimFloat: %q %q %q", trimFloat(3), trimFloat(3.5), trimFloat(-2))
+	}
+}

@@ -1,0 +1,75 @@
+// Package ring provides a fixed-capacity ring buffer that retains the most
+// recent values pushed into it. It is the storage primitive behind per-thread
+// heartbeat histories. The zero value is not usable; construct with New.
+//
+// Buffer is not safe for concurrent use; callers synchronize externally.
+package ring
+
+// Buffer is a fixed-capacity ring retaining the last cap values.
+type Buffer[T any] struct {
+	buf   []T
+	total uint64 // number of values ever pushed
+}
+
+// New returns a Buffer retaining the last capacity values.
+// It panics if capacity <= 0.
+func New[T any](capacity int) *Buffer[T] {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	return &Buffer[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the buffer capacity.
+func (b *Buffer[T]) Cap() int { return len(b.buf) }
+
+// Len returns the number of retained values: min(total pushed, capacity).
+func (b *Buffer[T]) Len() int {
+	if b.total < uint64(len(b.buf)) {
+		return int(b.total)
+	}
+	return len(b.buf)
+}
+
+// Total returns the number of values ever pushed.
+func (b *Buffer[T]) Total() uint64 { return b.total }
+
+// Push appends v, evicting the oldest value if the buffer is full.
+func (b *Buffer[T]) Push(v T) {
+	b.buf[b.total%uint64(len(b.buf))] = v
+	b.total++
+}
+
+// At returns the i-th retained value, 0 being the oldest.
+// It panics if i is out of [0, Len()).
+func (b *Buffer[T]) At(i int) T {
+	n := b.Len()
+	if i < 0 || i >= n {
+		panic("ring: index out of range")
+	}
+	start := b.total - uint64(n)
+	return b.buf[(start+uint64(i))%uint64(len(b.buf))]
+}
+
+// Last returns up to n most recent values, ordered oldest to newest.
+// A non-positive n yields nil.
+func (b *Buffer[T]) Last(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	have := b.Len()
+	if n > have {
+		n = have
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.At(have - n + i)
+	}
+	return out
+}
+
+// Snapshot returns all retained values, ordered oldest to newest.
+func (b *Buffer[T]) Snapshot() []T { return b.Last(b.Len()) }

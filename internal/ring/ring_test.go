@@ -1,0 +1,157 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New[int](c)
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	b := New[int](4)
+	if b.Len() != 0 || b.Total() != 0 {
+		t.Fatalf("empty buffer: Len=%d Total=%d", b.Len(), b.Total())
+	}
+	if got := b.Last(3); got != nil {
+		t.Fatalf("Last on empty = %v, want nil", got)
+	}
+	if got := b.Snapshot(); len(got) != 0 {
+		t.Fatalf("Snapshot on empty = %v", got)
+	}
+}
+
+func TestPushBelowCapacity(t *testing.T) {
+	b := New[int](5)
+	for i := 1; i <= 3; i++ {
+		b.Push(i)
+	}
+	if b.Len() != 3 || b.Total() != 3 {
+		t.Fatalf("Len=%d Total=%d, want 3,3", b.Len(), b.Total())
+	}
+	want := []int{1, 2, 3}
+	got := b.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWraparoundKeepsNewest(t *testing.T) {
+	b := New[int](3)
+	for i := 1; i <= 7; i++ {
+		b.Push(i)
+	}
+	if b.Len() != 3 || b.Total() != 7 {
+		t.Fatalf("Len=%d Total=%d, want 3,7", b.Len(), b.Total())
+	}
+	want := []int{5, 6, 7}
+	got := b.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLastClipsToAvailable(t *testing.T) {
+	b := New[int](10)
+	b.Push(1)
+	b.Push(2)
+	if got := b.Last(100); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Last(100) = %v", got)
+	}
+	if got := b.Last(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Last(1) = %v", got)
+	}
+	if got := b.Last(0); got != nil {
+		t.Fatalf("Last(0) = %v, want nil", got)
+	}
+	if got := b.Last(-5); got != nil {
+		t.Fatalf("Last(-5) = %v, want nil", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	b := New[int](3)
+	b.Push(42)
+	for _, i := range []int{-1, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			b.At(i)
+		}()
+	}
+	if b.At(0) != 42 {
+		t.Fatalf("At(0) = %d, want 42", b.At(0))
+	}
+}
+
+// Property: after pushing values 0..n-1 into a buffer of capacity c, the
+// buffer retains exactly the last min(n, c) values in order.
+func TestRetentionProperty(t *testing.T) {
+	f := func(n uint16, c uint8) bool {
+		capacity := int(c)%64 + 1
+		count := int(n) % 500
+		b := New[int](capacity)
+		for i := 0; i < count; i++ {
+			b.Push(i)
+		}
+		keep := count
+		if keep > capacity {
+			keep = capacity
+		}
+		got := b.Snapshot()
+		if len(got) != keep {
+			return false
+		}
+		for i, v := range got {
+			if v != count-keep+i {
+				return false
+			}
+		}
+		return b.Total() == uint64(count) && b.Len() == keep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Last(k) is always the suffix of Snapshot().
+func TestLastIsSuffixProperty(t *testing.T) {
+	f := func(n uint8, k uint8, c uint8) bool {
+		capacity := int(c)%32 + 1
+		b := New[int](capacity)
+		for i := 0; i < int(n); i++ {
+			b.Push(i * 3)
+		}
+		all := b.Snapshot()
+		got := b.Last(int(k))
+		if len(got) > len(all) {
+			return false
+		}
+		for i := range got {
+			if got[i] != all[len(all)-len(got)+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package stats provides small windowed statistics helpers used by the
+// heartbeat runtime and the external observers: summary statistics over
+// slices and an exponentially weighted moving average.
+package stats
+
+import "math"
+
+// Summary holds aggregate statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64 // population standard deviation
+}
+
+// Summarize computes summary statistics over xs.
+// An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// CV returns the coefficient of variation (stddev/mean), or 0 when the mean
+// is zero. It measures how "erratic" a sample of inter-beat intervals is.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// EWMA is an exponentially weighted moving average.
+// The zero value with Alpha set is ready to use.
+type EWMA struct {
+	Alpha float64 // smoothing factor in (0, 1]; larger tracks faster
+	value float64
+	init  bool
+}
+
+// Update folds x into the average and returns the new value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before the first Update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether Update has been called at least once.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

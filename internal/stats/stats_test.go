@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("Summarize(nil) = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.StdDev != 0 {
+		t.Fatalf("Summarize([7]) = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !approx(s.Mean, 5, 1e-12) || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if !approx(s.StdDev, 2, 1e-12) { // classic textbook sample
+		t.Fatalf("StdDev = %v, want 2", s.StdDev)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if cv := (Summary{Mean: 0, StdDev: 5}).CV(); cv != 0 {
+		t.Fatalf("CV with zero mean = %v, want 0", cv)
+	}
+	if cv := (Summary{Mean: 4, StdDev: 2}).CV(); !approx(cv, 0.5, 1e-12) {
+		t.Fatalf("CV = %v, want 0.5", cv)
+	}
+}
+
+// Property: Min <= Mean <= Max for any non-empty sample.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: constant samples have zero standard deviation.
+func TestConstantSampleProperty(t *testing.T) {
+	f := func(v int16, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return approx(s.StdDev, 0, 1e-9) && approx(s.Mean, float64(v), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Initialized() {
+		t.Fatal("zero EWMA reports initialized")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first Update = %v, want 10 (seeds with first value)", got)
+	}
+	if got := e.Update(20); !approx(got, 15, 1e-12) {
+		t.Fatalf("second Update = %v, want 15", got)
+	}
+	if !approx(e.Value(), 15, 1e-12) || !e.Initialized() {
+		t.Fatalf("Value = %v", e.Value())
+	}
+}
+
+// Property: an EWMA of values inside [lo, hi] stays inside [lo, hi].
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(raw []uint8, alphaRaw uint8) bool {
+		alpha := (float64(alphaRaw)/255)*0.99 + 0.01
+		e := EWMA{Alpha: alpha}
+		for _, r := range raw {
+			v := e.Update(float64(r))
+			if v < 0 || v > 255 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp misbehaves")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Fatal("ClampInt misbehaves")
+	}
+}

@@ -1,0 +1,171 @@
+// Package video generates deterministic procedural video for the encoder
+// experiments: a textured background with moving blobs and sensor noise.
+// Complexity profiles control motion magnitude and texture detail over
+// time, reproducing the input characteristics of the paper's experiments —
+// the three performance phases of the PARSEC native input (Fig 2) and the
+// "computationally demanding and more uniform" input of the adaptive
+// encoder study (Figs 3, 4 and 8).
+package video
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Frame is an 8-bit luma image.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a zero frame.
+func NewFrame(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the frame edge
+// (the usual padding convention for motion search).
+func (f *Frame) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Complexity describes the content difficulty of a frame.
+type Complexity struct {
+	// Motion is the average object displacement per frame, in pixels.
+	Motion float64
+	// Detail is the amplitude of high-frequency texture (0..~40).
+	Detail float64
+	// Noise is the amplitude of per-pixel sensor noise (0..~12).
+	Noise float64
+}
+
+// Profile maps a frame index to its content complexity.
+type Profile func(frame int) Complexity
+
+// Uniform returns a profile with constant complexity — the demanding input
+// of the adaptive-encoder experiments.
+func Uniform(c Complexity) Profile {
+	return func(int) Complexity { return c }
+}
+
+// Phases returns a profile that switches complexity at the given frame
+// boundaries: bounds[i] is the first frame of phase i+1. It reproduces the
+// PARSEC native input's distinct performance regions.
+func Phases(phases []Complexity, bounds []int) Profile {
+	if len(bounds) != len(phases)-1 {
+		panic("video: need len(phases)-1 bounds")
+	}
+	return func(frame int) Complexity {
+		for i, b := range bounds {
+			if frame < b {
+				return phases[i]
+			}
+		}
+		return phases[len(phases)-1]
+	}
+}
+
+// blob is a moving bright disc.
+type blob struct {
+	x, y   float64
+	dx, dy float64 // unit direction
+	r      float64
+	bright float64
+}
+
+// Source produces consecutive frames of a deterministic synthetic scene.
+type Source struct {
+	w, h    int
+	rng     *rand.Rand
+	profile Profile
+	blobs   []blob
+	frame   int
+	phase   float64 // global texture phase, drifts with motion
+}
+
+// NewSource creates a source of w×h frames with the given seed and
+// complexity profile.
+func NewSource(w, h int, seed int64, profile Profile) *Source {
+	rng := rand.New(rand.NewSource(seed))
+	nBlobs := 6
+	blobs := make([]blob, nBlobs)
+	for i := range blobs {
+		angle := rng.Float64() * 2 * math.Pi
+		blobs[i] = blob{
+			x:      rng.Float64() * float64(w),
+			y:      rng.Float64() * float64(h),
+			dx:     math.Cos(angle),
+			dy:     math.Sin(angle),
+			r:      6 + rng.Float64()*float64(h)/6,
+			bright: 40 + rng.Float64()*80,
+		}
+	}
+	return &Source{w: w, h: h, rng: rng, profile: profile, blobs: blobs}
+}
+
+// FrameIndex returns the index of the next frame Next will produce.
+func (s *Source) FrameIndex() int { return s.frame }
+
+// Next renders the next frame and reports its complexity.
+func (s *Source) Next() (*Frame, Complexity) {
+	c := s.profile(s.frame)
+	// Advance the scene: blobs move by Motion pixels, bouncing off edges;
+	// the texture phase drifts so the whole background shifts slightly.
+	for i := range s.blobs {
+		b := &s.blobs[i]
+		b.x += b.dx * c.Motion
+		b.y += b.dy * c.Motion
+		if b.x < 0 || b.x > float64(s.w) {
+			b.dx = -b.dx
+			b.x += 2 * b.dx * c.Motion
+		}
+		if b.y < 0 || b.y > float64(s.h) {
+			b.dy = -b.dy
+			b.y += 2 * b.dy * c.Motion
+		}
+	}
+	s.phase += c.Motion * 0.4
+
+	f := NewFrame(s.w, s.h)
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			// Smooth gradient background.
+			v := 90 + 50*float64(x)/float64(s.w) + 20*float64(y)/float64(s.h)
+			// High-frequency texture, shifted by the drifting phase.
+			v += c.Detail * math.Sin(0.9*float64(x)+s.phase) * math.Cos(0.7*float64(y)-0.5*s.phase)
+			// Blobs.
+			for _, b := range s.blobs {
+				dx, dy := float64(x)-b.x, float64(y)-b.y
+				d2 := dx*dx + dy*dy
+				if d2 < b.r*b.r*4 {
+					v += b.bright * math.Exp(-d2/(b.r*b.r))
+				}
+			}
+			// Sensor noise.
+			if c.Noise > 0 {
+				v += (s.rng.Float64()*2 - 1) * c.Noise
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			f.Pix[y*s.w+x] = uint8(v)
+		}
+	}
+	s.frame++
+	return f, c
+}

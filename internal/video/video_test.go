@@ -1,0 +1,112 @@
+package video
+
+import (
+	"testing"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	prof := Uniform(Complexity{Motion: 2, Detail: 10, Noise: 3})
+	a := NewSource(64, 48, 7, prof)
+	b := NewSource(64, 48, 7, prof)
+	for i := 0; i < 5; i++ {
+		fa, ca := a.Next()
+		fb, cb := b.Next()
+		if ca != cb {
+			t.Fatalf("complexities diverge at %d", i)
+		}
+		for j := range fa.Pix {
+			if fa.Pix[j] != fb.Pix[j] {
+				t.Fatalf("frames diverge at frame %d pixel %d", i, j)
+			}
+		}
+	}
+	c := NewSource(64, 48, 8, prof)
+	f7, _ := NewSource(64, 48, 7, prof).Next()
+	f8, _ := c.Next()
+	same := true
+	for j := range f7.Pix {
+		if f7.Pix[j] != f8.Pix[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestFramesChangeOverTime(t *testing.T) {
+	src := NewSource(64, 48, 1, Uniform(Complexity{Motion: 3, Detail: 10, Noise: 0}))
+	f0, _ := src.Next()
+	f1, _ := src.Next()
+	diff := 0
+	for i := range f0.Pix {
+		if f0.Pix[i] != f1.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("consecutive frames identical despite motion")
+	}
+}
+
+func TestStaticSceneWithoutMotion(t *testing.T) {
+	src := NewSource(64, 48, 1, Uniform(Complexity{Motion: 0, Detail: 10, Noise: 0}))
+	f0, _ := src.Next()
+	f1, _ := src.Next()
+	for i := range f0.Pix {
+		if f0.Pix[i] != f1.Pix[i] {
+			t.Fatal("zero-motion zero-noise scene changed between frames")
+		}
+	}
+}
+
+func TestPhasesProfile(t *testing.T) {
+	p := Phases(
+		[]Complexity{{Motion: 1}, {Motion: 2}, {Motion: 3}},
+		[]int{100, 330},
+	)
+	cases := map[int]float64{0: 1, 99: 1, 100: 2, 329: 2, 330: 3, 1000: 3}
+	for frame, motion := range cases {
+		if got := p(frame).Motion; got != motion {
+			t.Errorf("phase at frame %d = %v, want %v", frame, got, motion)
+		}
+	}
+}
+
+func TestPhasesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bounds did not panic")
+		}
+	}()
+	Phases([]Complexity{{}, {}}, []int{1, 2})
+}
+
+func TestAtClamps(t *testing.T) {
+	f := NewFrame(4, 3)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i)
+	}
+	if f.At(-5, -5) != f.At(0, 0) {
+		t.Fatal("negative clamp broken")
+	}
+	if f.At(100, 100) != f.At(3, 2) {
+		t.Fatal("positive clamp broken")
+	}
+	if f.At(2, 1) != f.Pix[1*4+2] {
+		t.Fatal("interior lookup broken")
+	}
+}
+
+func TestFrameIndexAdvances(t *testing.T) {
+	src := NewSource(32, 32, 1, Uniform(Complexity{}))
+	if src.FrameIndex() != 0 {
+		t.Fatal("initial index nonzero")
+	}
+	src.Next()
+	src.Next()
+	if src.FrameIndex() != 2 {
+		t.Fatalf("index = %d, want 2", src.FrameIndex())
+	}
+}

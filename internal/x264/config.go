@@ -1,0 +1,116 @@
+// Package x264 implements a block-based motion-estimation video encoder
+// standing in for the paper's x264: it performs real motion search
+// (exhaustive, hexagon, or diamond), real sub-pixel refinement, real 8x8
+// sub-partitioning, and multi-reference-frame search over procedural video,
+// counts the actual operations it performs, and reports frame quality as
+// PSNR under a fixed-bitrate quantization model. The encoder exposes the
+// same knobs the paper's adaptive encoder manipulates ("exhaustive search
+// techniques for motion estimation, the analysis of all macroblock
+// sub-partitionings, the most demanding sub-pixel motion estimation, and up
+// to five reference frames") as an ordered quality ladder.
+package x264
+
+import "fmt"
+
+// SearchAlgo selects the integer-pel motion search strategy.
+type SearchAlgo int
+
+const (
+	// Exhaustive scans every offset within the search range.
+	Exhaustive SearchAlgo = iota
+	// Hex iterates a six-point hexagon pattern (x264's "hex").
+	Hex
+	// Diamond iterates a four-point small diamond (x264's "dia"),
+	// the computationally light algorithm the paper's adaptive encoder
+	// finally settles on.
+	Diamond
+)
+
+// String names the algorithm as x264 does.
+func (a SearchAlgo) String() string {
+	switch a {
+	case Exhaustive:
+		return "esa"
+	case Hex:
+		return "hex"
+	case Diamond:
+		return "dia"
+	default:
+		return fmt.Sprintf("search(%d)", int(a))
+	}
+}
+
+// MaxRefFrames is the deepest reference list supported (the paper's
+// configuration uses up to five).
+const MaxRefFrames = 5
+
+// Config is one encoder operating point.
+type Config struct {
+	// Search is the integer-pel motion search algorithm.
+	Search SearchAlgo
+	// SearchRange is the ± integer-pel search radius (Exhaustive only).
+	SearchRange int
+	// SubpelLevels is the number of sub-pixel refinement passes (0-3):
+	// each pass evaluates eight interpolated candidates at half the
+	// previous step.
+	SubpelLevels int
+	// Subpartitions enables 8x8 sub-block partitioning analysis.
+	Subpartitions bool
+	// RefFrames is how many previous frames to search (1..MaxRefFrames).
+	RefFrames int
+}
+
+// String summarizes the operating point.
+func (c Config) String() string {
+	parts := "off"
+	if c.Subpartitions {
+		parts = "on"
+	}
+	return fmt.Sprintf("me=%s range=%d subpel=%d parts=%s refs=%d",
+		c.Search, c.SearchRange, c.SubpelLevels, parts, c.RefFrames)
+}
+
+// validate clamps a config to supported values.
+func (c Config) validate() Config {
+	if c.SearchRange < 1 {
+		c.SearchRange = 1
+	}
+	if c.SearchRange > 16 {
+		c.SearchRange = 16
+	}
+	if c.SubpelLevels < 0 {
+		c.SubpelLevels = 0
+	}
+	if c.SubpelLevels > 3 {
+		c.SubpelLevels = 3
+	}
+	if c.RefFrames < 1 {
+		c.RefFrames = 1
+	}
+	if c.RefFrames > MaxRefFrames {
+		c.RefFrames = MaxRefFrames
+	}
+	return c
+}
+
+// Ladder returns the ordered list of operating points walked by the
+// adaptive encoder, from the paper's launch configuration (level 0:
+// exhaustive search, full sub-pixel estimation, all sub-partitionings, five
+// reference frames) to the lightest configuration (diamond search, no
+// sub-pixel refinement, no sub-partitioning, one reference frame). Each
+// step removes work in roughly the order the paper reports its encoder
+// shedding it.
+func Ladder() []Config {
+	return []Config{
+		{Search: Exhaustive, SearchRange: 5, SubpelLevels: 3, Subpartitions: true, RefFrames: 3},
+		{Search: Exhaustive, SearchRange: 4, SubpelLevels: 3, Subpartitions: true, RefFrames: 3},
+		{Search: Exhaustive, SearchRange: 4, SubpelLevels: 2, Subpartitions: true, RefFrames: 3},
+		{Search: Exhaustive, SearchRange: 4, SubpelLevels: 2, Subpartitions: true, RefFrames: 2},
+		{Search: Exhaustive, SearchRange: 3, SubpelLevels: 2, Subpartitions: true, RefFrames: 2},
+		{Search: Exhaustive, SearchRange: 3, SubpelLevels: 1, Subpartitions: true, RefFrames: 2},
+		{Search: Exhaustive, SearchRange: 2, SubpelLevels: 1, Subpartitions: true, RefFrames: 2},
+		{Search: Hex, SubpelLevels: 2, Subpartitions: true, RefFrames: 2},
+		{Search: Hex, SubpelLevels: 1, Subpartitions: true, RefFrames: 2},
+		{Search: Diamond, SubpelLevels: 1, Subpartitions: false, RefFrames: 1},
+	}
+}

@@ -1,0 +1,272 @@
+package x264
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/video"
+)
+
+// Cost-model constants. Search work is counted exactly (pixel operations
+// performed); these cover the rest of the pipeline so that total cost
+// behaves like a real encoder's.
+var (
+	// OverheadOpsPerBlock models per-macroblock transform/quantization
+	// work, which is configuration-independent.
+	OverheadOpsPerBlock = 10000.0
+	// EntropyOpsPerSAD models entropy-coding work proportional to the
+	// residual magnitude: worse prediction produces more coefficients to
+	// code. This is what gives cheap search algorithms diminishing
+	// returns, as in real encoders.
+	EntropyOpsPerSAD = 15.0
+	// ParallelFrac is the Amdahl parallel fraction of the encode loop
+	// (x264 parallelizes well but not perfectly).
+	ParallelFrac = 0.93
+)
+
+// Quality-model constants (fixed-bitrate abstraction): the effective
+// quantizer grows with prediction error, so PSNR falls when motion search
+// is weakened — the paper's Figure 4 trade-off.
+var (
+	// QBase is the quantization step with perfect prediction.
+	QBase = 3.0
+	// SigmaRef scales how quickly residual energy coarsens the quantizer.
+	SigmaRef = 6.0
+	// MSEFloor is reconstruction error present at any quality.
+	MSEFloor = 0.3
+)
+
+// FrameStats reports one encoded frame.
+type FrameStats struct {
+	// FrameIndex counts frames through this encoder, starting at 0.
+	FrameIndex int
+	// Config is the operating point used for this frame.
+	Config Config
+	// Intra marks the first frame (no references yet).
+	Intra bool
+	// Evals16 and Evals8 count block-SAD evaluations actually performed.
+	Evals16, Evals8 int
+	// PredSAD is the total best SAD across blocks (residual magnitude).
+	PredSAD uint64
+	// PredSSE is the total squared prediction error across the frame.
+	PredSSE float64
+	// Ops is the modeled total operation count of the frame: counted
+	// search pixel-ops plus per-block overhead plus residual-
+	// proportional entropy work.
+	Ops float64
+	// PSNR is the frame quality in dB under the fixed-bitrate model.
+	PSNR float64
+}
+
+// Encoder encodes a stream of frames at a switchable operating point,
+// holding up to MaxRefFrames previous frames as references. Not safe for
+// concurrent use.
+type Encoder struct {
+	cfg  Config
+	refs []*video.Frame // newest first
+	next int
+}
+
+// NewEncoder returns an encoder starting at cfg.
+func NewEncoder(cfg Config) *Encoder {
+	return &Encoder{cfg: cfg.validate()}
+}
+
+// Config returns the current operating point.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// SetConfig switches the operating point; references are retained, so
+// adaptation is seamless mid-stream (as in the paper's adaptive encoder).
+func (e *Encoder) SetConfig(cfg Config) { e.cfg = cfg.validate() }
+
+// Encode encodes one frame and advances the reference list.
+func (e *Encoder) Encode(cur *video.Frame) (FrameStats, error) {
+	if cur.W%BlockSize != 0 || cur.H%BlockSize != 0 {
+		return FrameStats{}, fmt.Errorf("x264: frame %dx%d not a multiple of %d", cur.W, cur.H, BlockSize)
+	}
+	st := FrameStats{FrameIndex: e.next, Config: e.cfg}
+	e.next++
+	var n sadCounter
+	if len(e.refs) == 0 {
+		st.Intra = true
+		e.encodeIntra(cur, &st, &n)
+	} else {
+		e.encodeInter(cur, &st, &n)
+	}
+	st.Evals16 = n.evals16
+	st.Evals8 = n.evals8
+	blocks := (cur.W / BlockSize) * (cur.H / BlockSize)
+	st.Ops = 256*float64(n.evals16) + 64*float64(n.evals8) +
+		OverheadOpsPerBlock*float64(blocks) + EntropyOpsPerSAD*float64(st.PredSAD)
+	st.PSNR = psnrOf(st.PredSSE, cur.W*cur.H)
+
+	// Advance references with the original frame (loss-free reference
+	// approximation).
+	e.refs = append([]*video.Frame{cur}, e.refs...)
+	if len(e.refs) > MaxRefFrames {
+		e.refs = e.refs[:MaxRefFrames]
+	}
+	return st, nil
+}
+
+// Reset clears the reference list (e.g. at a scene cut).
+func (e *Encoder) Reset() { e.refs = nil }
+
+// encodeIntra predicts each block by its own mean (DC prediction).
+func (e *Encoder) encodeIntra(cur *video.Frame, st *FrameStats, n *sadCounter) {
+	for by := 0; by < cur.H; by += BlockSize {
+		for bx := 0; bx < cur.W; bx += BlockSize {
+			n.evals16++ // one pass over the block
+			var sum int64
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					sum += int64(cur.Pix[(by+y)*cur.W+bx+x])
+				}
+			}
+			mean := float64(sum) / (BlockSize * BlockSize)
+			var sad uint64
+			var sse float64
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					d := float64(cur.Pix[(by+y)*cur.W+bx+x]) - mean
+					if d < 0 {
+						sad += uint64(-d)
+					} else {
+						sad += uint64(d)
+					}
+					sse += d * d
+				}
+			}
+			st.PredSAD += sad
+			st.PredSSE += sse
+		}
+	}
+}
+
+// encodeInter motion-compensates each block against the reference list.
+func (e *Encoder) encodeInter(cur *video.Frame, st *FrameStats, n *sadCounter) {
+	nRefs := e.cfg.RefFrames
+	if nRefs > len(e.refs) {
+		nRefs = len(e.refs)
+	}
+	for by := 0; by < cur.H; by += BlockSize {
+		for bx := 0; bx < cur.W; bx += BlockSize {
+			bestRef := e.refs[0]
+			best := searchInteger(e.cfg, cur, bestRef, bx, by, n)
+			for r := 1; r < nRefs; r++ {
+				if mv := searchInteger(e.cfg, cur, e.refs[r], bx, by, n); mv.sad < best.sad {
+					best, bestRef = mv, e.refs[r]
+				}
+			}
+			best = refineSubpel(e.cfg, cur, bestRef, bx, by, best, n)
+
+			partitioned := false
+			var subMVs [4]motionVector
+			if e.cfg.Subpartitions {
+				var sum uint32
+				imvx, imvy := int(best.fx), int(best.fy)
+				for i := 0; i < 4; i++ {
+					sx := bx + (i%2)*8
+					sy := by + (i/2)*8
+					sub := motionVector{fx: float64(imvx), fy: float64(imvy), sad: sad8(cur, bestRef, sx, sy, imvx, imvy, n)}
+					sub = subSearch(cur, bestRef, sx, sy, sub, n)
+					subMVs[i] = sub
+					sum += sub.sad
+				}
+				// Partitioning costs motion-vector signaling; require a
+				// real win.
+				if sum < best.sad-best.sad/32 {
+					partitioned = true
+				}
+			}
+
+			if partitioned {
+				for i := 0; i < 4; i++ {
+					sx := bx + (i%2)*8
+					sy := by + (i/2)*8
+					st.PredSAD += uint64(subMVs[i].sad)
+					st.PredSSE += sse8(cur, bestRef, sx, sy, int(subMVs[i].fx), int(subMVs[i].fy))
+				}
+			} else {
+				st.PredSAD += uint64(best.sad)
+				st.PredSSE += sse16(cur, bestRef, bx, by, best.fx, best.fy)
+			}
+		}
+	}
+}
+
+// subSearch refines an 8x8 sub-block with a short diamond walk around the
+// parent motion vector.
+func subSearch(cur, ref *video.Frame, sx, sy int, best motionVector, n *sadCounter) motionVector {
+	cx, cy := int(best.fx), int(best.fy)
+	for iter := 0; iter < 2; iter++ {
+		improved := false
+		for _, p := range diamondPattern {
+			dx, dy := cx+p[0], cy+p[1]
+			if s := sad8(cur, ref, sx, sy, dx, dy, n); s < best.sad {
+				best = motionVector{fx: float64(dx), fy: float64(dy), sad: s}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cx, cy = int(best.fx), int(best.fy)
+	}
+	return best
+}
+
+// sse16 computes the squared prediction error of a 16x16 block at a
+// (possibly fractional) motion vector.
+func sse16(cur, ref *video.Frame, bx, by int, fx, fy float64) float64 {
+	var sse float64
+	ifx, ify := int(fx), int(fy)
+	integer := fx == float64(ifx) && fy == float64(ify)
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var pred float64
+			if integer {
+				pred = float64(ref.At(bx+x+ifx, by+y+ify))
+			} else {
+				pred = bilinear(ref, float64(bx+x)+fx, float64(by+y)+fy)
+			}
+			d := float64(cur.Pix[(by+y)*cur.W+bx+x]) - pred
+			sse += d * d
+		}
+	}
+	return sse
+}
+
+// sse8 is sse16 for 8x8 sub-blocks (integer vectors only).
+func sse8(cur, ref *video.Frame, sx, sy, mvx, mvy int) float64 {
+	var sse float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			d := float64(cur.Pix[(sy+y)*cur.W+sx+x]) - float64(ref.At(sx+x+mvx, sy+y+mvy))
+			sse += d * d
+		}
+	}
+	return sse
+}
+
+// bilinear samples ref at fractional coordinates with edge clamping.
+func bilinear(ref *video.Frame, fx, fy float64) float64 {
+	ix, iy := int(math.Floor(fx)), int(math.Floor(fy))
+	wx, wy := fx-float64(ix), fy-float64(iy)
+	p00 := float64(ref.At(ix, iy))
+	p10 := float64(ref.At(ix+1, iy))
+	p01 := float64(ref.At(ix, iy+1))
+	p11 := float64(ref.At(ix+1, iy+1))
+	return p00*(1-wx)*(1-wy) + p10*wx*(1-wy) + p01*(1-wx)*wy + p11*wx*wy
+}
+
+// psnrOf converts total prediction SSE into frame PSNR under the
+// fixed-bitrate model: residual energy coarsens the effective quantizer
+// (Q = QBase·(1 + rms/SigmaRef)), and reconstruction error is the uniform-
+// quantizer distortion Q²/12 plus a floor.
+func psnrOf(predSSE float64, pixels int) float64 {
+	rms := math.Sqrt(predSSE / float64(pixels))
+	q := QBase * (1 + rms/SigmaRef)
+	mse := q*q/12 + MSEFloor
+	return 10 * math.Log10(255*255/mse)
+}

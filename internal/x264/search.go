@@ -1,0 +1,198 @@
+package x264
+
+import "repro/internal/video"
+
+// BlockSize is the macroblock edge in pixels.
+const BlockSize = 16
+
+// sadCounter tallies how many block-SAD evaluations a search performed, by
+// block area, so the encoder can report the real operation count.
+type sadCounter struct {
+	evals16 int // 16x16 evaluations (256 pixel ops each)
+	evals8  int // 8x8 evaluations (64 pixel ops each)
+}
+
+// sad16 computes the sum of absolute differences between the 16x16 block of
+// cur at (bx, by) and the block of ref displaced by (mvx, mvy). Reference
+// pixels outside the frame clamp to the edge.
+func sad16(cur, ref *video.Frame, bx, by, mvx, mvy int, n *sadCounter) uint32 {
+	n.evals16++
+	rx, ry := bx+mvx, by+mvy
+	// Fast path: reference block fully inside the frame.
+	if rx >= 0 && ry >= 0 && rx+BlockSize <= ref.W && ry+BlockSize <= ref.H {
+		var sum uint32
+		for y := 0; y < BlockSize; y++ {
+			c := cur.Pix[(by+y)*cur.W+bx:]
+			r := ref.Pix[(ry+y)*ref.W+rx:]
+			for x := 0; x < BlockSize; x++ {
+				d := int32(c[x]) - int32(r[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += uint32(d)
+			}
+		}
+		return sum
+	}
+	var sum uint32
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			d := int32(cur.Pix[(by+y)*cur.W+bx+x]) - int32(ref.At(rx+x, ry+y))
+			if d < 0 {
+				d = -d
+			}
+			sum += uint32(d)
+		}
+	}
+	return sum
+}
+
+// sad8 is sad16 for an 8x8 sub-block at absolute position (bx, by).
+func sad8(cur, ref *video.Frame, bx, by, mvx, mvy int, n *sadCounter) uint32 {
+	n.evals8++
+	var sum uint32
+	rx, ry := bx+mvx, by+mvy
+	if rx >= 0 && ry >= 0 && rx+8 <= ref.W && ry+8 <= ref.H {
+		for y := 0; y < 8; y++ {
+			c := cur.Pix[(by+y)*cur.W+bx:]
+			r := ref.Pix[(ry+y)*ref.W+rx:]
+			for x := 0; x < 8; x++ {
+				d := int32(c[x]) - int32(r[x])
+				if d < 0 {
+					d = -d
+				}
+				sum += uint32(d)
+			}
+		}
+		return sum
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			d := int32(cur.Pix[(by+y)*cur.W+bx+x]) - int32(ref.At(rx+x, ry+y))
+			if d < 0 {
+				d = -d
+			}
+			sum += uint32(d)
+		}
+	}
+	return sum
+}
+
+// sadSubpel evaluates a 16x16 SAD against the reference sampled at a
+// fractional displacement (fx, fy pixels, e.g. mv + 0.5): real bilinear
+// interpolation, the work sub-pixel refinement actually performs.
+func sadSubpel(cur, ref *video.Frame, bx, by int, fx, fy float64, n *sadCounter) uint32 {
+	n.evals16++
+	ix, iy := int(fx), int(fy)
+	if fx < 0 && fx != float64(ix) {
+		ix--
+	}
+	if fy < 0 && fy != float64(iy) {
+		iy--
+	}
+	wx := fx - float64(ix)
+	wy := fy - float64(iy)
+	var sum uint32
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			rx, ry := bx+x+ix, by+y+iy
+			p00 := float64(ref.At(rx, ry))
+			p10 := float64(ref.At(rx+1, ry))
+			p01 := float64(ref.At(rx, ry+1))
+			p11 := float64(ref.At(rx+1, ry+1))
+			v := p00*(1-wx)*(1-wy) + p10*wx*(1-wy) + p01*(1-wx)*wy + p11*wx*wy
+			d := float64(cur.Pix[(by+y)*cur.W+bx+x]) - v
+			if d < 0 {
+				d = -d
+			}
+			sum += uint32(d)
+		}
+	}
+	return sum
+}
+
+// motionVector is an integer or fractional displacement with its SAD.
+type motionVector struct {
+	fx, fy float64
+	sad    uint32
+}
+
+// searchInteger finds the best integer motion vector for the block at
+// (bx, by) against ref using the configured algorithm.
+func searchInteger(cfg Config, cur, ref *video.Frame, bx, by int, n *sadCounter) motionVector {
+	best := motionVector{fx: 0, fy: 0, sad: sad16(cur, ref, bx, by, 0, 0, n)}
+	switch cfg.Search {
+	case Exhaustive:
+		r := cfg.SearchRange
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if s := sad16(cur, ref, bx, by, dx, dy, n); s < best.sad {
+					best = motionVector{fx: float64(dx), fy: float64(dy), sad: s}
+				}
+			}
+		}
+	case Hex:
+		best = patternSearch(cur, ref, bx, by, best, hexPattern, 16, n)
+		best = patternSearch(cur, ref, bx, by, best, diamondPattern, 2, n) // small refine
+	case Diamond:
+		best = patternSearch(cur, ref, bx, by, best, diamondPattern, 16, n)
+	}
+	return best
+}
+
+var (
+	hexPattern     = [][2]int{{-2, 0}, {2, 0}, {-1, -2}, {1, -2}, {-1, 2}, {1, 2}}
+	diamondPattern = [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+)
+
+// patternSearch iteratively re-centers a fixed offset pattern on the best
+// candidate until no candidate improves or maxIter is reached. Its cost is
+// content-dependent: high-motion scenes take more iterations, which is why
+// hex/diamond encodes speed up on calm content (the phase behaviour of
+// Fig 2).
+func patternSearch(cur, ref *video.Frame, bx, by int, best motionVector, pattern [][2]int, maxIter int, n *sadCounter) motionVector {
+	cx, cy := int(best.fx), int(best.fy)
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		bestDx, bestDy := 0, 0
+		for _, p := range pattern {
+			dx, dy := cx+p[0], cy+p[1]
+			if s := sad16(cur, ref, bx, by, dx, dy, n); s < best.sad {
+				best = motionVector{fx: float64(dx), fy: float64(dy), sad: s}
+				bestDx, bestDy = dx, dy
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cx, cy = bestDx, bestDy
+	}
+	return best
+}
+
+// refineSubpel performs cfg.SubpelLevels passes of fractional refinement:
+// each pass evaluates eight neighbours at half the previous step (1/2, 1/4,
+// 1/8 pel) around the current best.
+func refineSubpel(cfg Config, cur, ref *video.Frame, bx, by int, best motionVector, n *sadCounter) motionVector {
+	step := 0.5
+	for level := 0; level < cfg.SubpelLevels; level++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				fx := best.fx + float64(dx)*step
+				fy := best.fy + float64(dy)*step
+				if s := sadSubpel(cur, ref, bx, by, fx, fy, n); s < best.sad {
+					best = motionVector{fx: fx, fy: fy, sad: s}
+				}
+			}
+		}
+		step /= 2
+	}
+	return best
+}

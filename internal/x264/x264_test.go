@@ -1,0 +1,281 @@
+package x264
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/video"
+)
+
+func demandingSource(seed int64) *video.Source {
+	return video.NewSource(96, 64, seed, video.Uniform(video.Complexity{Motion: 2.5, Detail: 14, Noise: 3}))
+}
+
+// encodeRun encodes n frames and returns the per-frame stats (intra
+// excluded from averages by callers as needed).
+func encodeRun(t *testing.T, cfg Config, src *video.Source, n int) []FrameStats {
+	t.Helper()
+	enc := NewEncoder(cfg)
+	out := make([]FrameStats, 0, n)
+	for i := 0; i < n; i++ {
+		f, _ := src.Next()
+		st, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func meanOps(sts []FrameStats) float64 {
+	var sum float64
+	n := 0
+	for _, st := range sts {
+		if st.Intra {
+			continue
+		}
+		sum += st.Ops
+		n++
+	}
+	return sum / float64(n)
+}
+
+func meanPSNR(sts []FrameStats) float64 {
+	var sum float64
+	n := 0
+	for _, st := range sts {
+		if st.Intra {
+			continue
+		}
+		sum += st.PSNR
+		n++
+	}
+	return sum / float64(n)
+}
+
+func meanSAD(sts []FrameStats) float64 {
+	var sum float64
+	n := 0
+	for _, st := range sts {
+		if st.Intra {
+			continue
+		}
+		sum += float64(st.PredSAD)
+		n++
+	}
+	return sum / float64(n)
+}
+
+func TestEncodeRejectsBadDimensions(t *testing.T) {
+	enc := NewEncoder(Ladder()[0])
+	if _, err := enc.Encode(video.NewFrame(100, 64)); err == nil {
+		t.Fatal("width not multiple of 16 accepted")
+	}
+	if _, err := enc.Encode(video.NewFrame(96, 50)); err == nil {
+		t.Fatal("height not multiple of 16 accepted")
+	}
+}
+
+func TestFirstFrameIsIntra(t *testing.T) {
+	sts := encodeRun(t, Ladder()[0], demandingSource(1), 3)
+	if !sts[0].Intra {
+		t.Fatal("first frame not intra")
+	}
+	if sts[1].Intra || sts[2].Intra {
+		t.Fatal("later frames marked intra")
+	}
+	if sts[0].FrameIndex != 0 || sts[2].FrameIndex != 2 {
+		t.Fatal("frame indices wrong")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := encodeRun(t, Ladder()[3], demandingSource(5), 6)
+	b := encodeRun(t, Ladder()[3], demandingSource(5), 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stats diverge at frame %d:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The quality ladder must be strictly decreasing in cost on demanding
+// content: this is what makes it a usable actuator for the adaptive
+// encoder.
+func TestLadderCostStrictlyDecreasing(t *testing.T) {
+	const frames = 8
+	prev := math.Inf(1)
+	for lvl, cfg := range Ladder() {
+		ops := meanOps(encodeRun(t, cfg, demandingSource(42), frames))
+		if ops >= prev {
+			t.Fatalf("ladder level %d (%v) ops %.0f >= previous %.0f", lvl, cfg, ops, prev)
+		}
+		prev = ops
+	}
+}
+
+// Quality must not improve as the ladder gets cheaper (small tolerance for
+// measurement noise).
+func TestLadderQualityMonotone(t *testing.T) {
+	const frames = 8
+	ladder := Ladder()
+	first := meanPSNR(encodeRun(t, ladder[0], demandingSource(42), frames))
+	last := meanPSNR(encodeRun(t, ladder[len(ladder)-1], demandingSource(42), frames))
+	if last >= first {
+		t.Fatalf("lightest level PSNR %.2f >= heaviest %.2f", last, first)
+	}
+	// The full-quality gap is the paper's Figure 4 regime: fractions of a dB.
+	if gap := first - last; gap < 0.1 || gap > 2.0 {
+		t.Fatalf("quality gap = %.2f dB, expected within (0.1, 2.0)", gap)
+	}
+}
+
+// A stronger search must find predictions at least as good (lower SAD).
+func TestBetterSearchLowersResidual(t *testing.T) {
+	const frames = 8
+	strong := Config{Search: Exhaustive, SearchRange: 5, SubpelLevels: 0, RefFrames: 1}
+	weak := Config{Search: Diamond, SubpelLevels: 0, RefFrames: 1}
+	s := meanSAD(encodeRun(t, strong, demandingSource(9), frames))
+	w := meanSAD(encodeRun(t, weak, demandingSource(9), frames))
+	if s > w {
+		t.Fatalf("exhaustive SAD %.0f > diamond SAD %.0f", s, w)
+	}
+}
+
+func TestSubpelImprovesPrediction(t *testing.T) {
+	const frames = 8
+	with := Config{Search: Hex, SubpelLevels: 2, RefFrames: 1}
+	without := Config{Search: Hex, SubpelLevels: 0, RefFrames: 1}
+	sWith := meanSAD(encodeRun(t, with, demandingSource(11), frames))
+	sWithout := meanSAD(encodeRun(t, without, demandingSource(11), frames))
+	if sWith >= sWithout {
+		t.Fatalf("subpel SAD %.0f >= no-subpel SAD %.0f", sWith, sWithout)
+	}
+}
+
+func TestMoreReferencesImprovePrediction(t *testing.T) {
+	const frames = 10
+	one := Config{Search: Hex, SubpelLevels: 0, RefFrames: 1}
+	five := Config{Search: Hex, SubpelLevels: 0, RefFrames: 5}
+	s1 := meanSAD(encodeRun(t, one, demandingSource(13), frames))
+	s5 := meanSAD(encodeRun(t, five, demandingSource(13), frames))
+	if s5 > s1 {
+		t.Fatalf("5-ref SAD %.0f > 1-ref SAD %.0f", s5, s1)
+	}
+}
+
+// Exhaustive search must recover an exact integer translation.
+func TestExhaustiveFindsExactShift(t *testing.T) {
+	w, h := 96, 64
+	ref := video.NewFrame(w, h)
+	rng := newPRNG(99)
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.next())
+	}
+	const dx, dy = 3, -2
+	cur := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cur.Pix[y*w+x] = ref.At(x+dx, y+dy)
+		}
+	}
+	cfg := Config{Search: Exhaustive, SearchRange: 5, RefFrames: 1}
+	var n sadCounter
+	// Interior block (away from clamped edges).
+	best := searchInteger(cfg, cur, ref, 32, 32, &n)
+	if best.sad != 0 || int(best.fx) != dx || int(best.fy) != dy {
+		t.Fatalf("best = (%v, %v) sad=%d, want (%d, %d) sad=0", best.fx, best.fy, best.sad, dx, dy)
+	}
+	if n.evals16 != 11*11 {
+		t.Fatalf("exhaustive evals = %d, want 121", n.evals16)
+	}
+}
+
+// Pattern searches find the same translation when it is within reach.
+// Unlike the exhaustive test, the content must be smooth: iterative
+// patterns descend the SAD surface and need a basin to follow (on white
+// noise there is none — which is also why real encoders use them on real
+// video, not noise).
+func TestPatternSearchesFindNearbyShift(t *testing.T) {
+	w, h := 96, 64
+	src := video.NewSource(w, h, 7, video.Uniform(video.Complexity{Motion: 0, Detail: 12, Noise: 0}))
+	ref, _ := src.Next()
+	const dx, dy = 2, 1
+	cur := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cur.Pix[y*w+x] = ref.At(x+dx, y+dy)
+		}
+	}
+	for _, algo := range []SearchAlgo{Hex, Diamond} {
+		var n sadCounter
+		best := searchInteger(Config{Search: algo, RefFrames: 1}, cur, ref, 32, 32, &n)
+		if best.sad != 0 {
+			t.Fatalf("%v: sad = %d at (%v, %v), want 0", algo, best.sad, best.fx, best.fy)
+		}
+	}
+}
+
+// psnrOf is strictly decreasing in prediction error.
+func TestPSNRMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			return true
+		}
+		const pixels = 96 * 64
+		return psnrOf(hi*pixels, pixels) < psnrOf(lo*pixels, pixels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateClamps(t *testing.T) {
+	c := Config{Search: Exhaustive, SearchRange: 99, SubpelLevels: 9, RefFrames: 42}.validate()
+	if c.SearchRange != 16 || c.SubpelLevels != 3 || c.RefFrames != MaxRefFrames {
+		t.Fatalf("validate = %+v", c)
+	}
+	c = Config{SearchRange: -1, SubpelLevels: -1, RefFrames: 0}.validate()
+	if c.SearchRange != 1 || c.SubpelLevels != 0 || c.RefFrames != 1 {
+		t.Fatalf("validate = %+v", c)
+	}
+}
+
+func TestSearchAlgoString(t *testing.T) {
+	if Exhaustive.String() != "esa" || Hex.String() != "hex" || Diamond.String() != "dia" {
+		t.Fatal("SearchAlgo names wrong")
+	}
+}
+
+func TestResetClearsReferences(t *testing.T) {
+	src := demandingSource(3)
+	enc := NewEncoder(Ladder()[9])
+	f, _ := src.Next()
+	if st, _ := enc.Encode(f); !st.Intra {
+		t.Fatal("first not intra")
+	}
+	enc.Reset()
+	f, _ = src.Next()
+	if st, _ := enc.Encode(f); !st.Intra {
+		t.Fatal("frame after Reset not intra")
+	}
+}
+
+// Tiny deterministic PRNG for test frame content (keeps tests independent
+// of math/rand stream changes).
+type prng struct{ s uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{s: seed*2685821657736338717 + 1} }
+
+func (p *prng) next() uint64 {
+	p.s ^= p.s << 13
+	p.s ^= p.s >> 7
+	p.s ^= p.s << 17
+	return p.s
+}

@@ -1,0 +1,73 @@
+package observer_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/sim"
+)
+
+// An external observer classifies an application's health purely from its
+// heartbeats: a healthy app, then the same app after it stops beating.
+func ExampleClassifier_Classify() {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(8, 12)
+	for i := 0; i < 20; i++ {
+		clk.Advance(100 * time.Millisecond) // 10 beats/s
+		hb.Beat()
+	}
+
+	classifier := &observer.Classifier{Clock: clk}
+	source := observer.HeartbeatSource(hb)
+
+	snap, _ := source.Snapshot(0)
+	fmt.Println("while beating:", classifier.Classify(snap).Health)
+
+	clk.Advance(30 * time.Second) // the application hangs
+	snap, _ = source.Snapshot(0)
+	fmt.Println("after hanging:", classifier.Classify(snap).Health)
+	// Output:
+	// while beating: healthy
+	// after hanging: flatlined
+}
+
+// A watchdog debounces transient stalls and fires a restart hook on a
+// sustained hang (§2.3).
+func ExampleWatchdog() {
+	dog := &observer.Watchdog{Threshold: 3, OnRestart: func(st observer.Status) {
+		fmt.Println("restarting application, health:", st.Health)
+	}}
+	judgments := []observer.Health{
+		observer.Healthy, observer.Flatlined, observer.Healthy, // blip: no restart
+		observer.Flatlined, observer.Flatlined, observer.Flatlined, // sustained
+	}
+	for _, h := range judgments {
+		dog.Observe(observer.Status{Health: h})
+	}
+	fmt.Println("restarts:", dog.Restarts())
+	// Output:
+	// restarting application, health: flatlined
+	// restarts: 1
+}
+
+// A phase detector segments execution into performance regimes from the
+// heart rate alone (§2.3, the structure of the paper's Figure 2).
+func ExamplePhaseDetector() {
+	d := &observer.PhaseDetector{RelThreshold: 0.25, MinSamples: 3}
+	for beat := 1; beat <= 300; beat++ {
+		rate := 13.0
+		if beat > 100 {
+			rate = 24.0
+		}
+		d.Observe(uint64(beat), rate)
+	}
+	for _, p := range d.Phases() {
+		fmt.Printf("phase %d: from beat %d, %.0f beats/s\n", p.Index, p.StartBeat, p.MeanRate)
+	}
+	// Output:
+	// phase 0: from beat 1, 13 beats/s
+	// phase 1: from beat 101, 24 beats/s
+}

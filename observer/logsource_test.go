@@ -1,0 +1,53 @@
+package observer_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/sim"
+)
+
+func TestLogSourceSnapshot(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "a.hblog")
+	w, err := hbfile.CreateLog(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithSink(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	hb.SetTarget(4, 6)
+	for i := 0; i < 40; i++ {
+		clk.Advance(200 * time.Millisecond)
+		hb.Beat()
+	}
+
+	r, err := hbfile.OpenLog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	snap, err := observer.LogSource(r).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 40 || !snap.TargetSet || snap.TargetMin != 4 || snap.TargetMax != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	rate, ok := snap.Rate(0)
+	if !ok || rate < 4.99 || rate > 5.01 {
+		t.Fatalf("rate = %v", rate)
+	}
+	// A classifier over the log source works end to end.
+	st := (&observer.Classifier{Clock: clk}).Classify(snap)
+	if st.Health != observer.Healthy {
+		t.Fatalf("health = %v", st.Health)
+	}
+}

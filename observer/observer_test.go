@@ -1,0 +1,291 @@
+package observer_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/sim"
+)
+
+func beatSteadily(hb *heartbeat.Heartbeat, clk *sim.Clock, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		clk.Advance(gap)
+		hb.Beat()
+	}
+}
+
+func TestHeartbeatSourceSnapshot(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.SetTarget(5, 15); err != nil {
+		t.Fatal(err)
+	}
+	beatSteadily(hb, clk, 20, 100*time.Millisecond)
+
+	snap, err := observer.HeartbeatSource(hb).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 20 || snap.Window != 10 || !snap.TargetSet || snap.TargetMin != 5 || snap.TargetMax != 15 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Records) != 10 {
+		t.Fatalf("records = %d, want default window 10", len(snap.Records))
+	}
+	r, ok := snap.Rate(0)
+	if !ok || r < 9.99 || r > 10.01 {
+		t.Fatalf("Rate = %v, want 10", r)
+	}
+	// Rate over a smaller explicit window still works.
+	r2, ok := snap.Rate(5)
+	if !ok || r2 < 9.99 || r2 > 10.01 {
+		t.Fatalf("Rate(5) = %v", r2)
+	}
+}
+
+func TestThreadSourceSnapshot(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(8, heartbeat.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := hb.Thread("w")
+	for i := 0; i < 6; i++ {
+		clk.Advance(50 * time.Millisecond)
+		tr.Beat()
+	}
+	snap, err := observer.ThreadSource(tr, 8).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 6 || len(snap.Records) != 6 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	r, ok := snap.Rate(0)
+	if !ok || r < 19.99 || r > 20.01 {
+		t.Fatalf("thread rate = %v, want 20", r)
+	}
+}
+
+func TestFileSourceSnapshot(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "a.hb")
+	w, err := hbfile.Create(p, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithSink(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	hb.SetTarget(30, 35)
+	beatSteadily(hb, clk, 30, 25*time.Millisecond)
+
+	r, err := hbfile.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	snap, err := observer.FileSource(r).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 30 || !snap.TargetSet || snap.TargetMin != 30 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	rate, ok := snap.Rate(0)
+	if !ok || rate < 39.9 || rate > 40.1 {
+		t.Fatalf("rate = %v, want 40", rate)
+	}
+}
+
+func classify(t *testing.T, clk *sim.Clock, hb *heartbeat.Heartbeat, c *observer.Classifier) observer.Status {
+	t.Helper()
+	if c.Clock == nil {
+		c.Clock = clk
+	}
+	snap, err := observer.HeartbeatSource(hb).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Classify(snap)
+}
+
+func TestClassifyHealthy(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(8, 12)
+	beatSteadily(hb, clk, 20, 100*time.Millisecond)
+	st := classify(t, clk, hb, &observer.Classifier{})
+	if st.Health != observer.Healthy {
+		t.Fatalf("health = %v (%+v)", st.Health, st)
+	}
+	if !st.RateOK || st.Rate < 9.9 || st.Rate > 10.1 {
+		t.Fatalf("rate = %v", st.Rate)
+	}
+}
+
+func TestClassifySlowAndFast(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(20, 30)
+	beatSteadily(hb, clk, 20, 100*time.Millisecond) // 10 beats/s < 20
+	if st := classify(t, clk, hb, &observer.Classifier{}); st.Health != observer.Slow {
+		t.Fatalf("health = %v, want slow", st.Health)
+	}
+
+	hb2, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb2.SetTarget(1, 5)
+	beatSteadily(hb2, clk, 20, 100*time.Millisecond) // 10 beats/s > 5
+	if st := classify(t, clk, hb2, &observer.Classifier{}); st.Health != observer.Fast {
+		t.Fatalf("health = %v, want fast", st.Health)
+	}
+}
+
+func TestClassifyNoTargetHealthy(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	beatSteadily(hb, clk, 20, 100*time.Millisecond)
+	if st := classify(t, clk, hb, &observer.Classifier{}); st.Health != observer.Healthy {
+		t.Fatalf("health = %v, want healthy without target", st.Health)
+	}
+}
+
+func TestClassifyFlatlined(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(8, 12)
+	beatSteadily(hb, clk, 20, 100*time.Millisecond)
+	// Expected interval at target min 8/s is 125ms; flatline factor 16
+	// means > 2s of silence flags it. Advance 10s.
+	clk.Advance(10 * time.Second)
+	st := classify(t, clk, hb, &observer.Classifier{})
+	if st.Health != observer.Flatlined {
+		t.Fatalf("health = %v, want flatlined (%+v)", st.Health, st)
+	}
+	if st.SinceLast != 10*time.Second {
+		t.Fatalf("SinceLast = %v", st.SinceLast)
+	}
+}
+
+func TestClassifyFlatlinedWithoutTarget(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	beatSteadily(hb, clk, 20, 100*time.Millisecond) // measured 10/s
+	clk.Advance(time.Minute)
+	st := classify(t, clk, hb, &observer.Classifier{})
+	if st.Health != observer.Flatlined {
+		t.Fatalf("health = %v, want flatlined from measured rate", st.Health)
+	}
+}
+
+func TestClassifyErratic(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	// Alternate tiny and huge gaps: mean ~0.5s, stddev ~0.5s → CV ~1.
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			clk.Advance(5 * time.Millisecond)
+		} else {
+			clk.Advance(1200 * time.Millisecond)
+		}
+		hb.Beat()
+	}
+	st := classify(t, clk, hb, &observer.Classifier{ErraticCV: 0.8})
+	if st.Health != observer.Erratic {
+		t.Fatalf("health = %v (CV=%v), want erratic", st.Health, st.IntervalCV)
+	}
+}
+
+func TestClassifyUnknownAndDead(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	epoch := clk.Now()
+	c := &observer.Classifier{Clock: clk, Epoch: epoch, Grace: 5 * time.Second}
+	snap, _ := observer.HeartbeatSource(hb).Snapshot(0)
+	if st := c.Classify(snap); st.Health != observer.Unknown {
+		t.Fatalf("health = %v, want unknown inside grace", st.Health)
+	}
+	clk.Advance(6 * time.Second)
+	snap, _ = observer.HeartbeatSource(hb).Snapshot(0)
+	if st := c.Classify(snap); st.Health != observer.Dead {
+		t.Fatalf("health = %v, want dead after grace", st.Health)
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	names := map[observer.Health]string{
+		observer.Unknown:    "unknown",
+		observer.Healthy:    "healthy",
+		observer.Slow:       "slow",
+		observer.Fast:       "fast",
+		observer.Erratic:    "erratic",
+		observer.Flatlined:  "flatlined",
+		observer.Dead:       "dead",
+		observer.Health(99): "unknown",
+	}
+	for h, want := range names {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), want)
+		}
+	}
+}
+
+func TestMonitorRunDeliversStatuses(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(8, 12)
+	beatSteadily(hb, clk, 20, 100*time.Millisecond)
+
+	var polls atomic.Int32
+	got := make(chan observer.Status, 64)
+	m := observer.NewMonitor(observer.HeartbeatSource(hb), time.Millisecond, func(st observer.Status) {
+		polls.Add(1)
+		select {
+		case got <- st:
+		default:
+		}
+	}, observer.WithClassifier(&observer.Classifier{Clock: clk}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { m.Run(ctx); close(done) }()
+
+	select {
+	case st := <-got:
+		if st.Health != observer.Healthy {
+			t.Fatalf("status = %+v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no status delivered")
+	}
+	cancel()
+	<-done
+	if polls.Load() == 0 {
+		t.Fatal("no polls")
+	}
+}
+
+func TestMonitorPollError(t *testing.T) {
+	errSource := sourceFunc(func(int) (observer.Snapshot, error) {
+		return observer.Snapshot{}, context.DeadlineExceeded
+	})
+	m := observer.NewMonitor(errSource, time.Millisecond, nil)
+	if _, err := m.Poll(); err == nil {
+		t.Fatal("Poll swallowed source error")
+	}
+}
+
+type sourceFunc func(int) (observer.Snapshot, error)
+
+func (f sourceFunc) Snapshot(n int) (observer.Snapshot, error) { return f(n) }

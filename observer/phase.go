@@ -1,0 +1,119 @@
+package observer
+
+// PhaseDetector segments an application's execution into performance
+// phases from its heart rate alone — the §2.3 use case ("heartbeats also
+// provide a way for an external observer to monitor which phase a program
+// is in for the purposes of profiling or field debugging") and the
+// structure visible in the paper's Figure 2, where x264 moves through
+// three distinct rate regions.
+//
+// The detector maintains the running mean rate of the current phase; when
+// the observed rate deviates from that mean by more than RelThreshold for
+// MinSamples consecutive observations, a new phase begins (retroactively
+// at the first deviating sample). It is not safe for concurrent use.
+type PhaseDetector struct {
+	// RelThreshold is the relative deviation from the phase mean that
+	// counts as "different" (default 0.25).
+	RelThreshold float64
+	// MinSamples is how many consecutive deviating observations confirm
+	// a phase change (default 3; debounces single-beat noise).
+	MinSamples int
+
+	phases []Phase
+	cur    Phase
+	curSum float64
+
+	pendStart uint64
+	pendSum   float64
+	pendN     int
+}
+
+// Phase is one detected performance regime.
+type Phase struct {
+	// Index numbers phases from 0.
+	Index int
+	// StartBeat is the beat at which the phase began.
+	StartBeat uint64
+	// MeanRate is the average observed rate across the phase.
+	MeanRate float64
+	// Beats is how many observations the phase spans.
+	Beats int
+}
+
+func (d *PhaseDetector) relThreshold() float64 {
+	if d.RelThreshold <= 0 {
+		return 0.25
+	}
+	return d.RelThreshold
+}
+
+func (d *PhaseDetector) minSamples() int {
+	if d.MinSamples <= 0 {
+		return 3
+	}
+	return d.MinSamples
+}
+
+// Observe feeds one (beat, rate) observation and reports whether a new
+// phase just began.
+func (d *PhaseDetector) Observe(beat uint64, rate float64) bool {
+	if d.cur.Beats == 0 {
+		d.cur = Phase{Index: 0, StartBeat: beat, MeanRate: rate, Beats: 1}
+		d.curSum = rate
+		return true
+	}
+	mean := d.curSum / float64(d.cur.Beats)
+	dev := rate - mean
+	if dev < 0 {
+		dev = -dev
+	}
+	if mean > 0 && dev/mean > d.relThreshold() {
+		if d.pendN == 0 {
+			d.pendStart = beat
+		}
+		d.pendN++
+		d.pendSum += rate
+		if d.pendN >= d.minSamples() {
+			// Close the current phase and open the new one with the
+			// pending samples folded in.
+			d.cur.MeanRate = mean
+			d.phases = append(d.phases, d.cur)
+			d.cur = Phase{
+				Index:     d.cur.Index + 1,
+				StartBeat: d.pendStart,
+				MeanRate:  d.pendSum / float64(d.pendN),
+				Beats:     d.pendN,
+			}
+			d.curSum = d.pendSum
+			d.pendN, d.pendSum = 0, 0
+			return true
+		}
+		return false
+	}
+	// Back inside the phase: absorb any pending samples as noise.
+	d.curSum += d.pendSum + rate
+	d.cur.Beats += d.pendN + 1
+	d.pendN, d.pendSum = 0, 0
+	d.cur.MeanRate = d.curSum / float64(d.cur.Beats)
+	return false
+}
+
+// Current returns the phase in progress (zero value before any
+// observation).
+func (d *PhaseDetector) Current() Phase {
+	c := d.cur
+	if c.Beats > 0 {
+		c.MeanRate = d.curSum / float64(c.Beats)
+	}
+	return c
+}
+
+// Phases returns all completed phases plus the one in progress.
+func (d *PhaseDetector) Phases() []Phase {
+	out := make([]Phase, len(d.phases), len(d.phases)+1)
+	copy(out, d.phases)
+	if d.cur.Beats > 0 {
+		out = append(out, d.Current())
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package observer implements the external-observer side of the Application
+// Heartbeats framework: reading a heartbeat-enabled application's progress,
+// goals, and history, and classifying its health. This is the role the
+// paper assigns to the OS, runtime, cloud manager, or system-administration
+// tooling (§2.3, §2.4, §2.6, §5.3): observers read heartbeat data the
+// application publishes and adapt on the application's behalf — or detect
+// that it is hung, slow, erratic, or dead.
+package observer
+
+import (
+	"fmt"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+)
+
+// Snapshot is a point-in-time view of an application's heartbeat state.
+type Snapshot struct {
+	// Count is the total number of heartbeats registered so far.
+	Count uint64
+	// Window is the application's default averaging window.
+	Window int
+	// TargetMin and TargetMax are the advertised goal; valid when
+	// TargetSet.
+	TargetMin, TargetMax float64
+	TargetSet            bool
+	// Records holds the most recent heartbeats, oldest to newest.
+	Records []heartbeat.Record
+}
+
+// Rate computes the average heart rate over the last window records of the
+// snapshot; window <= 0 uses the application's default window.
+func (s Snapshot) Rate(window int) (perSec float64, ok bool) {
+	if window <= 0 {
+		window = s.Window
+	}
+	recs := s.Records
+	if len(recs) > window {
+		recs = recs[len(recs)-window:]
+	}
+	if len(recs) < 2 {
+		return 0, false
+	}
+	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
+	if span <= 0 {
+		return 0, false
+	}
+	return float64(len(recs)-1) / span.Seconds(), true
+}
+
+// Source supplies heartbeat snapshots to observers. Implementations exist
+// for in-process heartbeats (HeartbeatSource) and for heartbeat ring files
+// written by other processes (FileSource).
+type Source interface {
+	// Snapshot returns the current state with up to maxRecords of the
+	// most recent records.
+	Snapshot(maxRecords int) (Snapshot, error)
+}
+
+// HeartbeatSource adapts an in-process *heartbeat.Heartbeat to Source.
+// This is the self-observation path of Figure 1(a) in the paper.
+func HeartbeatSource(hb *heartbeat.Heartbeat) Source { return hbSource{hb} }
+
+type hbSource struct{ hb *heartbeat.Heartbeat }
+
+func (s hbSource) Snapshot(maxRecords int) (Snapshot, error) {
+	if maxRecords <= 0 {
+		maxRecords = s.hb.Window()
+	}
+	snap := Snapshot{
+		Count:   s.hb.Count(),
+		Window:  s.hb.Window(),
+		Records: s.hb.History(maxRecords),
+	}
+	snap.TargetMin, snap.TargetMax, snap.TargetSet = s.hb.Target()
+	return snap, nil
+}
+
+// ThreadSource adapts a per-thread handle to Source, for observers that
+// track individual workers.
+func ThreadSource(t *heartbeat.Thread, window int) Source { return threadSource{t, window} }
+
+type threadSource struct {
+	t      *heartbeat.Thread
+	window int
+}
+
+func (s threadSource) Snapshot(maxRecords int) (Snapshot, error) {
+	if maxRecords <= 0 {
+		maxRecords = s.window
+	}
+	return Snapshot{
+		Count:   s.t.Count(),
+		Window:  s.window,
+		Records: s.t.History(maxRecords),
+	}, nil
+}
+
+// FileSource adapts an hbfile.Reader to Source. This is the external-
+// observation path of Figure 1(b): another process monitoring the
+// application through the heartbeat file.
+func FileSource(r *hbfile.Reader) Source { return fileSource{r} }
+
+// LogSource adapts an hbfile.LogReader (the append-only full-history
+// variant) to Source.
+func LogSource(r *hbfile.LogReader) Source { return logSource{r} }
+
+type logSource struct{ r *hbfile.LogReader }
+
+func (s logSource) Snapshot(maxRecords int) (Snapshot, error) {
+	if maxRecords <= 0 {
+		maxRecords = s.r.Window()
+	}
+	count, err := s.r.Count()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	recs, err := s.r.Last(maxRecords)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	min, max, ok, err := s.r.Target()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	return Snapshot{
+		Count:     count,
+		Window:    s.r.Window(),
+		TargetMin: min,
+		TargetMax: max,
+		TargetSet: ok,
+		Records:   recs,
+	}, nil
+}
+
+type fileSource struct{ r *hbfile.Reader }
+
+func (s fileSource) Snapshot(maxRecords int) (Snapshot, error) {
+	if maxRecords <= 0 {
+		maxRecords = s.r.Window()
+	}
+	cur, err := s.r.Cursor()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	recs, err := s.r.Last(maxRecords)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	min, max, ok, err := s.r.Target()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("observer: %w", err)
+	}
+	return Snapshot{
+		Count:     cur,
+		Window:    s.r.Window(),
+		TargetMin: min,
+		TargetMax: max,
+		TargetSet: ok,
+		Records:   recs,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/observer"
+)
+
+// FrequencyMachine is the DVFS actuator: something whose clock frequency
+// can be scaled as a fraction of nominal. sim.Machine implements it.
+type FrequencyMachine interface {
+	// SetFrequency scales the machine, clamped to its supported range,
+	// and returns the effective setting.
+	SetFrequency(f float64) float64
+	// Frequency returns the current setting.
+	Frequency() float64
+}
+
+// DVFSGovernor holds an application inside its target heart-rate window
+// using the minimum clock frequency — the paper's §2.1 vision of hardware
+// "where decisions about dynamic frequency and voltage scaling are driven
+// by the performance measurements and target heart rate mechanisms of the
+// Heartbeats framework". Below the window it raises frequency one step;
+// above it, it lowers one step, cutting dynamic power cubically.
+type DVFSGovernor struct {
+	source  observer.Source
+	machine FrequencyMachine
+	window  int
+	step    float64
+}
+
+// GovernorOption configures NewDVFSGovernor.
+type GovernorOption func(*DVFSGovernor)
+
+// WithGovernorWindow sets the observation window in beats.
+func WithGovernorWindow(n int) GovernorOption {
+	return func(g *DVFSGovernor) { g.window = n }
+}
+
+// WithGovernorStep sets the frequency step per decision (default 0.125 —
+// eight P-state-like levels across the range).
+func WithGovernorStep(s float64) GovernorOption {
+	return func(g *DVFSGovernor) { g.step = s }
+}
+
+// NewDVFSGovernor creates a governor over the application's heartbeat
+// source and the machine's frequency control.
+func NewDVFSGovernor(source observer.Source, machine FrequencyMachine, opts ...GovernorOption) (*DVFSGovernor, error) {
+	if source == nil || machine == nil {
+		return nil, fmt.Errorf("scheduler: nil source or machine")
+	}
+	g := &DVFSGovernor{source: source, machine: machine, step: 0.125}
+	for _, o := range opts {
+		o(g)
+	}
+	return g, nil
+}
+
+// GovernorSample records one governor decision.
+type GovernorSample struct {
+	Beat      uint64
+	Rate      float64
+	RateOK    bool
+	Frequency float64
+	TargetMin float64
+	TargetMax float64
+}
+
+// Step performs one observe–decide–actuate cycle: raise frequency when the
+// application misses its minimum target, lower it when the application
+// exceeds its maximum (wasting energy on unneeded speed).
+func (g *DVFSGovernor) Step() (GovernorSample, error) {
+	snap, err := g.source.Snapshot(g.window)
+	if err != nil {
+		return GovernorSample{}, fmt.Errorf("scheduler: %w", err)
+	}
+	rate, ok := snap.Rate(g.window)
+	f := g.machine.Frequency()
+	if ok && snap.TargetSet {
+		switch {
+		case rate < snap.TargetMin:
+			f = g.machine.SetFrequency(f + g.step)
+		case rate > snap.TargetMax:
+			f = g.machine.SetFrequency(f - g.step)
+		}
+	}
+	return GovernorSample{
+		Beat: snap.Count, Rate: rate, RateOK: ok, Frequency: f,
+		TargetMin: snap.TargetMin, TargetMax: snap.TargetMax,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package scheduler_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/scheduler"
+	"repro/sim"
+)
+
+func TestDVFSGovernorValidation(t *testing.T) {
+	hb, _ := heartbeat.New(10)
+	m := sim.NewMachine(sim.NewClock(time.Time{}), 8, 1e6)
+	if _, err := scheduler.NewDVFSGovernor(nil, m); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := scheduler.NewDVFSGovernor(observer.HeartbeatSource(hb), nil); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+}
+
+// The governor must settle at the lowest frequency step that meets the
+// target, and track a load increase back up.
+func TestDVFSGovernorSettlesAtMinimumFrequency(t *testing.T) {
+	const window = 10
+	clk := sim.NewClock(time.Time{})
+	m := sim.NewMachine(clk, 8, 1e9)
+	hb, err := heartbeat.New(window, heartbeat.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.SetTarget(29, 33)
+	gov, err := scheduler.NewDVFSGovernor(observer.HeartbeatSource(hb), m,
+		scheduler.WithGovernorWindow(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work sized so f=0.5 gives ~32.5 beats/s: the governor should land
+	// there from full frequency (saving power) and return there after a
+	// heavy interlude.
+	light := sim.Work{Ops: 0.0912e9, ParallelFrac: 0.95}
+	heavy := sim.Work{Ops: 0.188e9, ParallelFrac: 0.95}
+	run := func(w sim.Work, beats int) {
+		for b := 1; b <= beats; b++ {
+			m.Execute(w)
+			hb.Beat()
+			if b%window == 0 {
+				if _, err := gov.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	run(light, 200)
+	if f := m.Frequency(); f != 0.5 {
+		t.Fatalf("light-phase frequency = %v, want 0.5", f)
+	}
+	rate, ok := hb.Rate(0)
+	if !ok || rate < 29 || rate > 33 {
+		t.Fatalf("light-phase rate = %v, want in window", rate)
+	}
+	run(heavy, 200)
+	if f := m.Frequency(); f != 1.0 {
+		t.Fatalf("heavy-phase frequency = %v, want 1.0", f)
+	}
+	run(light, 200)
+	if f := m.Frequency(); f != 0.5 {
+		t.Fatalf("frequency after load drop = %v, want 0.5", f)
+	}
+}
+
+func TestDVFSGovernorHoldsWithoutMeasurement(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	m := sim.NewMachine(clk, 8, 1e6)
+	hb, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	hb.SetTarget(10, 20)
+	gov, err := scheduler.NewDVFSGovernor(observer.HeartbeatSource(hb), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Frequency()
+	s, err := gov.Step() // no beats yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RateOK || m.Frequency() != before {
+		t.Fatalf("governor acted without measurement: %+v, freq %v", s, m.Frequency())
+	}
+}

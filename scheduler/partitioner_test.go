@@ -1,0 +1,227 @@
+package scheduler_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/scheduler"
+	"repro/sim"
+)
+
+// clusterApp wires one heartbeat-enabled application into a sim.Cluster.
+type clusterApp struct {
+	hb   *heartbeat.Heartbeat
+	proc *sim.Proc
+}
+
+func addClusterApp(t *testing.T, c *sim.Cluster, name string, initial int,
+	min, max float64, ops func(beat uint64) float64, pf float64) *clusterApp {
+	t.Helper()
+	hb, err := heartbeat.New(10, heartbeat.WithClock(c.Clock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.SetTarget(min, max); err != nil {
+		t.Fatal(err)
+	}
+	a := &clusterApp{hb: hb}
+	beat := uint64(0)
+	a.proc = c.AddProc(name, initial, func() (sim.Work, bool) {
+		if beat > 0 {
+			hb.Beat() // the previous item just completed
+		}
+		beat++
+		return sim.Work{Ops: ops(beat), ParallelFrac: pf}, true
+	})
+	return a
+}
+
+// Two applications with different goals share eight cores: the partitioner
+// must put BOTH inside their windows and keep them there.
+func TestPartitionerBalancesTwoApps(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	cluster := sim.NewCluster(clk, 8, 1e6)
+	// App A: wants 8-10 beats/s, needs ~5 cores (0.5e6 ops/beat, p=0.95).
+	a := addClusterApp(t, cluster, "a", 1, 8, 10, func(uint64) float64 { return 0.5e6 }, 0.95)
+	// App B: wants 2-3 beats/s, needs ~2 cores (0.8e6 ops/beat, p=0.9).
+	b := addClusterApp(t, cluster, "b", 1, 2, 3, func(uint64) float64 { return 0.8e6 }, 0.90)
+
+	part, err := scheduler.NewPartitioner(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Add("a", observer.HeartbeatSource(a.hb), a.proc.SetCores, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Add("b", observer.HeartbeatSource(b.hb), b.proc.SetCores, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var last []scheduler.AppStatus
+	for i := 0; i < 120; i++ {
+		cluster.RunUntil(clk.Now().Add(2 * time.Second))
+		last, err = part.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used := a.proc.Cores() + b.proc.Cores(); used > 8 {
+			t.Fatalf("oversubscribed: %d cores", used)
+		}
+	}
+	for _, st := range last {
+		if !st.RateOK {
+			t.Fatalf("%s: no rate", st.Name)
+		}
+		if st.Rate < st.TargetMin*0.95 || st.Rate > st.TargetMax*1.05 {
+			t.Fatalf("%s: rate %.2f outside [%g, %g] (cores %d)",
+				st.Name, st.Rate, st.TargetMin, st.TargetMax, st.Cores)
+		}
+	}
+}
+
+// When one application's load rises, the partitioner must shift cores from
+// the over-performing application — the paper's global reallocation.
+func TestPartitionerShiftsCoresOnLoadChange(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	cluster := sim.NewCluster(clk, 8, 1e6)
+	// A's per-beat cost doubles at beat 200.
+	a := addClusterApp(t, cluster, "a", 4, 8, 10, func(beat uint64) float64 {
+		if beat > 200 {
+			return 0.9e6
+		}
+		return 0.5e6
+	}, 0.95)
+	b := addClusterApp(t, cluster, "b", 4, 2, 3, func(uint64) float64 { return 0.8e6 }, 0.90)
+
+	part, err := scheduler.NewPartitioner(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Add("a", observer.HeartbeatSource(a.hb), a.proc.SetCores, 4)
+	part.Add("b", observer.HeartbeatSource(b.hb), b.proc.SetCores, 3)
+
+	coresAtPhase1 := 0
+	for i := 0; i < 300; i++ {
+		cluster.RunUntil(clk.Now().Add(2 * time.Second))
+		if _, err := part.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if a.hb.Count() < 200 {
+			coresAtPhase1 = a.proc.Cores()
+		}
+	}
+	if a.proc.Cores() <= coresAtPhase1 {
+		t.Fatalf("a's allocation did not grow with its load: phase1 %d, final %d",
+			coresAtPhase1, a.proc.Cores())
+	}
+	// B must still be inside its window at the end.
+	rate, ok := b.hb.Rate(10)
+	if !ok || rate < 2*0.95 || rate > 3*1.05 {
+		t.Fatalf("b's rate %.2f left its window after reallocation", rate)
+	}
+}
+
+func TestPartitionerValidation(t *testing.T) {
+	if _, err := scheduler.NewPartitioner(0, 5); err == nil {
+		t.Fatal("0-core pool accepted")
+	}
+	part, err := scheduler.NewPartitioner(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := heartbeat.New(5)
+	src := observer.HeartbeatSource(hb)
+	set := func(n int) int { return n }
+	if err := part.Add("a", nil, set, 1); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if err := part.Add("a", src, nil, 1); err == nil {
+		t.Fatal("nil actuator accepted")
+	}
+	if err := part.Add("a", src, set, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Add("b", src, set, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Add("c", src, set, 1); err == nil {
+		t.Fatal("third app on 2 cores accepted")
+	}
+}
+
+// Property: for arbitrary observed rates, the partitioner never
+// oversubscribes the pool and never starves an application below one core.
+func TestPartitionerInvariantsProperty(t *testing.T) {
+	f := func(rates []uint16) bool {
+		const total = 8
+		part, err := scheduler.NewPartitioner(total, 4)
+		if err != nil {
+			return false
+		}
+		// Three fake apps whose observed rates are driven by the fuzz
+		// input; targets [10, 20] each.
+		cores := [3]int{2, 2, 2}
+		rate := [3]float64{15, 15, 15}
+		for i := 0; i < 3; i++ {
+			i := i
+			src := fakeSource(func(int) (observer.Snapshot, error) {
+				return snapshotWithRate(rate[i], 10, 20), nil
+			})
+			set := func(n int) int {
+				if n < 1 {
+					n = 1
+				}
+				cores[i] = n
+				return n
+			}
+			if err := part.Add("app", src, set, cores[i]); err != nil {
+				return false
+			}
+		}
+		for step, r := range rates {
+			rate[step%3] = float64(r % 40)
+			if _, err := part.Step(); err != nil {
+				return false
+			}
+			sum := cores[0] + cores[1] + cores[2]
+			if sum > total {
+				return false
+			}
+			for _, c := range cores {
+				if c < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fakeSource func(int) (observer.Snapshot, error)
+
+func (f fakeSource) Snapshot(n int) (observer.Snapshot, error) { return f(n) }
+
+// snapshotWithRate fabricates a snapshot whose Rate() evaluates to
+// approximately perSec beats/s.
+func snapshotWithRate(perSec float64, min, max float64) observer.Snapshot {
+	if perSec <= 0 {
+		perSec = 0.001
+	}
+	base := time.Unix(0, 0)
+	gap := time.Duration(float64(time.Second) / perSec)
+	recs := make([]heartbeat.Record, 5)
+	for i := range recs {
+		recs[i] = heartbeat.Record{Seq: uint64(i + 1), Time: base.Add(time.Duration(i) * gap)}
+	}
+	return observer.Snapshot{
+		Count: 5, Window: 5,
+		TargetMin: min, TargetMax: max, TargetSet: true,
+		Records: recs,
+	}
+}

@@ -1,0 +1,161 @@
+// Package scheduler implements the paper's external observer (§5.3): a
+// service that reads an application's heart rate and target window through
+// the Heartbeats interface and adjusts the number of cores allocated to the
+// application, using the minimum resources that keep performance inside the
+// window. The scheduler never inspects the application itself — only its
+// heartbeats — which is the paper's central argument: decisions are based
+// directly on application-defined performance, not on proxies like priority
+// or utilization.
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/control"
+	"repro/observer"
+)
+
+// CoreMachine is the resource actuator: something that can grant cores to
+// the observed application. sim.Machine implements it; a real deployment
+// would wrap CPU-affinity syscalls.
+type CoreMachine interface {
+	// SetCores grants n cores, clamped to the machine's limits, and
+	// returns the effective allocation.
+	SetCores(n int) int
+	// Cores returns the current effective allocation.
+	Cores() int
+	// MaxCores returns the largest grantable allocation.
+	MaxCores() int
+}
+
+// Policy maps one heart-rate observation to a desired core count.
+type Policy interface {
+	DesiredCores(rate float64, rateOK bool, current, max int) int
+}
+
+// StepperPolicy adapts the paper's threshold stepper: one core up when the
+// rate is below the window, one down when above.
+type StepperPolicy struct {
+	Stepper *control.Stepper
+}
+
+// DesiredCores implements Policy.
+func (p StepperPolicy) DesiredCores(rate float64, rateOK bool, current, max int) int {
+	switch p.Stepper.Decide(rate, rateOK) {
+	case control.StepUp:
+		return current + 1
+	case control.StepDown:
+		return current - 1
+	default:
+		return current
+	}
+}
+
+// PIPolicy adapts a PI controller whose output is interpreted as a
+// fractional core count; the extension ablated against the stepper.
+type PIPolicy struct {
+	PI *control.PI
+	// Dt is the assumed seconds between observations (e.g. the polling
+	// interval or the expected window duration).
+	Dt float64
+}
+
+// DesiredCores implements Policy.
+func (p PIPolicy) DesiredCores(rate float64, rateOK bool, current, max int) int {
+	if !rateOK {
+		return current
+	}
+	return int(math.Round(p.PI.Update(rate, p.Dt)))
+}
+
+// Sample records one scheduling decision, for experiment traces.
+type Sample struct {
+	Beat      uint64  // application beat count at decision time
+	Rate      float64 // observed heart rate (beats/s)
+	RateOK    bool
+	Cores     int // allocation after the decision
+	TargetMin float64
+	TargetMax float64
+}
+
+// CoreScheduler couples an observer.Source to a CoreMachine through a
+// Policy. Drive it either by calling Step at decision points (the
+// deterministic experiment harness does this once per heartbeat window) or
+// with Run for a wall-clock polling loop.
+type CoreScheduler struct {
+	source  observer.Source
+	machine CoreMachine
+	policy  Policy
+	window  int // observation window in beats (0: source default)
+}
+
+// Option configures New.
+type Option func(*CoreScheduler)
+
+// WithWindow sets the observation window in beats used for rate
+// measurements (default: the application's default window).
+func WithWindow(n int) Option { return func(s *CoreScheduler) { s.window = n } }
+
+// New creates a scheduler. Any nil argument is an error.
+func New(source observer.Source, machine CoreMachine, policy Policy, opts ...Option) (*CoreScheduler, error) {
+	if source == nil || machine == nil || policy == nil {
+		return nil, fmt.Errorf("scheduler: nil source, machine, or policy")
+	}
+	s := &CoreScheduler{source: source, machine: machine, policy: policy}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Step performs one observe–decide–actuate cycle.
+func (s *CoreScheduler) Step() (Sample, error) {
+	maxRecords := s.window
+	if maxRecords <= 0 {
+		maxRecords = 0 // source default
+	}
+	snap, err := s.source.Snapshot(maxRecords)
+	if err != nil {
+		return Sample{}, fmt.Errorf("scheduler: %w", err)
+	}
+	rate, ok := snap.Rate(s.window)
+	cur, max := s.machine.Cores(), s.machine.MaxCores()
+	desired := s.policy.DesiredCores(rate, ok, cur, max)
+	granted := cur
+	if desired != cur {
+		granted = s.machine.SetCores(desired)
+	}
+	return Sample{
+		Beat:      snap.Count,
+		Rate:      rate,
+		RateOK:    ok,
+		Cores:     granted,
+		TargetMin: snap.TargetMin,
+		TargetMax: snap.TargetMax,
+	}, nil
+}
+
+// Run steps every interval until ctx is cancelled, invoking onSample (if
+// non-nil) after each cycle and onError (if non-nil) on failures.
+func (s *CoreScheduler) Run(ctx context.Context, interval time.Duration, onSample func(Sample), onError func(error)) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		sample, err := s.Step()
+		if err != nil {
+			if onError != nil {
+				onError(err)
+			}
+		} else if onSample != nil {
+			onSample(sample)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

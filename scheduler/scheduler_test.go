@@ -1,0 +1,239 @@
+package scheduler_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/control"
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/observer"
+	"repro/scheduler"
+	"repro/sim"
+)
+
+// runApp simulates an instrumented application: each beat costs work ops,
+// executed on the machine; the scheduler steps once every window beats.
+func runApp(t *testing.T, hb *heartbeat.Heartbeat, m *sim.Machine, sched *scheduler.CoreScheduler,
+	beats int, window int, cost func(beat int) sim.Work) []scheduler.Sample {
+	t.Helper()
+	var samples []scheduler.Sample
+	for b := 1; b <= beats; b++ {
+		m.Execute(cost(b))
+		hb.Beat()
+		if b%window == 0 {
+			s, err := sched.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples = append(samples, s)
+		}
+	}
+	return samples
+}
+
+func newSim(t *testing.T, window int) (*heartbeat.Heartbeat, *sim.Machine) {
+	t.Helper()
+	clk := sim.NewClock(time.Time{})
+	m := sim.NewMachine(clk, 8, 1e6) // 1M ops/s per core
+	hb, err := heartbeat.New(window, heartbeat.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hb, m
+}
+
+func TestNewValidation(t *testing.T) {
+	hb, m := newSim(t, 10)
+	src := observer.HeartbeatSource(hb)
+	pol := scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 1, TargetMax: 2}}
+	if _, err := scheduler.New(nil, m, pol); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := scheduler.New(src, nil, pol); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := scheduler.New(src, m, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+// The scheduler must ramp cores up until the rate enters the target window
+// and keep it there — the shape of the paper's Figures 5-7.
+func TestStepperSchedulerReachesWindow(t *testing.T) {
+	const window = 10
+	hb, m := newSim(t, window)
+	// Work sized so 1 core gives 2 beats/s and 8 cores ~13.1 beats/s
+	// (p = 0.95); target 8-10 beats/s needs ~4-5 cores.
+	work := func(int) sim.Work { return sim.Work{Ops: 0.5e6, ParallelFrac: 0.95} }
+	hb.SetTarget(8, 10)
+	m.SetCores(1)
+	sched, err := scheduler.New(
+		observer.HeartbeatSource(hb), m,
+		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 8, TargetMax: 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := runApp(t, hb, m, sched, 400, window, work)
+
+	// Once in the window, it must stay (deterministic plant).
+	entered := -1
+	for i, s := range samples {
+		if s.RateOK && s.Rate >= 8 && s.Rate <= 10 {
+			entered = i
+			break
+		}
+	}
+	if entered == -1 {
+		t.Fatalf("never entered target window; last=%+v", samples[len(samples)-1])
+	}
+	for _, s := range samples[entered+1:] {
+		if s.Rate < 7.5 || s.Rate > 10.5 {
+			t.Fatalf("left window after entering: %+v", s)
+		}
+	}
+	final := samples[len(samples)-1]
+	if final.Cores < 4 || final.Cores > 5 {
+		t.Fatalf("final cores = %d, want 4-5", final.Cores)
+	}
+}
+
+// When the computational load drops, the scheduler must reclaim cores while
+// holding the window (Figure 5's second half).
+func TestSchedulerReclaimsCoresOnLoadDrop(t *testing.T) {
+	const window = 10
+	hb, m := newSim(t, window)
+	hb.SetTarget(8, 10)
+	m.SetCores(1)
+	sched, err := scheduler.New(
+		observer.HeartbeatSource(hb), m,
+		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 8, TargetMax: 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(beat int) sim.Work {
+		if beat <= 300 {
+			return sim.Work{Ops: 0.5e6, ParallelFrac: 0.95}
+		}
+		return sim.Work{Ops: 0.1e6, ParallelFrac: 0.95} // 5x lighter
+	}
+	samples := runApp(t, hb, m, sched, 700, window, work)
+
+	heavyCores := 0
+	for _, s := range samples {
+		if s.Beat == 300 {
+			heavyCores = s.Cores
+		}
+	}
+	final := samples[len(samples)-1]
+	if final.Cores >= heavyCores {
+		t.Fatalf("cores not reclaimed: heavy=%d final=%d", heavyCores, final.Cores)
+	}
+	if final.Cores != 1 {
+		t.Fatalf("final cores = %d, want 1 (light load achieves target on one core)", final.Cores)
+	}
+	if final.Rate < 8 {
+		t.Fatalf("final rate = %v below target", final.Rate)
+	}
+}
+
+// The PI policy must also settle the plant into the target region.
+func TestPIPolicyScheduler(t *testing.T) {
+	const window = 10
+	hb, m := newSim(t, window)
+	hb.SetTarget(8, 10)
+	m.SetCores(1)
+	pi := &control.PI{Kp: 0.15, Ki: 0.4, Setpoint: 9, MinOutput: 1, MaxOutput: 8}
+	sched, err := scheduler.New(
+		observer.HeartbeatSource(hb), m,
+		scheduler.PIPolicy{PI: pi, Dt: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(int) sim.Work { return sim.Work{Ops: 0.5e6, ParallelFrac: 0.95} }
+	samples := runApp(t, hb, m, sched, 600, window, work)
+	final := samples[len(samples)-1]
+	if !final.RateOK || final.Rate < 7 || final.Rate > 11 {
+		t.Fatalf("PI failed to settle: %+v", final)
+	}
+}
+
+// Cross-process shape: schedule from an hbfile written by the application.
+func TestSchedulerOverFileSource(t *testing.T) {
+	const window = 10
+	path := filepath.Join(t.TempDir(), "app.hb")
+	w, err := hbfile.Create(path, window, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(time.Time{})
+	m := sim.NewMachine(clk, 8, 1e6)
+	hb, err := heartbeat.New(window, heartbeat.WithClock(clk), heartbeat.WithSink(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	hb.SetTarget(8, 10)
+	m.SetCores(1)
+
+	r, err := hbfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sched, err := scheduler.New(
+		observer.FileSource(r), m,
+		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 8, TargetMax: 10}},
+		scheduler.WithWindow(window),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := runApp(t, hb, m, sched, 400, window, func(int) sim.Work {
+		return sim.Work{Ops: 0.5e6, ParallelFrac: 0.95}
+	})
+	final := samples[len(samples)-1]
+	if !final.RateOK || final.Rate < 8 || final.Rate > 10 {
+		t.Fatalf("file-driven scheduler failed: %+v", final)
+	}
+	if err := hb.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Run drives Step on a wall-clock ticker and stops on cancellation.
+func TestRunLoop(t *testing.T) {
+	hb, m := newSim(t, 10)
+	hb.SetTarget(1, 2)
+	sched, err := scheduler.New(
+		observer.HeartbeatSource(hb), m,
+		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 1, TargetMax: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan scheduler.Sample, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		sched.Run(ctx, time.Millisecond, func(s scheduler.Sample) {
+			select {
+			case got <- s:
+			default:
+			}
+		}, nil)
+		close(done)
+	}()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run produced no samples")
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimeShare is a single-allocation time-sharing scheduler for the §2.4
+// organic-OS idea: "schedulers could be designed to run an application for
+// a specific number of heartbeats (implying a variable amount of time)
+// instead of a fixed time quanta". Procs run one at a time on the whole
+// allocation; the quantum is either a fixed slice of time (the
+// conventional scheduler) or a fixed number of completed work items
+// (heartbeat quanta). With heterogeneous per-item costs, time quanta
+// equalize CPU share while beat quanta equalize application progress.
+//
+// TimeShare is not safe for concurrent use.
+type TimeShare struct {
+	clock    *Clock
+	coreRate float64
+	cores    int
+	procs    []*SharedProc
+	cur      int
+}
+
+// SharedProc is one application in a TimeShare.
+type SharedProc struct {
+	name      string
+	pf        float64
+	remaining float64
+	idle      bool
+	next      func() (Work, bool)
+	completed uint64
+	cpu       time.Duration // CPU time consumed
+}
+
+// NewTimeShare creates a scheduler over a machine of the given core count
+// and per-core rate.
+func NewTimeShare(clock *Clock, cores int, coreRate float64) *TimeShare {
+	if clock == nil {
+		panic("sim: nil clock")
+	}
+	if cores <= 0 || coreRate <= 0 {
+		panic(fmt.Sprintf("sim: invalid timeshare (cores=%d, coreRate=%g)", cores, coreRate))
+	}
+	return &TimeShare{clock: clock, coreRate: coreRate, cores: cores}
+}
+
+// AddProc registers an application; next supplies successive work items
+// (false parks it idle permanently).
+func (t *TimeShare) AddProc(name string, next func() (Work, bool)) *SharedProc {
+	p := &SharedProc{name: name, pf: 1, next: next}
+	t.procs = append(t.procs, p)
+	p.fetch()
+	return p
+}
+
+// Name returns the proc's label.
+func (p *SharedProc) Name() string { return p.name }
+
+// Completed returns how many items the proc has finished (its heartbeat
+// count in the §2.4 framing).
+func (p *SharedProc) Completed() uint64 { return p.completed }
+
+// CPU returns the processor time the proc has consumed.
+func (p *SharedProc) CPU() time.Duration { return p.cpu }
+
+// Idle reports whether the proc has run out of work.
+func (p *SharedProc) Idle() bool { return p.idle }
+
+func (p *SharedProc) fetch() {
+	w, ok := p.next()
+	if !ok || w.Ops <= 0 {
+		p.idle = true
+		p.remaining = 0
+		return
+	}
+	p.pf = w.ParallelFrac
+	p.remaining = w.Ops
+}
+
+// rate is the proc's execution speed on the full allocation.
+func (t *TimeShare) rate(p *SharedProc) float64 {
+	return t.coreRate * Speedup(t.cores, p.pf)
+}
+
+// runFor executes the current proc for at most budget and at most
+// maxItems completed items (maxItems < 0: unlimited), returning the time
+// actually consumed and how many items completed.
+func (t *TimeShare) runFor(p *SharedProc, budget time.Duration, maxItems int) (time.Duration, int) {
+	var used time.Duration
+	items := 0
+	for !p.idle && used < budget && (maxItems < 0 || items < maxItems) {
+		r := t.rate(p)
+		need := time.Duration(p.remaining / r * float64(time.Second))
+		if need > budget-used {
+			// Partial progress, quantum exhausted.
+			slice := budget - used
+			p.remaining -= r * slice.Seconds()
+			used = budget
+			break
+		}
+		used += need
+		p.completed++
+		items++
+		p.fetch()
+	}
+	t.clock.Advance(used)
+	p.cpu += used
+	return used, items
+}
+
+// nextRunnable advances cur to the next non-idle proc; false if none.
+func (t *TimeShare) nextRunnable() bool {
+	for i := 0; i < len(t.procs); i++ {
+		p := t.procs[t.cur]
+		if !p.idle {
+			return true
+		}
+		t.cur = (t.cur + 1) % len(t.procs)
+	}
+	return false
+}
+
+// StepTimeQuantum runs the next runnable proc for one fixed time slice and
+// rotates. It returns false when every proc is idle.
+func (t *TimeShare) StepTimeQuantum(quantum time.Duration) bool {
+	if len(t.procs) == 0 || quantum <= 0 || !t.nextRunnable() {
+		return false
+	}
+	t.runFor(t.procs[t.cur], quantum, -1)
+	t.cur = (t.cur + 1) % len(t.procs)
+	return true
+}
+
+// StepBeatQuantum runs the next runnable proc until it completes beats
+// work items (however long that takes — the §2.4 variable-length quantum)
+// and rotates. It returns false when every proc is idle.
+func (t *TimeShare) StepBeatQuantum(beats int) bool {
+	if len(t.procs) == 0 || beats <= 0 || !t.nextRunnable() {
+		return false
+	}
+	p := t.procs[t.cur]
+	t.runFor(p, time.Hour*24*365, beats)
+	t.cur = (t.cur + 1) % len(t.procs)
+	return true
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// endless returns a work supplier with fixed per-item cost.
+func endless(ops float64) func() (Work, bool) {
+	return func() (Work, bool) { return Work{Ops: ops, ParallelFrac: 1}, true }
+}
+
+// bounded returns a supplier of exactly n items.
+func bounded(ops float64, n int) func() (Work, bool) {
+	left := n
+	return func() (Work, bool) {
+		if left == 0 {
+			return Work{}, false
+		}
+		left--
+		return Work{Ops: ops, ParallelFrac: 1}, true
+	}
+}
+
+// Time quanta equalize CPU; with a 4x per-item cost asymmetry the cheap
+// app completes ~4x the beats.
+func TestTimeQuantaEqualizeCPU(t *testing.T) {
+	clk := NewClock(time.Time{})
+	ts := NewTimeShare(clk, 1, 1000)
+	cheap := ts.AddProc("cheap", endless(250))    // 4 items/s
+	costly := ts.AddProc("costly", endless(1000)) // 1 item/s
+	for i := 0; i < 200; i++ {
+		ts.StepTimeQuantum(time.Second)
+	}
+	cpuRatio := float64(cheap.CPU()) / float64(costly.CPU())
+	if cpuRatio < 0.95 || cpuRatio > 1.05 {
+		t.Fatalf("CPU ratio = %.2f, want ~1 under time quanta", cpuRatio)
+	}
+	beatRatio := float64(cheap.Completed()) / float64(costly.Completed())
+	if beatRatio < 3.5 || beatRatio > 4.5 {
+		t.Fatalf("beat ratio = %.2f, want ~4 (cost asymmetry)", beatRatio)
+	}
+}
+
+// Beat quanta equalize application progress; the costly app receives ~4x
+// the CPU instead.
+func TestBeatQuantaEqualizeProgress(t *testing.T) {
+	clk := NewClock(time.Time{})
+	ts := NewTimeShare(clk, 1, 1000)
+	cheap := ts.AddProc("cheap", endless(250))
+	costly := ts.AddProc("costly", endless(1000))
+	for i := 0; i < 200; i++ {
+		ts.StepBeatQuantum(4)
+	}
+	beatRatio := float64(cheap.Completed()) / float64(costly.Completed())
+	if beatRatio < 0.95 || beatRatio > 1.05 {
+		t.Fatalf("beat ratio = %.2f, want ~1 under beat quanta", beatRatio)
+	}
+	cpuRatio := float64(costly.CPU()) / float64(cheap.CPU())
+	if cpuRatio < 3.5 || cpuRatio > 4.5 {
+		t.Fatalf("CPU ratio = %.2f, want ~4 toward the costly app", cpuRatio)
+	}
+}
+
+// A partially executed item resumes correctly across quanta.
+func TestTimeQuantumPartialProgress(t *testing.T) {
+	clk := NewClock(time.Time{})
+	ts := NewTimeShare(clk, 1, 1000)
+	// One item costs 2.5 quanta.
+	p := ts.AddProc("app", bounded(2500, 1))
+	for i := 0; i < 2; i++ {
+		ts.StepTimeQuantum(time.Second)
+		if p.Completed() != 0 {
+			t.Fatalf("completed early at quantum %d", i)
+		}
+	}
+	ts.StepTimeQuantum(time.Second)
+	if p.Completed() != 1 || !p.Idle() {
+		t.Fatalf("completed=%d idle=%v after 3 quanta", p.Completed(), p.Idle())
+	}
+	// 2.5 seconds of CPU, not 3: the final quantum ends at completion.
+	if p.CPU() != 2500*time.Millisecond {
+		t.Fatalf("CPU = %v, want 2.5s", p.CPU())
+	}
+}
+
+func TestTimeShareDrainsAndStops(t *testing.T) {
+	clk := NewClock(time.Time{})
+	ts := NewTimeShare(clk, 2, 1000)
+	a := ts.AddProc("a", bounded(1000, 3))
+	b := ts.AddProc("b", bounded(1000, 5))
+	steps := 0
+	for ts.StepBeatQuantum(2) {
+		steps++
+		if steps > 100 {
+			t.Fatal("scheduler did not terminate")
+		}
+	}
+	if a.Completed() != 3 || b.Completed() != 5 {
+		t.Fatalf("completed a=%d b=%d", a.Completed(), b.Completed())
+	}
+	if ts.StepTimeQuantum(time.Second) {
+		t.Fatal("step on drained scheduler returned true")
+	}
+}
+
+func TestTimeShareValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTimeShare(nil, 1, 1) },
+		func() { NewTimeShare(NewClock(time.Time{}), 0, 1) },
+		func() { NewTimeShare(NewClock(time.Time{}), 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	ts := NewTimeShare(NewClock(time.Time{}), 1, 1)
+	if ts.StepTimeQuantum(0) || ts.StepBeatQuantum(0) {
+		t.Fatal("degenerate quanta accepted")
+	}
+}
