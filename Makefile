@@ -1,0 +1,29 @@
+# Tier-1 verification plus race checking and the short benchmark pass in
+# one command: `make ci`.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-short bench
+
+ci: vet build race bench-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The core-API benchmarks only, briefly: enough to catch a hot-path
+# regression without regenerating every figure.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkBeat$$|BenchmarkHeartbeatParallel|BenchmarkThreadBeat' \
+		-benchmem -benchtime=200ms .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -60,6 +61,76 @@ func BenchmarkBeat(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkHeartbeatParallel measures contended beat registration at 1, 4
+// and 8 goroutines: the sharded per-thread hot path (each goroutine owns a
+// Thread and beats through its lock-free shard) against the seed's mutex
+// path (every goroutine funnels through the locked global store). Each pair
+// runs on the default wall clock and on the cached CoarseClock, since at
+// contended beat rates the vdso clock read is itself a serial bottleneck.
+func BenchmarkHeartbeatParallel(b *testing.B) {
+	type variant struct {
+		name    string
+		locked  bool // seed mutex path: hb.Beat through the locked store
+		coarse  bool
+		sharded bool // per-goroutine Thread.GlobalBeat through shards
+	}
+	variants := []variant{
+		{name: "seed-mutex", locked: true},
+		{name: "seed-mutex-coarse", locked: true, coarse: true},
+		{name: "sharded", sharded: true},
+		{name: "sharded-coarse", sharded: true, coarse: true},
+	}
+	for _, procs := range []int{1, 4, 8} {
+		for _, v := range variants {
+			v := v
+			b.Run(fmt.Sprintf("%s-%dg", v.name, procs), func(b *testing.B) {
+				opts := []heartbeat.Option{
+					heartbeat.WithCapacity(256),
+					heartbeat.WithShardCapacity(1 << 15),
+				}
+				if v.locked {
+					opts = append(opts, heartbeat.WithLockedStore())
+				}
+				if v.coarse {
+					clk := heartbeat.NewCoarseClock(100 * time.Microsecond)
+					defer clk.Stop()
+					opts = append(opts, heartbeat.WithClock(clk))
+				}
+				hb, err := heartbeat.New(20, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				beat := make([]func(), procs)
+				for g := 0; g < procs; g++ {
+					if v.sharded {
+						tr := hb.Thread("bench")
+						beat[g] = tr.GlobalBeat
+					} else {
+						beat[g] = hb.Beat
+					}
+				}
+				n := b.N / procs
+				if n == 0 {
+					n = 1
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < procs; g++ {
+					wg.Add(1)
+					go func(beat func()) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							beat()
+						}
+					}(beat[g])
+				}
+				wg.Wait()
+			})
+		}
 	}
 }
 

@@ -4,7 +4,10 @@
 //
 // The library lives in the subpackages:
 //
-//   - heartbeat: the Application Heartbeats API (the paper's contribution)
+//   - heartbeat: the Application Heartbeats API (the paper's contribution),
+//     with a sharded lock-free beat hot path: per-thread single-producer
+//     rings merged by a batched aggregator, a single atomic store per beat
+//     in the steady state
 //   - heartbeat/compat: Table-1-shaped wrappers for C-reference parity
 //   - hbfile: the file-backed ring for cross-process observation
 //   - observer: external observation and health classification

@@ -1,0 +1,81 @@
+package hbfile
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+)
+
+// WriteRecords must be indistinguishable from per-record WriteRecord calls
+// to a reader, while advancing the cursor once.
+func TestWriterWriteRecordsBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.hb")
+	w, err := Create(path, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 1000)
+	var recs []heartbeat.Record
+	for i := uint64(1); i <= 20; i++ {
+		recs = append(recs, heartbeat.Record{
+			Seq:      i,
+			Time:     base.Add(time.Duration(i) * time.Millisecond),
+			Tag:      int64(i % 3),
+			Producer: int32(i % 4),
+		})
+	}
+	if err := w.WriteRecords(recs[:12]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cursor() != 12 {
+		t.Fatalf("cursor = %d after first batch, want 12", w.Cursor())
+	}
+	if err := w.WriteRecords(nil); err != nil {
+		t.Fatal(err) // empty batch is a no-op
+	}
+	if err := w.WriteRecords(recs[12:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.Last(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("read back %d records, want 20", len(got))
+	}
+	for i, g := range got {
+		want := recs[i]
+		if g.Seq != want.Seq || g.Tag != want.Tag || g.Producer != want.Producer ||
+			g.Time.UnixNano() != want.Time.UnixNano() {
+			t.Fatalf("record %d = %+v, want %+v", i, g, want)
+		}
+	}
+
+	if err := w.WriteRecords(recs[:1]); err == nil {
+		t.Fatal("WriteRecords on closed writer succeeded")
+	}
+}
+
+// A zero sequence number is rejected mid-batch.
+func TestWriterWriteRecordsRejectsZeroSeq(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "z.hb"), 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.WriteRecords([]heartbeat.Record{{Seq: 1, Time: time.Unix(0, 1)}, {Time: time.Unix(0, 2)}})
+	if err == nil {
+		t.Fatal("zero-seq record accepted")
+	}
+}

@@ -61,27 +61,64 @@ func Create(path string, window, capacity int) (*Writer, error) {
 // Records may arrive out of sequence order when multiple goroutines beat
 // concurrently; the cursor only ever moves forward.
 func (w *Writer) WriteRecord(r heartbeat.Record) error {
-	if r.Seq == 0 {
-		return fmt.Errorf("hbfile: record with zero sequence number")
+	one := [1]heartbeat.Record{r}
+	return w.writeBatch(one[:])
+}
+
+// WriteRecords publishes an ordered batch of records
+// (heartbeat.BatchSink): the file lock is taken and the cursor advanced
+// once for the whole batch, so the aggregator's shard merges don't pay the
+// per-record bookkeeping.
+func (w *Writer) WriteRecords(recs []heartbeat.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	return w.writeBatch(recs)
+}
+
+func (w *Writer) writeBatch(recs []heartbeat.Record) error {
+	// Validate the whole batch before touching the file so an invalid
+	// batch is rejected without being applied at all.
+	for _, r := range recs {
+		if r.Seq == 0 {
+			return fmt.Errorf("hbfile: record with zero sequence number")
+		}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return fmt.Errorf("hbfile: writer closed")
 	}
-	if _, err := w.f.WriteAt(encodeRecord(r), slotOffset(r.Seq, w.capacity)); err != nil {
-		return fmt.Errorf("hbfile: write record: %w", err)
-	}
-	if r.Seq > w.cursor {
-		w.cursor = r.Seq
-		var buf [8]byte
-		byteOrder.PutUint64(buf[:], w.cursor)
-		if _, err := w.f.WriteAt(buf[:], offCursor); err != nil {
-			return fmt.Errorf("hbfile: write cursor: %w", err)
+	// An I/O failure skips that record but keeps writing the rest —
+	// the batch is the aggregator's only delivery of these records, so
+	// one bad write must not drop its successors (matching what
+	// per-record delivery would have done). The first error is
+	// reported; the cursor advances over whatever landed.
+	var firstErr error
+	cursor := w.cursor
+	for _, r := range recs {
+		if _, err := w.f.WriteAt(encodeRecord(r), slotOffset(r.Seq, w.capacity)); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hbfile: write record: %w", err)
+			}
+			continue
+		}
+		if r.Seq > cursor {
+			cursor = r.Seq
 		}
 	}
-	return nil
+	if cursor > w.cursor {
+		w.cursor = cursor
+		var buf [8]byte
+		byteOrder.PutUint64(buf[:], w.cursor)
+		if _, err := w.f.WriteAt(buf[:], offCursor); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("hbfile: write cursor: %w", err)
+		}
+	}
+	return firstErr
 }
+
+var _ heartbeat.BatchSink = (*Writer)(nil)
 
 // WriteTarget publishes the target heart-rate range
 // (heartbeat.TargetSink). Readers validate against the version field.

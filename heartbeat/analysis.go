@@ -43,6 +43,15 @@ func (h *Heartbeat) RateByTag(n int, tag int64) (Rate, bool) {
 	return rateOf(FilterTag(h.History(n), tag))
 }
 
+// RateByProducer computes the heart rate of only the records emitted by the
+// given registered thread (0 selects direct global beats), over the last n
+// global records. With the sharded hot path every global record carries its
+// producer, so an observer can ask how fast each worker is contributing to
+// the shared history without the workers beating locally too.
+func (h *Heartbeat) RateByProducer(n int, producer int32) (Rate, bool) {
+	return rateOf(FilterProducer(h.History(n), producer))
+}
+
 // Tags returns the distinct tags present in the last n global records, in
 // first-appearance order — a cheap way for an observer to discover an
 // application's tag vocabulary.

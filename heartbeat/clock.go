@@ -1,6 +1,10 @@
 package heartbeat
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Clock supplies timestamps for heartbeats. The default clock is the wall
 // clock (time.Now). Deterministic tests and the simulated-machine experiments
@@ -15,5 +19,88 @@ type ClockFunc func() time.Time
 // Now implements Clock.
 func (f ClockFunc) Now() time.Time { return f() }
 
-// SystemClock returns the wall clock.
-func SystemClock() Clock { return ClockFunc(time.Now) }
+// SystemClock returns the wall clock. Timestamps track wall time — external
+// observers compare record times against their own clocks to detect
+// staleness, so heartbeat timestamps must not drift from the wall across
+// suspends or NTP steps. Per-producer monotonicity (never letting a
+// thread's beats go backward across a wall step) is enforced by the beat
+// paths themselves.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NowNanos() int64 { return time.Now().UnixNano() }
+
+// nanoClock is the fast-timestamp interface the beat hot path probes for:
+// clocks that can hand out a Unix-nanosecond reading without constructing a
+// time.Time.
+type nanoClock interface {
+	NowNanos() int64
+}
+
+// nanosFunc returns the cheapest available Unix-nanosecond reader for clk.
+func nanosFunc(clk Clock) func() int64 {
+	if nc, ok := clk.(nanoClock); ok {
+		return nc.NowNanos
+	}
+	return func() int64 { return clk.Now().UnixNano() }
+}
+
+// CoarseClock is a cached wall clock: a background goroutine refreshes an
+// atomic Unix-nanosecond reading at a fixed resolution, and Now/NowNanos
+// just load it. Reading it costs about a nanosecond where time.Now costs
+// tens, so it is the clock of choice for beat rates beyond roughly a
+// million per second — the sharded hot path degenerates to a single atomic
+// store per beat while consecutive beats share a timestamp. Heart rates
+// measured over windows spanning many resolution intervals are unaffected
+// by the quantization.
+//
+// Stop releases the refresher goroutine; a stopped clock keeps returning
+// its last reading.
+type CoarseClock struct {
+	nanos atomic.Int64
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// NewCoarseClock starts a coarse clock refreshing every resolution
+// (non-positive selects 100µs).
+func NewCoarseClock(resolution time.Duration) *CoarseClock {
+	if resolution <= 0 {
+		resolution = 100 * time.Microsecond
+	}
+	c := &CoarseClock{stop: make(chan struct{})}
+	// Track the wall clock (so cross-process observers can judge
+	// staleness against their own clocks) but never step backwards: a
+	// backward wall adjustment plateaus the reading until the wall
+	// catches up.
+	last := time.Now().UnixNano()
+	c.nanos.Store(last)
+	go func() {
+		t := time.NewTicker(resolution)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				if now := time.Now().UnixNano(); now > last {
+					last = now
+					c.nanos.Store(now)
+				}
+			}
+		}
+	}()
+	return c
+}
+
+// Now implements Clock.
+func (c *CoarseClock) Now() time.Time { return time.Unix(0, c.nanos.Load()) }
+
+// NowNanos returns the cached Unix-nanosecond reading.
+func (c *CoarseClock) NowNanos() int64 { return c.nanos.Load() }
+
+// Stop halts the refresher goroutine. Stop is idempotent.
+func (c *CoarseClock) Stop() { c.once.Do(func() { close(c.stop) }) }

@@ -30,8 +30,18 @@ type HB struct {
 	app *heartbeat.Heartbeat
 
 	mu      sync.Mutex
-	threads map[int64]*heartbeat.Thread
+	threads map[int64]*compatThread
 	nextKey int64
+}
+
+// compatThread serializes beats on one registered thread. The C API lets
+// any OS thread issue HB_heartbeat for any tid, so — unlike idiomatic users
+// of heartbeat.Thread, which is single-producer for speed — the compat
+// layer keeps the seed's anything-goes concurrency by taking a per-thread
+// mutex around local beats.
+type compatThread struct {
+	mu sync.Mutex
+	t  *heartbeat.Thread
 }
 
 // Initialize creates a heartbeat instance whose default window is window
@@ -45,7 +55,7 @@ func Initialize(window int, local bool, opts ...heartbeat.Option) (*HB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HB{app: app, threads: make(map[int64]*heartbeat.Thread)}, nil
+	return &HB{app: app, threads: make(map[int64]*compatThread)}, nil
 }
 
 // App exposes the underlying heartbeat.Heartbeat.
@@ -59,11 +69,11 @@ func (hb *HB) RegisterThread(name string) int64 {
 	hb.mu.Lock()
 	defer hb.mu.Unlock()
 	hb.nextKey++
-	hb.threads[hb.nextKey] = hb.app.Thread(name)
+	hb.threads[hb.nextKey] = &compatThread{t: hb.app.Thread(name)}
 	return hb.nextKey
 }
 
-func (hb *HB) thread(tid int64) (*heartbeat.Thread, error) {
+func (hb *HB) thread(tid int64) (*compatThread, error) {
 	hb.mu.Lock()
 	defer hb.mu.Unlock()
 	t, ok := hb.threads[tid]
@@ -86,7 +96,9 @@ func (hb *HB) Heartbeat(tag int64, local bool, tid int64) error {
 	if err != nil {
 		return err
 	}
-	t.BeatTag(tag)
+	t.mu.Lock()
+	t.t.BeatTag(tag)
+	t.mu.Unlock()
 	return nil
 }
 
@@ -102,7 +114,7 @@ func (hb *HB) CurrentRate(window int, local bool, tid int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, _ := t.Rate(window)
+	r, _ := t.t.Rate(window)
 	return r, nil
 }
 
@@ -139,5 +151,5 @@ func (hb *HB) GetHistory(n int, local bool, tid int64) ([]heartbeat.Record, erro
 	if err != nil {
 		return nil, err
 	}
-	return t.History(n), nil
+	return t.t.History(n), nil
 }

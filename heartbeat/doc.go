@@ -27,12 +27,37 @@
 //     heartbeats attach to explicitly registered *Thread handles, one per
 //     worker goroutine.
 //
-// The global history is a lock-free ring with seqlock-validated slots:
-// producers never block each other and observers never block producers,
-// mirroring the paper's requirement that hardware or external software may
-// read heartbeat buffers concurrently with the application. A mutex-guarded
-// variant (WithLockedStore) exists for comparison; the subdirectory package
-// compat offers the paper's exact Table 1 function shapes.
+// # Sharded hot path
+//
+// Beat registration is built to run as fast as the hardware allows:
+//
+//   - Every Thread owns two lock-free single-producer rings (internal/ring
+//     SP): a private local history for Beat, and a global shard for
+//     GlobalBeat. A beat is a mutex-free, allocation-free push; the rings
+//     run-length encode timestamps and store tags out of line, so in the
+//     steady state (repeated timestamp, tag 0) a beat is a single atomic
+//     store. Pair the Heartbeat with a CoarseClock to make repeated
+//     timestamps the norm at high beat rates.
+//   - A batched aggregator merges the shards into the global history — a
+//     k-way merge by timestamp, ties broken by shard registration order —
+//     assigning the dense global sequence numbers and delivering sink
+//     batches (BatchSink). Merges happen on every read, on the interval
+//     configured with WithFlushInterval, and whenever a shard's backlog
+//     reaches half its capacity (WithShardCapacity), so no beat is ever
+//     lost. When no sink is attached, backlog beyond the history capacity
+//     is accounted without being materialized, since a bounded history
+//     would discard it on arrival anyway.
+//   - Beats on the Heartbeat itself (Beat/BeatTag) keep the reference
+//     implementation's synchronous contract: the record is stored,
+//     sequenced after all pending shard records, and delivered to the sink
+//     before the call returns.
+//
+// The merged global history is a lock-free ring with seqlock-validated
+// slots: observers never block producers, mirroring the paper's requirement
+// that hardware or external software may read heartbeat buffers
+// concurrently with the application. A mutex-guarded variant
+// (WithLockedStore) exists for the locking ablation; the subdirectory
+// package compat offers the paper's exact Table 1 function shapes.
 //
 // Cross-process observation — the paper's reference implementation writes
 // heartbeats to a file — is provided by the companion package hbfile via the

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWindow is the default-window fallback used when New is given a
@@ -17,31 +18,57 @@ const DefaultWindow = 20
 // records, a default averaging window, and an advertised target heart-rate
 // range. A single Heartbeat is shared by the whole application; per-thread
 // histories hang off it via Thread. All methods are safe for concurrent use.
+//
+// Global state is sharded: each registered Thread writes its global beats
+// into a private lock-free ring, and a batched aggregator merges the shards
+// into the global history on read, on the flush interval configured with
+// WithFlushInterval, or when a shard's backlog reaches half its capacity —
+// whichever comes first. Beats registered directly on the Heartbeat (Beat,
+// BeatTag) keep the synchronous behavior of the paper's reference
+// implementation: the record is in the history, with its sequence number
+// assigned, and delivered to the sink before the call returns.
 type Heartbeat struct {
-	window int
-	clock  Clock
-	store  store
-	sink   Sink
+	window   int
+	clock    Clock
+	nowNanos func() int64
+	store    store
+	sink     Sink
+	agg      *aggregator
 
 	targetMin atomic.Uint64 // math.Float64bits
 	targetMax atomic.Uint64
 	targetSet atomic.Bool
 
+	// lastDirect clamps direct-beat timestamps non-decreasing across
+	// wall-clock steps; direct beats are multi-producer, so unlike
+	// Thread.now's plain field this needs an atomic max.
+	lastDirect atomic.Int64
+
+	// lastCount keeps Count monotonic when it falls back to the
+	// lock-free estimate during a merge.
+	lastCount atomic.Uint64
+
 	sinkErr atomic.Pointer[error]
+
+	flushStop chan struct{}
+	flushDone chan struct{}
 
 	mu           sync.Mutex
 	threads      []*Thread
 	nextThreadID int32
 	threadCap    int
+	shardCap     int
 	closed       bool
 }
 
 type config struct {
-	capacity  int
-	threadCap int
-	clock     Clock
-	sink      Sink
-	locked    bool
+	capacity   int
+	threadCap  int
+	shardCap   int
+	flushEvery time.Duration
+	clock      Clock
+	sink       Sink
+	locked     bool
 }
 
 // Option configures New.
@@ -56,11 +83,27 @@ func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
 // It defaults to the global capacity.
 func WithThreadCapacity(n int) Option { return func(c *config) { c.threadCap = n } }
 
+// WithShardCapacity sets the size of each per-thread global shard: the
+// lock-free ring Thread.GlobalBeat writes into before aggregation. A shard's
+// producer triggers a flush when its backlog reaches half this capacity, so
+// larger shards mean larger (and rarer) merge batches. The default is the
+// global capacity, but at least 256.
+func WithShardCapacity(n int) Option { return func(c *config) { c.shardCap = n } }
+
+// WithFlushInterval starts a background flusher that merges pending shard
+// records into the global history (and the sink) every d. Without it, shards
+// are merged on every read and whenever a shard fills past half its
+// capacity, so a flusher is only needed to bound sink latency while no one
+// beats on the global handle or reads.
+func WithFlushInterval(d time.Duration) Option { return func(c *config) { c.flushEvery = d } }
+
 // WithClock injects the timestamp source (default: the wall clock).
 func WithClock(clk Clock) Option { return func(c *config) { c.clock = clk } }
 
 // WithSink registers a Sink that receives every global record as it is
 // produced, e.g. an hbfile.Writer exposing the heartbeat to other processes.
+// Direct beats reach the sink synchronously; per-thread global beats reach
+// it in aggregation batches (see BatchSink).
 func WithSink(s Sink) Option { return func(c *config) { c.sink = s } }
 
 // WithLockedStore selects the mutex-guarded history instead of the default
@@ -97,21 +140,56 @@ func New(window int, opts ...Option) (*Heartbeat, error) {
 	if cfg.threadCap <= 0 {
 		cfg.threadCap = cfg.capacity
 	}
+	if cfg.threadCap < 2 {
+		cfg.threadCap = 2
+	}
+	if cfg.shardCap <= 0 {
+		cfg.shardCap = cfg.capacity
+		if cfg.shardCap < 256 {
+			cfg.shardCap = 256
+		}
+	}
+	if cfg.shardCap < 2 {
+		cfg.shardCap = 2
+	}
 	if cfg.clock == nil {
 		return nil, errors.New("heartbeat: nil clock")
 	}
 	h := &Heartbeat{
 		window:    window,
 		clock:     cfg.clock,
+		nowNanos:  nanosFunc(cfg.clock),
 		sink:      cfg.sink,
 		threadCap: cfg.threadCap,
+		shardCap:  cfg.shardCap,
 	}
 	if cfg.locked {
 		h.store = newLockedStore(cfg.capacity)
 	} else {
 		h.store = newLockfreeStore(cfg.capacity)
 	}
+	h.agg = &aggregator{st: h.store, sink: cfg.sink, sinkErr: &h.sinkErr}
+	if cfg.flushEvery > 0 {
+		h.flushStop = make(chan struct{})
+		h.flushDone = make(chan struct{})
+		go h.flusher(cfg.flushEvery)
+	}
 	return h, nil
+}
+
+// flusher periodically merges pending shard records until Close.
+func (h *Heartbeat) flusher(every time.Duration) {
+	defer close(h.flushDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.flushStop:
+			return
+		case <-t.C:
+			h.agg.flush()
+		}
+	}
 }
 
 // Window returns the default averaging window in beats.
@@ -121,25 +199,78 @@ func (h *Heartbeat) Window() int { return h.window }
 func (h *Heartbeat) Capacity() int { return h.store.capacity() }
 
 // Beat registers a global heartbeat with tag 0 (HB_heartbeat, local=false).
-func (h *Heartbeat) Beat() { h.beat(0, 0) }
+func (h *Heartbeat) Beat() { h.beat(0) }
 
 // BeatTag registers a global heartbeat carrying a caller-defined tag, e.g.
 // the frame type of a video encoder or a sequence number.
-func (h *Heartbeat) BeatTag(tag int64) { h.beat(tag, 0) }
+func (h *Heartbeat) BeatTag(tag int64) { h.beat(tag) }
 
-func (h *Heartbeat) beat(tag int64, producer int32) {
-	now := h.clock.Now()
-	seq := h.store.append(now.UnixNano(), tag, producer)
+// beat is the direct-beat path; such records carry producer 0
+// (thread-attributed beats flow through gshard.beat instead).
+func (h *Heartbeat) beat(tag int64) {
+	nanos := h.nowNanos()
+	for {
+		last := h.lastDirect.Load()
+		if nanos <= last {
+			nanos = last // clock stepped back (or tied): hold the line
+			break
+		}
+		if h.lastDirect.CompareAndSwap(last, nanos) {
+			break
+		}
+	}
+	if h.agg.active() && h.agg.hasPending() {
+		// Merge pending shard records first so sequence numbers stay
+		// ordered, then append and deliver synchronously. With no
+		// backlog the beat takes the wait-free append below instead —
+		// so direct beats only pay for aggregation when there is
+		// something to aggregate. A direct beat racing the very first
+		// Thread registration (or a concurrent shard push) may
+		// likewise be sequenced before those records — the operations
+		// are concurrent, so either order is a valid linearization.
+		h.agg.direct(nanos, tag)
+		return
+	}
+	seq := h.store.append(nanos, tag, 0)
 	if h.sink != nil {
-		r := Record{Seq: seq, Time: now, Tag: tag, Producer: producer}
+		r := Record{Seq: seq, Time: time.Unix(0, nanos), Tag: tag, Producer: 0}
 		if err := h.sink.WriteRecord(r); err != nil {
 			h.sinkErr.Store(&err)
 		}
 	}
 }
 
-// Count returns the total number of global heartbeats ever registered.
-func (h *Heartbeat) Count() uint64 { return h.store.total() }
+// Flush merges all pending per-thread shard records into the global history
+// and delivers them to the sink, if one is attached. Reads flush implicitly;
+// Flush exists for callers that need sink delivery bounded without reading.
+func (h *Heartbeat) Flush() { h.agg.flush() }
+
+// Count returns the total number of global heartbeats ever registered,
+// including per-thread global beats not yet merged into the history. Count
+// never blocks behind an in-progress merge: when one is running it falls
+// back to a lock-free estimate, clamped so consecutive Counts never go
+// backwards; at quiescence it is exact.
+func (h *Heartbeat) Count() uint64 {
+	if !h.agg.active() {
+		return h.store.total()
+	}
+	var total uint64
+	if h.agg.mu.TryLock() {
+		total = h.store.total() + h.agg.pendingLocked()
+		h.agg.mu.Unlock()
+	} else {
+		total = h.store.total() + h.agg.pendingEstimate()
+	}
+	for {
+		last := h.lastCount.Load()
+		if total <= last {
+			return last
+		}
+		if h.lastCount.CompareAndSwap(last, total) {
+			return total
+		}
+	}
+}
 
 // Rate returns the average heart rate over the last window beats
 // (HB_current_rate). window == 0 uses the default window; windows larger
@@ -167,7 +298,18 @@ func (h *Heartbeat) clipWindow(window int) int {
 
 // History returns up to n of the most recent global records, oldest to
 // newest (HB_get_history). n larger than the retained history is clipped.
-func (h *Heartbeat) History(n int) []Record { return h.store.last(n) }
+// Pending shard records are merged first, so History reflects every beat
+// registered before the call — except when another goroutine is already
+// mid-merge (or History is invoked from inside a sink callback), in which
+// case History reads the store as-is rather than wait: the concurrent merge
+// publishes those records for the next read.
+func (h *Heartbeat) History(n int) []Record {
+	if h.agg.active() && h.agg.mu.TryLock() {
+		h.agg.mergeLocked()
+		h.agg.mu.Unlock()
+	}
+	return h.store.last(n)
+}
 
 // SetTarget advertises the heart-rate goal [min, max] beats per second
 // (HB_set_target_rate) for external observers.
@@ -197,14 +339,15 @@ func (h *Heartbeat) Target() (min, max float64, ok bool) {
 	return math.Float64frombits(h.targetMin.Load()), math.Float64frombits(h.targetMax.Load()), true
 }
 
-// Thread registers a per-thread heartbeat handle with a private history
-// (the paper's local heartbeats). Each concurrent worker should register its
-// own handle; handles remain valid for the life of the Heartbeat.
+// Thread registers a per-thread heartbeat handle with a private history and
+// a private global shard (the paper's local heartbeats). Each concurrent
+// worker should register its own handle; handles remain valid for the life
+// of the Heartbeat.
 func (h *Heartbeat) Thread(name string) *Thread {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.nextThreadID++
-	t := newThread(h, h.nextThreadID, name, h.threadCap)
+	t := newThread(h, h.nextThreadID, name, h.threadCap, h.shardCap)
 	h.threads = append(h.threads, t)
 	return t
 }
@@ -226,9 +369,10 @@ func (h *Heartbeat) SinkErr() error {
 	return nil
 }
 
-// Close releases the sink (if it implements io.Closer). The Heartbeat
-// itself holds no other resources; beats after Close still record in memory
-// but sink writes will report errors via SinkErr. Close is idempotent.
+// Close stops the background flusher (if any), merges pending shard records
+// so the sink has seen every beat, and releases the sink (if it implements
+// io.Closer). Beats after Close still record in memory but sink writes will
+// report errors via SinkErr. Close is idempotent.
 func (h *Heartbeat) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -236,6 +380,11 @@ func (h *Heartbeat) Close() error {
 		return nil
 	}
 	h.closed = true
+	if h.flushStop != nil {
+		close(h.flushStop)
+		<-h.flushDone
+	}
+	h.agg.flush()
 	if c, ok := h.sink.(io.Closer); ok {
 		return c.Close()
 	}

@@ -8,7 +8,10 @@ import "time"
 type Record struct {
 	// Seq is the 1-based position of this record in its history
 	// (global or per-thread). Sequence numbers are dense: record n+1 was
-	// produced after record n.
+	// produced after record n. Global sequence numbers are assigned when
+	// the aggregator merges per-thread shards (in timestamp order, ties
+	// broken by shard registration order), so under concurrent producers
+	// they order records as merged, not as raced.
 	Seq uint64
 	// Time is the timestamp assigned when the heartbeat was registered.
 	Time time.Time

@@ -6,6 +6,13 @@ package heartbeat
 // read; package hbfile provides that sink. WriteRecord is called
 // synchronously from Beat, potentially from many goroutines at once, so
 // implementations must be concurrency-safe and should be fast.
+//
+// Delivery happens while the aggregator lock is held, so a sink must not
+// call back into the originating Heartbeat: Beat and Flush from inside a
+// sink deadlock (or recurse, on the no-backlog fast path). Count, Rate,
+// and History are tolerated — they fall back to a lock-free estimate or
+// the pre-merge history — but the right design is for a sink to hand
+// records off, not to re-enter.
 type Sink interface {
 	WriteRecord(Record) error
 }
@@ -16,6 +23,21 @@ type Sink interface {
 type TargetSink interface {
 	Sink
 	WriteTarget(min, max float64) error
+}
+
+// BatchSink is implemented by sinks that can accept an ordered batch of
+// records in one call. The aggregator delivers each shard merge through
+// WriteRecords when the sink supports it, amortizing per-record overhead
+// (hbfile.Writer, for example, takes its lock and advances its cursor once
+// per batch). Sinks that don't implement BatchSink receive the same records
+// through WriteRecord, one call each, in the same order.
+//
+// The slice is the aggregator's reusable scratch buffer: it is only valid
+// for the duration of the call. A sink that wants to keep the records must
+// copy them before returning.
+type BatchSink interface {
+	Sink
+	WriteRecords([]Record) error
 }
 
 // SinkFunc adapts a function to the Sink interface.
@@ -34,6 +56,27 @@ func (m multiSink) WriteRecord(r Record) error {
 	for _, s := range m {
 		if err := s.WriteRecord(r); err != nil && first == nil {
 			first = err
+		}
+	}
+	return first
+}
+
+// WriteRecords fans a batch out to every sink, using each sink's batch
+// entry point when it has one. It returns the first error but still
+// attempts every sink.
+func (m multiSink) WriteRecords(recs []Record) error {
+	var first error
+	for _, s := range m {
+		if bs, ok := s.(BatchSink); ok {
+			if err := bs.WriteRecords(recs); err != nil && first == nil {
+				first = err
+			}
+			continue
+		}
+		for _, r := range recs {
+			if err := s.WriteRecord(r); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

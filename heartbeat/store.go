@@ -15,6 +15,11 @@ type store interface {
 	append(unixNanos int64, tag int64, producer int32) (seq uint64)
 	// total returns the number of records ever appended.
 	total() uint64
+	// skip claims n sequence numbers without materializing records: the
+	// aggregator's accounting for merged records that a bounded history
+	// would discard on arrival. Skipped sequence numbers read back as
+	// absent.
+	skip(n uint64)
 	// capacity returns the number of retained records.
 	capacity() int
 	// last returns up to n of the most recent records, oldest to newest.
@@ -60,6 +65,11 @@ func (s *lockfreeStore) append(unixNanos int64, tag int64, producer int32) uint6
 
 func (s *lockfreeStore) total() uint64 { return s.next.Load() }
 func (s *lockfreeStore) capacity() int { return len(s.slots) }
+
+// skip advances the sequence counter; the skipped slots keep their stale
+// version stamps, so reads of the skipped sequence numbers fail like reads
+// of overwritten records.
+func (s *lockfreeStore) skip(n uint64) { s.next.Add(n) }
 
 // read returns the record with the given sequence number if it is still
 // retained and stable.
@@ -137,10 +147,27 @@ func (s *lockedStore) total() uint64 {
 	return s.buf.Total()
 }
 
+func (s *lockedStore) skip(n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Skip(n)
+}
+
 func (s *lockedStore) capacity() int { return s.buf.Cap() }
 
 func (s *lockedStore) last(n int) []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.buf.Last(n)
+	recs := s.buf.Last(n)
+	// Skipped positions read back as zero Records; drop them.
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Seq != 0 {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

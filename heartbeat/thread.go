@@ -1,29 +1,73 @@
 package heartbeat
 
 import (
-	"sync"
+	"time"
 
 	"repro/internal/ring"
 )
 
-// Thread is a per-thread heartbeat handle with a private history — the
-// paper's "local" heartbeats. Threads working on independent objects beat on
-// their own handles so observers can reason about them separately; threads
-// cooperating on one object share the application's global heartbeat.
+// Thread is a per-thread heartbeat handle — the paper's "local" heartbeats.
+// Threads working on independent objects beat on their own handles so
+// observers can reason about them separately; threads cooperating on one
+// object report shared progress through GlobalBeat.
 //
-// A Thread is intended to be beaten by a single goroutine, but all methods
-// are nevertheless safe for concurrent use (observers read concurrently).
+// A Thread owns two lock-free single-producer rings: a private local history
+// (Beat/BeatTag) and a global shard (GlobalBeat/GlobalBeatTag) that the
+// aggregator merges into the application history. Both beat paths are
+// mutex-free and allocation-free: in the steady state a beat is a single
+// atomic store. That speed rests on a single-producer contract: all beat
+// calls on one Thread must come from one goroutine (register one handle per
+// worker — Thread handles are cheap). Concurrent beats on a shared handle
+// are a data race: beats can be lost and `go test -race` will flag the
+// caller. This is stricter than the seed's mutex-guarded Thread, which
+// tolerated shared handles; heartbeat/compat serializes its local beats for
+// C-parity callers that relied on that. All read methods remain safe for
+// any number of concurrent observers.
 type Thread struct {
 	h    *Heartbeat
 	id   int32
 	name string
-
-	mu  sync.Mutex
-	buf *ring.Buffer[Record]
+	// coarse short-circuits the clock indirection when the application
+	// runs on a CoarseClock — the beat hot path becomes a direct atomic
+	// load instead of an indirect call.
+	coarse    *CoarseClock
+	nowNanos  func() int64
+	lastNanos int64 // producer-private: clamps beat times non-decreasing
+	local     *ring.SP
+	g         *gshard
 }
 
-func newThread(h *Heartbeat, id int32, name string, capacity int) *Thread {
-	return &Thread{h: h, id: id, name: name, buf: ring.New[Record](capacity)}
+func newThread(h *Heartbeat, id int32, name string, localCap, shardCap int) *Thread {
+	t := &Thread{
+		h:        h,
+		id:       id,
+		name:     name,
+		nowNanos: h.nowNanos,
+		local:    ring.NewSP(localCap),
+		g:        h.agg.register(id, shardCap),
+	}
+	if cc, ok := h.clock.(*CoarseClock); ok {
+		t.coarse = cc
+	}
+	return t
+}
+
+// now is the hot-path timestamp read, clamped so one thread's beat times
+// never run backwards across a wall-clock step (negative spans would make
+// windowed rates unreportable). The clamp is a plain field: only the
+// owning goroutine beats, per the single-producer contract.
+func (t *Thread) now() int64 {
+	var n int64
+	if t.coarse != nil {
+		n = t.coarse.nanos.Load()
+	} else {
+		n = t.nowNanos()
+	}
+	if n < t.lastNanos {
+		return t.lastNanos
+	}
+	t.lastNanos = n
+	return n
 }
 
 // ID returns the registration identifier stamped into this thread's records
@@ -34,30 +78,22 @@ func (t *Thread) ID() int32 { return t.id }
 func (t *Thread) Name() string { return t.name }
 
 // Beat registers a local heartbeat with tag 0 (HB_heartbeat, local=true).
-func (t *Thread) Beat() { t.BeatTag(0) }
+func (t *Thread) Beat() { t.local.Push(t.now(), 0) }
 
 // BeatTag registers a local heartbeat carrying a caller-defined tag.
-func (t *Thread) BeatTag(tag int64) {
-	now := t.h.clock.Now()
-	t.mu.Lock()
-	seq := t.buf.Total() + 1
-	t.buf.Push(Record{Seq: seq, Time: now, Tag: tag, Producer: t.id})
-	t.mu.Unlock()
-}
+func (t *Thread) BeatTag(tag int64) { t.local.Push(t.now(), tag) }
 
 // GlobalBeat registers a heartbeat on the application's global history,
-// attributed to this thread.
-func (t *Thread) GlobalBeat() { t.h.beat(0, t.id) }
+// attributed to this thread. The write lands in this thread's lock-free
+// shard; the aggregator assigns its global sequence number when the shard
+// is merged (on read, on the flush interval, or on backlog pressure).
+func (t *Thread) GlobalBeat() { t.g.beat(t.now(), 0) }
 
 // GlobalBeatTag is GlobalBeat with a tag.
-func (t *Thread) GlobalBeatTag(tag int64) { t.h.beat(tag, t.id) }
+func (t *Thread) GlobalBeatTag(tag int64) { t.g.beat(t.now(), tag) }
 
 // Count returns the number of local heartbeats ever registered.
-func (t *Thread) Count() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.buf.Total()
-}
+func (t *Thread) Count() uint64 { return t.local.Total() }
 
 // Rate returns the local heart rate over the last window beats; window == 0
 // uses the application's default window. Windows beyond the retained
@@ -77,7 +113,13 @@ func (t *Thread) RateDetail(window int) (Rate, bool) {
 
 // History returns up to n of the most recent local records, oldest first.
 func (t *Thread) History(n int) []Record {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.buf.Last(n)
+	ents := t.local.Last(n)
+	if len(ents) == 0 {
+		return nil
+	}
+	out := make([]Record, len(ents))
+	for i, e := range ents {
+		out[i] = Record{Seq: e.Seq, Time: time.Unix(0, e.Time), Tag: e.Tag, Producer: t.id}
+	}
+	return out
 }

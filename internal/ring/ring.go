@@ -1,8 +1,10 @@
-// Package ring provides a fixed-capacity ring buffer that retains the most
-// recent values pushed into it. It is the storage primitive behind per-thread
-// heartbeat histories. The zero value is not usable; construct with New.
+// Package ring provides the fixed-capacity ring buffers behind heartbeat
+// histories: Buffer, a plain generic ring for externally synchronized use,
+// and SP, a lock-free single-producer multi-reader ring that run-length
+// encodes timestamps — the storage behind the sharded beat hot path.
 //
 // Buffer is not safe for concurrent use; callers synchronize externally.
+// SP allows one pushing goroutine and any number of concurrent readers.
 package ring
 
 // Buffer is a fixed-capacity ring retaining the last cap values.
@@ -38,6 +40,23 @@ func (b *Buffer[T]) Total() uint64 { return b.total }
 func (b *Buffer[T]) Push(v T) {
 	b.buf[b.total%uint64(len(b.buf))] = v
 	b.total++
+}
+
+// Skip advances the buffer past n values without storing them, as if n
+// zero values had been pushed: the skipped positions read back as zero
+// values and older values they displace are evicted. The batched heartbeat
+// aggregator uses this to account for records that a bounded history would
+// immediately discard, without materializing them.
+func (b *Buffer[T]) Skip(n uint64) {
+	var zero T
+	clear := n
+	if clear > uint64(len(b.buf)) {
+		clear = uint64(len(b.buf))
+	}
+	for i := uint64(0); i < clear; i++ {
+		b.buf[(b.total+i)%uint64(len(b.buf))] = zero
+	}
+	b.total += n
 }
 
 // At returns the i-th retained value, 0 being the oldest.
