@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-short bench
+.PHONY: ci vet build test race bench-short bench bench-compare
 
-ci: vet build race bench-short
+ci: vet build race bench-short bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +27,14 @@ bench-short:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Snapshot polling vs cursor streaming, recorded as test2json events in
+# BENCH_stream.json so the consumer-path perf trajectory is tracked across
+# PRs (compare the Output lines of successive runs).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkPollVsStream' -benchmem \
+		-benchtime=200ms -json . > BENCH_stream.json
+	@sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' BENCH_stream.json \
+		| awk '{printf "%s", $$0}' \
+		| sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
+		| grep 'ns/op'

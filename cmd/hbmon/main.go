@@ -1,18 +1,24 @@
-// Command hbmon watches a heartbeat ring file and reports the observed
-// application's heart rate, goals, and health — the system-administration
-// use of §2.3: detect hangs, watch program phases, diagnose performance in
-// the field, all without touching the application.
+// Command hbmon watches a heartbeat ring or log file and reports the
+// observed application's heart rate, goals, and health — the
+// system-administration use of §2.3: detect hangs, watch program phases,
+// diagnose performance in the field, all without touching the application.
 //
 // Usage:
 //
-//	hbmon -file app.hb [-interval 500ms] [-window N] [-count N]
+//	hbmon -file app.hb [-interval 500ms] [-window N] [-count N] [-follow]
 //
-// Each line reports: beat count, heart rate over the window, the advertised
-// target range, and the health classification (healthy / slow / fast /
-// erratic / flatlined / dead).
+// The default mode polls a full snapshot every interval. With -follow,
+// hbmon tails the file incrementally: each tick reads only the records
+// published since the previous one (an idle tick is a single cursor
+// read), reports how many new beats arrived, and flags records lost to
+// ring overwrite. Each line reports: beat count, new beats this tick
+// (follow mode), heart rate over the window, the advertised target range,
+// and the health classification (healthy / slow / fast / erratic /
+// flatlined / dead).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +30,10 @@ import (
 
 func main() {
 	path := flag.String("file", "", "heartbeat ring or log file to watch (required)")
-	interval := flag.Duration("interval", 500*time.Millisecond, "polling interval")
+	interval := flag.Duration("interval", 500*time.Millisecond, "reporting interval")
 	window := flag.Int("window", 0, "rate window in beats (0 = file default)")
-	count := flag.Int("count", 0, "stop after this many polls (0 = forever)")
+	count := flag.Int("count", 0, "stop after this many reports (0 = forever)")
+	follow := flag.Bool("follow", false, "tail the file incrementally instead of re-reading the window each poll")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -34,24 +41,37 @@ func main() {
 	}
 
 	// Accept either file variant: the bounded ring or the append-only log.
-	var source observer.Source
-	fileWindow := 0
+	var (
+		source     observer.Source
+		stream     observer.Stream
+		fileWindow int
+	)
 	if r, err := hbfile.Open(*path); err == nil {
 		defer r.Close()
 		fmt.Printf("watching ring %s (pid %d, window %d, capacity %d)\n", *path, r.PID(), r.Window(), r.Capacity())
 		source = observer.FileSource(r)
+		stream = observer.FileStream(r, *interval/10)
 		fileWindow = r.Window()
 	} else if lr, lerr := hbfile.OpenLog(*path); lerr == nil {
 		defer lr.Close()
 		fmt.Printf("watching log %s (window %d, full history)\n", *path, lr.Window())
 		source = observer.LogSource(lr)
+		stream = observer.LogStream(lr, *interval/10)
 		fileWindow = lr.Window()
 	} else {
-		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		// Neither variant opened: show both failures — the ring error
+		// alone would hide why a log file was rejected.
+		fmt.Fprintln(os.Stderr, "hbmon: not a heartbeat ring:", err)
+		fmt.Fprintln(os.Stderr, "hbmon: not a heartbeat log:", lerr)
 		os.Exit(1)
 	}
 
 	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
+	if *follow {
+		runFollow(stream, classifier, *interval, *count)
+		return
+	}
+
 	maxRecords := *window
 	if maxRecords <= 0 {
 		maxRecords = fileWindow
@@ -62,17 +82,50 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hbmon:", err)
 			os.Exit(1)
 		}
-		st := classifier.Classify(snap)
-		target := "no target"
-		if st.TargetSet {
-			target = fmt.Sprintf("target [%.2f, %.2f]", st.TargetMin, st.TargetMax)
-		}
-		rate := "rate  n/a"
-		if st.RateOK {
-			rate = fmt.Sprintf("rate %7.2f beats/s", st.Rate)
-		}
-		fmt.Printf("%s  beats %8d  %s  %s  health %s\n",
-			time.Now().Format("15:04:05.000"), st.Count, rate, target, st.Health)
+		report(classifier.Classify(snap), -1, 0)
 		time.Sleep(*interval)
 	}
+}
+
+// runFollow is the incremental mode: absorb new records as they land,
+// judge and report every interval.
+func runFollow(stream observer.Stream, classifier *observer.Classifier, interval time.Duration, count int) {
+	win := observer.NewWindow(classifier.Window)
+	ctx := context.Background()
+	var lastCount, lastMissed uint64
+	for reports := 0; count == 0 || reports < count; reports++ {
+		if _, err := observer.CollectInto(ctx, stream, win, time.Now().Add(interval)); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		st := classifier.ClassifyWindow(win)
+		delta := int64(st.Count) - int64(lastCount)
+		if delta < 0 {
+			delta = 0 // the file was recreated under us
+		}
+		report(st, delta, win.Missed()-lastMissed)
+		lastCount, lastMissed = st.Count, win.Missed()
+	}
+}
+
+// report prints one status line; delta < 0 means "don't show new-beat
+// accounting" (snapshot mode).
+func report(st observer.Status, delta int64, missed uint64) {
+	target := "no target"
+	if st.TargetSet {
+		target = fmt.Sprintf("target [%.2f, %.2f]", st.TargetMin, st.TargetMax)
+	}
+	rate := "rate  n/a"
+	if st.RateOK {
+		rate = fmt.Sprintf("rate %7.2f beats/s", st.Rate)
+	}
+	line := fmt.Sprintf("%s  beats %8d", time.Now().Format("15:04:05.000"), st.Count)
+	if delta >= 0 {
+		line += fmt.Sprintf("  +%d", delta)
+	}
+	line += fmt.Sprintf("  %s  %s  health %s", rate, target, st.Health)
+	if missed > 0 {
+		line += fmt.Sprintf("  (missed %d: consumer outran by ring overwrite)", missed)
+	}
+	fmt.Println(line)
 }

@@ -5,18 +5,23 @@
 // The library lives in the subpackages:
 //
 //   - heartbeat: the Application Heartbeats API (the paper's contribution),
-//     with a sharded lock-free beat hot path: per-thread single-producer
+//     with a sharded lock-free beat hot path — per-thread single-producer
 //     rings merged by a batched aggregator, a single atomic store per beat
-//     in the steady state
+//     in the steady state — and cursor-based consumers (ReadSince,
+//     Subscribe) that read each record exactly once
 //   - heartbeat/compat: Table-1-shaped wrappers for C-reference parity
-//   - hbfile: the file-backed ring for cross-process observation
-//   - observer: external observation and health classification
+//   - hbfile: the file-backed ring for cross-process observation, with
+//     incremental readers (an idle observer tick is one 8-byte read)
+//   - observer: external observation as incremental Streams — Monitor for
+//     one application, Hub to multiplex many named applications into one
+//     loop — plus health classification; the old snapshot Source remains
+//     as a compat shim (see observer.StreamOf)
 //   - control: adaptation policies (threshold stepper, PI, quality ladder)
-//   - scheduler: heart-rate-driven core allocation
+//   - scheduler: heart-rate-driven core allocation, deciding from streams
 //   - sim: the deterministic simulated multicore machine
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the per-figure reproduction record. The benchmarks in
-// bench_test.go regenerate the paper's tables and figures under go test
-// -bench and ablate the main design choices.
+// See README.md for a tour. The benchmarks in bench_test.go regenerate the
+// paper's tables and figures under go test -bench and ablate the main
+// design choices; BenchmarkPollVsStream records the snapshot-polling vs
+// cursor-streaming consumer cost (make bench-compare).
 package repro

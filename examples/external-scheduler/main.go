@@ -48,16 +48,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// ---- Scheduler side: reads ONLY the file.
+	// ---- Scheduler side: reads ONLY the file, and incrementally — each
+	// decision consumes just the records the application published since
+	// the previous one, through the file's cursor (observer.FileStream).
 	reader, err := hbfile.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reader.Close()
 	sched, err := scheduler.New(
-		observer.FileSource(reader),
+		nil,
 		machine,
 		scheduler.StepperPolicy{Stepper: &control.Stepper{TargetMin: 8, TargetMax: 10}},
+		scheduler.WithStream(observer.FileStream(reader, 0)),
 		scheduler.WithWindow(10),
 	)
 	if err != nil {

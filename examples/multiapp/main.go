@@ -5,6 +5,12 @@
 // "best global outcome" the paper argues registered goals enable, and the
 // scheduling behaviour an "organic OS" would build in.
 //
+// Both the partitioner and an observer.Hub consume the applications as
+// incremental streams: each decision and each health judgment reads only
+// the beats registered since the last one, and the hub multiplexes every
+// application's stream into one loop with per-application status fan-out —
+// the library form of what used to be a hand-rolled per-app polling loop.
+//
 //	go run ./examples/multiapp
 package main
 
@@ -58,10 +64,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := part.Add("video", observer.HeartbeatSource(videoHB), videoProc.SetCores, 1); err != nil {
+	// Each consumer opens its own stream: the partitioner and the hub each
+	// hold an independent cursor into the same heartbeat histories.
+	if err := part.AddStream("video", observer.HeartbeatStream(videoHB), videoProc.SetCores, 1); err != nil {
 		log.Fatal(err)
 	}
-	if err := part.Add("indexer", observer.HeartbeatSource(indexHB), indexProc.SetCores, 1); err != nil {
+	if err := part.AddStream("indexer", observer.HeartbeatStream(indexHB), indexProc.SetCores, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// The hub multiplexes every application's health into one place; here
+	// it reports health transitions as they happen.
+	health := map[string]observer.Health{}
+	hub := observer.NewHub(0, func(name string, st observer.Status) {
+		if st.Health != health[name] {
+			fmt.Printf("          hub: %s -> %s (%.2f beats/s)\n", name, st.Health, st.Rate)
+			health[name] = st.Health
+		}
+	}, observer.WithHubClassifier(func(string) *observer.Classifier {
+		return &observer.Classifier{Clock: clk}
+	}))
+	if err := hub.Add("video", observer.HeartbeatStream(videoHB)); err != nil {
+		log.Fatal(err)
+	}
+	if err := hub.Add("indexer", observer.HeartbeatStream(indexHB)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -76,6 +102,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		hub.Step()
 		if step%20 == 0 || step == 81 || step == 82 {
 			fmt.Printf("%8d  %12.2f %5d   %18.2f %5d   %4d\n",
 				step, sts[0].Rate, sts[0].Cores, sts[1].Rate, sts[1].Cores, part.Free())

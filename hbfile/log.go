@@ -196,6 +196,34 @@ func (r *LogReader) Read(from uint64, n int) ([]heartbeat.Record, error) {
 	return out, nil
 }
 
+// ReadSince returns the records appended after the first since, oldest to
+// newest, plus the cursor to resume from (the count consumed so far; pass
+// it to the next ReadSince). max > 0 bounds the batch size — the cursor
+// then stops at the last returned record, so a tailing observer pages
+// through a large backlog without skipping anything. When nothing new has
+// been appended the call costs a single 8-byte header read. This is the
+// incremental tail over the full-history log: no record is ever re-read.
+func (r *LogReader) ReadSince(since uint64, max int) ([]heartbeat.Record, uint64, error) {
+	count, err := r.Count()
+	if err != nil {
+		return nil, since, err
+	}
+	if count <= since {
+		// Idle, or a recreated (shorter) file: return the file's count so
+		// the caller resynchronizes.
+		return nil, count, nil
+	}
+	n := count - since
+	if max > 0 && n > uint64(max) {
+		n = uint64(max)
+	}
+	recs, err := r.Read(since, int(n))
+	if err != nil {
+		return nil, since, err
+	}
+	return recs, since + uint64(len(recs)), nil
+}
+
 // Last returns the most recent n records in append order.
 func (r *LogReader) Last(n int) ([]heartbeat.Record, error) {
 	count, err := r.Count()
@@ -252,14 +280,8 @@ func (r *LogReader) Rate(window int) (perSec float64, ok bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
-	if len(recs) < 2 {
-		return 0, false, nil
-	}
-	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
-	if span <= 0 {
-		return 0, false, nil
-	}
-	return float64(len(recs)-1) / span.Seconds(), true, nil
+	rate, ok := heartbeat.RateOf(recs)
+	return rate.PerSec, ok, nil
 }
 
 // Close closes the log file.

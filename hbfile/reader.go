@@ -104,7 +104,48 @@ func (r *Reader) Last(n int) ([]heartbeat.Record, error) {
 	if n > int(r.hdr.capacity) {
 		n = int(r.hdr.capacity)
 	}
-	first := cur - uint64(n) + 1
+	return r.readRange(cur-uint64(n)+1, n)
+}
+
+// ReadSince returns the retained records with sequence numbers greater
+// than since, oldest to newest, plus the cursor to resume from (pass it to
+// the next ReadSince). max > 0 bounds the batch size; the cursor then
+// stops at the last returned record so no record is skipped. When nothing
+// new has been published the call costs a single 8-byte header read — the
+// incremental alternative to re-reading and re-decoding the whole window
+// every poll tick.
+//
+// Records older than the ring capacity are lost to overwrite; the caller
+// detects that as cursor-since exceeding len(records).
+func (r *Reader) ReadSince(since uint64, max int) ([]heartbeat.Record, uint64, error) {
+	cur, err := r.Cursor()
+	if err != nil {
+		return nil, since, err
+	}
+	if cur <= since {
+		// Idle — or, when cur < since, a recreated file (the caller's
+		// cursor is foreign): return cur either way so the caller
+		// resynchronizes rather than waiting for seqs that may never come.
+		return nil, cur, nil
+	}
+	first := since + 1
+	if cur-since > uint64(r.hdr.capacity) {
+		first = cur - uint64(r.hdr.capacity) + 1
+	}
+	to := cur
+	if max > 0 && to-first+1 > uint64(max) {
+		to = first + uint64(max) - 1
+	}
+	recs, err := r.readRange(first, int(to-first+1))
+	if err != nil {
+		return nil, since, err
+	}
+	return recs, to, nil
+}
+
+// readRange bulk-reads records [first, first+n), validating each slot
+// seqlock-style against writer overwrites.
+func (r *Reader) readRange(first uint64, n int) ([]heartbeat.Record, error) {
 	// Bulk-read the byte range covering the slots, then validate per slot.
 	// The range may wrap the ring; read it as up to two spans.
 	buf := make([]byte, n*RecordSize)
@@ -155,14 +196,8 @@ func (r *Reader) Rate(window int) (perSec float64, ok bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
-	if len(recs) < 2 {
-		return 0, false, nil
-	}
-	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
-	if span <= 0 {
-		return 0, false, nil
-	}
-	return float64(len(recs)-1) / span.Seconds(), true, nil
+	rate, ok := heartbeat.RateOf(recs)
+	return rate.PerSec, ok, nil
 }
 
 // Close closes the file.

@@ -74,6 +74,7 @@ type aggregator struct {
 	st      store
 	sink    Sink
 	sinkErr *atomic.Pointer[error]
+	subs    *subscribers
 	nshards atomic.Int32
 	shards  []*gshard // guarded by mu; registration order
 	// shardsPtr republishes the shards slice copy-on-write so lock-free
@@ -164,6 +165,7 @@ func (a *aggregator) direct(timeNanos, tag int64) {
 		a.deliver(Record{Seq: seq, Time: time.Unix(0, timeNanos), Tag: tag, Producer: 0})
 	}
 	a.mu.Unlock()
+	a.subs.wake()
 }
 
 // pendingLocked counts shard records not yet merged.
@@ -267,6 +269,11 @@ func (a *aggregator) mergeLocked() {
 		a.deliverBatch(a.batch)
 		a.batch = a.batch[:0]
 	}
+	// Records merged above are visible in the store (and past the sink),
+	// so blocked subscribers can consume them now. The send is
+	// non-blocking, so waking under mu is safe; a subscriber that runs
+	// before mu is released simply reads the store lock-free.
+	a.subs.wake()
 }
 
 func (a *aggregator) deliver(r Record) {

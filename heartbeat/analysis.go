@@ -12,6 +12,17 @@ import (
 // beats with the frame type and asks for the I-frame rate; a pipeline tags
 // beats with the stage and asks for per-stage progress.
 
+// RateOf computes the windowed heart rate over recs (oldest to newest):
+// len(recs)-1 beats over the span between the first and last record. ok is
+// false with fewer than two records or a non-positive span (which a
+// backward wall-clock step would otherwise produce — producers clamp beat
+// times non-decreasing, so a step plateaus the rate instead of making it
+// negative). This is the single shared definition of the windowed rate;
+// every consumer — Heartbeat.Rate, observer.Snapshot.Rate, the hbfile
+// readers — computes through it, so a step-tolerance fix lands everywhere
+// at once.
+func RateOf(recs []Record) (Rate, bool) { return rateOf(recs) }
+
 // FilterTag returns the records of recs carrying the given tag, preserving
 // order.
 func FilterTag(recs []Record, tag int64) []Record {

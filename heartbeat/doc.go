@@ -59,9 +59,24 @@
 // (WithLockedStore) exists for the locking ablation; the subdirectory
 // package compat offers the paper's exact Table 1 function shapes.
 //
+// # Streaming consumers
+//
+// Readers that track the history over time consume it incrementally
+// instead of re-reading windows:
+//
+//   - ReadSince(seq) returns only the records published after seq plus the
+//     cursor to resume from — an idle call does no per-record work.
+//   - Subscribe / SubscribeFrom return a Subscription whose Next blocks
+//     until a flush publishes new records (wake on publication, no
+//     polling) and delivers them as a batch, each record exactly once,
+//     resumable across reconnects via its Cursor.
+//
+// Package observer builds its Stream abstraction — monitors, schedulers,
+// and the multi-application hub — on these two calls.
+//
 // Cross-process observation — the paper's reference implementation writes
 // heartbeats to a file — is provided by the companion package hbfile via the
-// Sink hook (WithSink).
+// Sink hook (WithSink); its readers offer the same incremental ReadSince.
 //
 // # Quick start
 //

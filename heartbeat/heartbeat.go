@@ -50,6 +50,11 @@ type Heartbeat struct {
 
 	sinkErr atomic.Pointer[error]
 
+	// subs wakes blocked Subscriptions whenever new records become
+	// visible in the store (direct beats immediately, shard beats when a
+	// merge publishes them).
+	subs subscribers
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 
@@ -168,7 +173,7 @@ func New(window int, opts ...Option) (*Heartbeat, error) {
 	} else {
 		h.store = newLockfreeStore(cfg.capacity)
 	}
-	h.agg = &aggregator{st: h.store, sink: cfg.sink, sinkErr: &h.sinkErr}
+	h.agg = &aggregator{st: h.store, sink: cfg.sink, sinkErr: &h.sinkErr, subs: &h.subs}
 	if cfg.flushEvery > 0 {
 		h.flushStop = make(chan struct{})
 		h.flushDone = make(chan struct{})
@@ -238,6 +243,7 @@ func (h *Heartbeat) beat(tag int64) {
 			h.sinkErr.Store(&err)
 		}
 	}
+	h.subs.wake()
 }
 
 // Flush merges all pending per-thread shard records into the global history
@@ -385,6 +391,7 @@ func (h *Heartbeat) Close() error {
 		<-h.flushDone
 	}
 	h.agg.flush()
+	h.subs.close()
 	if c, ok := h.sink.(io.Closer); ok {
 		return c.Close()
 	}

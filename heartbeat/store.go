@@ -25,6 +25,13 @@ type store interface {
 	// last returns up to n of the most recent records, oldest to newest.
 	// Records that were overwritten or are mid-write are skipped.
 	last(n int) []Record
+	// readSince returns the retained records with sequence numbers greater
+	// than since, oldest to newest, plus the cursor to resume from. The
+	// cursor normally equals the store total; it stops short of a record
+	// that is still mid-write so the next readSince retries it, whereas
+	// overwritten (or skipped) records are passed over for good — the
+	// caller detects that loss as cursor-since exceeding len(records).
+	readSince(since uint64) ([]Record, uint64)
 }
 
 // lockfreeStore is a ring of seqlock-validated slots. Producers claim a slot
@@ -97,6 +104,34 @@ func (s *lockfreeStore) read(seq uint64) (Record, bool) {
 	return Record{}, false
 }
 
+func (s *lockfreeStore) readSince(since uint64) ([]Record, uint64) {
+	cur := s.next.Load()
+	if cur <= since {
+		return nil, cur
+	}
+	from := since + 1
+	if cur-since > uint64(len(s.slots)) {
+		from = cur - uint64(len(s.slots)) + 1
+	}
+	out := make([]Record, 0, cur-from+1)
+	for seq := from; seq <= cur; seq++ {
+		r, ok := s.read(seq)
+		if ok {
+			out = append(out, r)
+			continue
+		}
+		if s.next.Load() >= seq+uint64(len(s.slots)) {
+			continue // lapped (or skipped) while scanning: lost for good
+		}
+		// Mid-write by a concurrent producer: stop here so the record is
+		// retried next call rather than reported lost. The producer's
+		// wake fires after its append completes, so a waiting subscriber
+		// is re-notified once the record is stable.
+		return out, seq - 1
+	}
+	return out, cur
+}
+
 func (s *lockfreeStore) last(n int) []Record {
 	if n <= 0 {
 		return nil
@@ -154,6 +189,29 @@ func (s *lockedStore) skip(n uint64) {
 }
 
 func (s *lockedStore) capacity() int { return s.buf.Cap() }
+
+func (s *lockedStore) readSince(since uint64) ([]Record, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.buf.Total()
+	if cur <= since {
+		return nil, cur
+	}
+	n := cur - since
+	if n > uint64(s.buf.Cap()) {
+		n = uint64(s.buf.Cap())
+	}
+	recs := s.buf.Last(int(n))
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		// Skipped positions read back as zero Records; they were
+		// discarded on arrival and count as lost, like an overwrite.
+		if r.Seq != 0 {
+			out = append(out, r)
+		}
+	}
+	return out, cur
+}
 
 func (s *lockedStore) last(n int) []Record {
 	s.mu.Lock()

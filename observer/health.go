@@ -116,16 +116,42 @@ func (c *Classifier) now() time.Time {
 	return time.Now()
 }
 
-// Classify judges one snapshot.
+// Classify judges one snapshot. It recomputes the windowed statistics from
+// the snapshot's records on every call; streaming consumers use
+// ClassifyWindow, which caches them between batches.
 func (c *Classifier) Classify(snap Snapshot) Status {
+	var last time.Time
+	if n := len(snap.Records); n > 0 {
+		last = snap.Records[n-1].Time
+	}
+	rate, rateOK := snap.Rate(c.Window)
+	cv := stats.Summarize(heartbeat.Intervals(snap.Records)).CV()
+	return c.judge(snap.Count, snap.TargetMin, snap.TargetMax, snap.TargetSet,
+		len(snap.Records) > 0, last, rate, rateOK, cv)
+}
+
+// ClassifyWindow judges the state accumulated in a stream consumer's
+// Window. The windowed rate and interval statistics are cached inside the
+// Window and recomputed only when a batch delivered new records, so an
+// idle tick — reclassifying for flatline/death detection while no beats
+// arrive — does no per-record work.
+func (c *Classifier) ClassifyWindow(w *Window) Status {
+	rate, rateOK, cv := w.cachedStats(c.Window)
+	return c.judge(w.count, w.targetMin, w.targetMax, w.targetSet,
+		len(w.recs) > 0, w.LastBeat(), rate.PerSec, rateOK, cv)
+}
+
+// judge is the single health decision procedure behind both entry points.
+func (c *Classifier) judge(count uint64, targetMin, targetMax float64, targetSet bool,
+	hasBeats bool, lastBeat time.Time, rate float64, rateOK bool, cv float64) Status {
 	now := c.now()
 	st := Status{
-		Count:     snap.Count,
-		TargetMin: snap.TargetMin,
-		TargetMax: snap.TargetMax,
-		TargetSet: snap.TargetSet,
+		Count:     count,
+		TargetMin: targetMin,
+		TargetMax: targetMax,
+		TargetSet: targetSet,
 	}
-	if len(snap.Records) == 0 {
+	if !hasBeats {
 		if !c.Epoch.IsZero() && now.Sub(c.Epoch) > c.grace() {
 			st.Health = Dead
 		} else {
@@ -133,19 +159,16 @@ func (c *Classifier) Classify(snap Snapshot) Status {
 		}
 		return st
 	}
-	last := snap.Records[len(snap.Records)-1]
-	st.LastBeat = last.Time
-	st.SinceLast = now.Sub(last.Time)
-
-	st.Rate, st.RateOK = snap.Rate(c.Window)
-	intervals := heartbeat.Intervals(snap.Records)
-	st.IntervalCV = stats.Summarize(intervals).CV()
+	st.LastBeat = lastBeat
+	st.SinceLast = now.Sub(lastBeat)
+	st.Rate, st.RateOK = rate, rateOK
+	st.IntervalCV = cv
 
 	// Expected inter-beat interval: from the target if set, else measured.
 	var expected time.Duration
 	switch {
-	case snap.TargetSet && snap.TargetMin > 0:
-		expected = time.Duration(float64(time.Second) / snap.TargetMin)
+	case targetSet && targetMin > 0:
+		expected = time.Duration(float64(time.Second) / targetMin)
 	case st.RateOK && st.Rate > 0:
 		expected = time.Duration(float64(time.Second) / st.Rate)
 	}
@@ -157,12 +180,12 @@ func (c *Classifier) Classify(snap Snapshot) Status {
 		st.Health = Unknown
 		return st
 	}
-	if snap.TargetSet {
-		if st.Rate < snap.TargetMin {
+	if targetSet {
+		if st.Rate < targetMin {
 			st.Health = Slow
 			return st
 		}
-		if st.Rate > snap.TargetMax {
+		if st.Rate > targetMax {
 			st.Health = Fast
 			return st
 		}

@@ -1,0 +1,407 @@
+package observer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultHubInterval is the judgment cadence a Hub falls back to when
+// constructed with a non-positive interval.
+const DefaultHubInterval = 100 * time.Millisecond
+
+// NamedStatus pairs an application name with its latest Status.
+type NamedStatus struct {
+	Name   string
+	Status Status
+}
+
+// Hub multiplexes the heartbeat streams of many named applications into
+// one control loop — the §2.4 "organic OS" observer that watches every
+// registered application at once, as a library feature instead of a
+// hand-rolled loop per deployment. Each application gets its own
+// incremental Window and Classifier; the hub fans per-application Status
+// judgments out through one callback.
+//
+// Two driving modes share the same state:
+//
+//   - Run(ctx) pumps every stream concurrently (one goroutine per
+//     stream, each blocked in Next — no polling) into a single loop that
+//     re-judges an application when its batches land and re-judges all of
+//     them every interval, so silent applications still progress toward
+//     Flatlined/Dead.
+//   - Step() drains every stream without blocking and returns all
+//     judgments, for deterministic (simulated-clock) loops.
+//
+// Do not mix Run and Step concurrently: streams are single-consumer.
+// Add and the status accessors are safe to call at any time.
+type Hub struct {
+	interval time.Duration
+	onStatus func(name string, st Status)
+	mkClass  func(name string) *Classifier
+	onError  func(name string, err error)
+
+	mu     sync.Mutex
+	apps   map[string]*hubApp
+	order  []string
+	runCtx context.Context
+	events chan hubEvent
+	pumps  sync.WaitGroup
+}
+
+type hubApp struct {
+	name    string
+	stream  Stream
+	win     *Window
+	cls     *Classifier
+	last    Status
+	judged  bool
+	eof     bool
+	pumping bool
+	cancel  context.CancelFunc
+}
+
+type hubEvent struct {
+	app   *hubApp
+	batch Batch
+	err   error
+	eof   bool
+}
+
+// HubOption configures NewHub.
+type HubOption func(*Hub)
+
+// WithHubClassifier supplies the per-application classifier factory; it is
+// invoked once per Add with the application's name. The default is a
+// zero-value Classifier per application.
+func WithHubClassifier(mk func(name string) *Classifier) HubOption {
+	return func(h *Hub) { h.mkClass = mk }
+}
+
+// WithHubOnError installs a callback for per-application stream errors
+// (default: ignored; a stream that keeps failing surfaces as Flatlined or
+// Dead through its silence).
+func WithHubOnError(f func(name string, err error)) HubOption {
+	return func(h *Hub) { h.onError = f }
+}
+
+// NewHub creates a hub that judges every registered application at least
+// every interval (interval <= 0 selects DefaultHubInterval) and calls
+// onStatus — which may be nil — with each judgment.
+func NewHub(interval time.Duration, onStatus func(name string, st Status), opts ...HubOption) *Hub {
+	if interval <= 0 {
+		interval = DefaultHubInterval
+	}
+	h := &Hub{
+		interval: interval,
+		onStatus: onStatus,
+		apps:     make(map[string]*hubApp),
+		events:   make(chan hubEvent, 64),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Add registers an application's stream under a unique name. Applications
+// may be added while Run is active; their pump starts immediately.
+func (h *Hub) Add(name string, stream Stream) error {
+	if stream == nil {
+		return fmt.Errorf("observer: nil stream for %q", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.apps[name]; dup {
+		return fmt.Errorf("observer: duplicate app %q", name)
+	}
+	var cls *Classifier
+	if h.mkClass != nil {
+		cls = h.mkClass(name)
+	}
+	if cls == nil {
+		cls = &Classifier{}
+	}
+	if cls.Epoch.IsZero() {
+		cls.Epoch = cls.now()
+	}
+	a := &hubApp{name: name, stream: stream, win: NewWindow(0), cls: cls}
+	h.apps[name] = a
+	h.order = append(h.order, name)
+	if h.runCtx != nil && h.runCtx.Err() == nil {
+		h.startPumpLocked(a)
+	}
+	return nil
+}
+
+// AddSource is Add for code still holding a Source: the source is
+// converted to its natural stream via StreamOf. The derived stream is
+// closed by Remove (and on registration failure), so AddSource never
+// leaks a subscription.
+func (h *Hub) AddSource(name string, src Source) error {
+	if src == nil {
+		return fmt.Errorf("observer: nil source for %q", name)
+	}
+	stream := StreamOf(src, h.interval/4)
+	if err := h.Add(name, stream); err != nil {
+		if c, ok := stream.(io.Closer); ok {
+			c.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// Remove unregisters an application, stops its pump (if running), and
+// releases its stream when the stream supports Close — so repeatedly
+// adding and removing live applications leaks nothing.
+func (h *Hub) Remove(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.apps[name]
+	if !ok {
+		return
+	}
+	if a.cancel != nil {
+		a.cancel()
+	}
+	if c, ok := a.stream.(io.Closer); ok {
+		c.Close()
+	}
+	delete(h.apps, name)
+	for i, n := range h.order {
+		if n == name {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Status returns the latest judgment for name; ok is false before the
+// first judgment or for an unknown name.
+func (h *Hub) Status(name string) (Status, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.apps[name]
+	if !ok || !a.judged {
+		return Status{}, false
+	}
+	return a.last, true
+}
+
+// Statuses returns the latest judgment of every application, in
+// registration order. Applications not yet judged are skipped.
+func (h *Hub) Statuses() []NamedStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NamedStatus, 0, len(h.order))
+	for _, name := range h.order {
+		if a := h.apps[name]; a.judged {
+			out = append(out, NamedStatus{Name: name, Status: a.last})
+		}
+	}
+	return out
+}
+
+// Run multiplexes every registered stream until ctx is cancelled. An
+// application is re-judged immediately when one of its batches lands (the
+// fan-out fires on health changes) and every interval regardless (the
+// fan-out fires for every application), so both fast degradation and
+// silent death are noticed promptly. When Run returns, every pump has
+// exited — the hub may be Run again with a fresh context.
+func (h *Hub) Run(ctx context.Context) {
+	h.mu.Lock()
+	h.runCtx = ctx
+	for _, name := range h.order {
+		h.startPumpLocked(h.apps[name])
+	}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		for _, a := range h.apps {
+			if a.cancel != nil {
+				a.cancel()
+			}
+		}
+		h.mu.Unlock()
+		h.pumps.Wait() // streams are single-consumer: no pump may outlive Run
+	}()
+	ticker := time.NewTicker(h.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-h.events:
+			h.handleEvent(ev)
+		case <-ticker.C:
+			h.judgeAll(true)
+		}
+	}
+}
+
+// startPumpLocked starts the goroutine that blocks in Next and forwards
+// batches to the hub loop. Callers hold h.mu.
+func (h *Hub) startPumpLocked(a *hubApp) {
+	if a.pumping {
+		return
+	}
+	a.pumping = true
+	pctx, cancel := context.WithCancel(h.runCtx)
+	a.cancel = cancel
+	h.pumps.Add(1)
+	go func() {
+		defer func() {
+			h.mu.Lock()
+			a.pumping = false
+			h.mu.Unlock()
+			h.pumps.Done()
+		}()
+		for {
+			// Bound each wait by the hub interval: re-entering Next is
+			// itself a read (an in-process stream's Poll merges pending
+			// shard records), so a low-rate app beating through thread
+			// shards with no flusher still publishes at least once per
+			// interval instead of sitting below the backlog threshold
+			// until a wake that may be a long time coming.
+			nctx, ncancel := context.WithTimeout(pctx, h.interval)
+			b, err := a.stream.Next(nctx)
+			ncancel()
+			if err == nil {
+				select {
+				case h.events <- hubEvent{app: a, batch: b}:
+				case <-pctx.Done():
+					// Shutting down with a batch in hand: absorb it
+					// directly so the records (already consumed from the
+					// stream's cursor) are not lost across a Run restart.
+					h.mu.Lock()
+					a.win.Absorb(b)
+					h.mu.Unlock()
+					return
+				}
+				continue
+			}
+			if pctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue // idle interval: loop and re-poll
+			}
+			if errors.Is(err, io.EOF) {
+				select {
+				case h.events <- hubEvent{app: a, eof: true}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			select {
+			case h.events <- hubEvent{app: a, err: err}:
+			case <-pctx.Done():
+				return
+			}
+			// Pace retries against a persistently failing stream.
+			select {
+			case <-time.After(h.interval):
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func (h *Hub) handleEvent(ev hubEvent) {
+	h.mu.Lock()
+	a := ev.app
+	// Identity, not name: after Remove("x")+Add("x") an in-flight event
+	// from the removed app must not be attributed to its successor.
+	if live, ok := h.apps[a.name]; !ok || live != a {
+		h.mu.Unlock()
+		return // removed while the event was in flight
+	}
+	if ev.err != nil {
+		cb := h.onError
+		h.mu.Unlock()
+		if cb != nil {
+			cb(a.name, ev.err)
+		}
+		return
+	}
+	if ev.eof {
+		a.eof = true
+		h.mu.Unlock()
+		return
+	}
+	a.win.Absorb(ev.batch)
+	st := a.cls.ClassifyWindow(a.win)
+	changed := !a.judged || st.Health != a.last.Health
+	a.last, a.judged = st, true
+	cb := h.onStatus
+	h.mu.Unlock()
+	if changed && cb != nil {
+		cb(a.name, st)
+	}
+}
+
+// judgeAll reclassifies every application; emit fans every judgment out.
+func (h *Hub) judgeAll(emit bool) {
+	h.mu.Lock()
+	out := make([]NamedStatus, 0, len(h.order))
+	for _, name := range h.order {
+		a := h.apps[name]
+		st := a.cls.ClassifyWindow(a.win)
+		a.last, a.judged = st, true
+		out = append(out, NamedStatus{Name: name, Status: st})
+	}
+	cb := h.onStatus
+	h.mu.Unlock()
+	if emit && cb != nil {
+		for _, ns := range out {
+			cb(ns.Name, ns.Status)
+		}
+	}
+}
+
+// Step drains every stream without blocking, re-judges every application,
+// fans the judgments out, and returns them in registration order — the
+// deterministic alternative to Run for simulated-clock loops. Stream
+// errors are routed to the WithHubOnError callback, like Run's pumps; the
+// affected application is judged from its last good window.
+func (h *Hub) Step() []NamedStatus {
+	type appErr struct {
+		name string
+		err  error
+	}
+	h.mu.Lock()
+	var failed []appErr
+	for _, name := range h.order {
+		a := h.apps[name]
+		if a.eof {
+			continue
+		}
+		eof, err := DrainInto(a.stream, a.win)
+		if eof {
+			a.eof = true
+		}
+		if err != nil {
+			failed = append(failed, appErr{name, err})
+		}
+	}
+	onError := h.onError
+	h.mu.Unlock()
+	if onError != nil {
+		for _, f := range failed {
+			onError(f.name, f.err)
+		}
+	}
+	h.judgeAll(true)
+	h.mu.Lock()
+	out := make([]NamedStatus, 0, len(h.order))
+	for _, name := range h.order {
+		out = append(out, NamedStatus{Name: name, Status: h.apps[name].last})
+	}
+	h.mu.Unlock()
+	return out
+}

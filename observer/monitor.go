@@ -2,15 +2,25 @@ package observer
 
 import (
 	"context"
+	"errors"
+	"io"
 	"time"
 )
 
-// Monitor periodically polls a Source, classifies it, and delivers Status
-// updates. It is the long-running form of the observer role: the paper's
+// Monitor watches one application and delivers a Status judgment every
+// interval. It is the long-running form of the observer role: the paper's
 // external scheduler polls the application's heart rate between decisions,
 // and its cloud manager watches for flatlined nodes.
+//
+// Run consumes the application incrementally through a Stream: between
+// judgments it absorbs only the records published since the last batch,
+// and an interval in which nothing was published re-reads nothing at all —
+// the snapshot re-fetch of the pre-stream Monitor is gone. Judgments still
+// fire every interval regardless, because silence is exactly what
+// flatline/death detection must observe.
 type Monitor struct {
 	source     Source
+	stream     Stream
 	classifier *Classifier
 	interval   time.Duration
 	maxRecords int
@@ -26,21 +36,36 @@ func WithClassifier(c *Classifier) MonitorOption {
 	return func(m *Monitor) { m.classifier = c }
 }
 
-// WithMaxRecords sets how many records each poll fetches (default: the
-// classifier window, falling back to the source default).
+// WithMaxRecords sets how many records the judgment window retains
+// (default: the classifier window, falling back to the application's
+// default window).
 func WithMaxRecords(n int) MonitorOption {
 	return func(m *Monitor) { m.maxRecords = n }
 }
 
-// WithOnError installs a callback for poll errors (default: ignored; a
-// Source that keeps failing will surface as Dead via the classifier Epoch).
+// WithOnError installs a callback for observation errors (default:
+// ignored; a source that keeps failing will surface as Dead via the
+// classifier Epoch).
 func WithOnError(f func(error)) MonitorOption {
 	return func(m *Monitor) { m.onError = f }
 }
 
-// NewMonitor creates a Monitor that polls source every interval and calls
-// onStatus with each classification.
+// WithStream has Run consume the given stream instead of deriving one from
+// the Source. Use it to monitor a Stream that has no Source form; the
+// source argument of NewMonitor may then be nil (Poll, which is
+// snapshot-based, returns an error in that case).
+func WithStream(st Stream) MonitorOption {
+	return func(m *Monitor) { m.stream = st }
+}
+
+// NewMonitor creates a Monitor that judges source every interval and calls
+// onStatus with each classification. A non-positive interval selects
+// DefaultHubInterval (the snapshot-era Run panicked on one; the
+// stream-era loop would busy-spin instead, which is worse).
 func NewMonitor(source Source, interval time.Duration, onStatus func(Status), opts ...MonitorOption) *Monitor {
+	if interval <= 0 {
+		interval = DefaultHubInterval
+	}
 	m := &Monitor{
 		source:   source,
 		interval: interval,
@@ -55,8 +80,12 @@ func NewMonitor(source Source, interval time.Duration, onStatus func(Status), op
 	return m
 }
 
-// Poll performs one observation immediately.
+// Poll performs one snapshot-based observation immediately. It uses the
+// Source directly (the compat path); Run is the incremental path.
 func (m *Monitor) Poll() (Status, error) {
+	if m.source == nil {
+		return Status{}, errors.New("observer: monitor has no source (stream-only; use Run)")
+	}
 	snap, err := m.source.Snapshot(m.maxRecords)
 	if err != nil {
 		return Status{}, err
@@ -64,27 +93,85 @@ func (m *Monitor) Poll() (Status, error) {
 	return m.classifier.Classify(snap), nil
 }
 
-// Run polls until ctx is cancelled. The classifier's Epoch is set to the
-// start time if unset, enabling Dead detection for sources that never beat.
+// Run judges every interval until ctx is cancelled, absorbing stream
+// batches as they land in between. The first judgment fires immediately
+// from whatever is already published (parity with the snapshot-era Run,
+// whose first poll preceded the first wait); subsequent ones follow the
+// interval. The classifier's Epoch is set to the start time if unset,
+// enabling Dead detection for sources that never beat. Run returns when
+// ctx is cancelled or the stream ends (the observed Heartbeat was closed);
+// a final status is delivered for the stream's tail. A stream Run derived
+// itself (no WithStream) is released when Run returns.
 func (m *Monitor) Run(ctx context.Context) {
 	if m.classifier.Epoch.IsZero() {
 		m.classifier.Epoch = m.classifier.now()
 	}
-	ticker := time.NewTicker(m.interval)
-	defer ticker.Stop()
+	stream := m.stream
+	if stream == nil {
+		stream = StreamOf(m.source, m.interval)
+		if c, ok := stream.(io.Closer); ok {
+			defer c.Close()
+		}
+	}
+	win := NewWindow(m.windowCap())
+
+	judge := func() { // classify the accumulated window and fan out
+		st := m.classifier.ClassifyWindow(win)
+		if m.onStatus != nil {
+			m.onStatus(st)
+		}
+	}
+	if eof, err := DrainInto(stream, win); err == nil {
+		judge()
+		if eof {
+			return
+		}
+	} else if m.onError != nil {
+		m.onError(err)
+	}
+
 	for {
-		st, err := m.Poll()
+		deadline := time.Now().Add(m.interval)
+		eof, err := CollectInto(ctx, stream, win, deadline)
 		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
 			if m.onError != nil {
 				m.onError(err)
 			}
-		} else if m.onStatus != nil {
-			m.onStatus(st)
+			// Pace retries against a persistently failing source; no
+			// status is delivered for a failed interval (matching the
+			// snapshot-era behavior).
+			if !sleepUntil(ctx, deadline) {
+				return
+			}
+			continue
 		}
-		select {
-		case <-ctx.Done():
+		judge()
+		if eof || ctx.Err() != nil {
 			return
-		case <-ticker.C:
 		}
 	}
+}
+
+// sleepUntil blocks until t or ctx cancellation; false means cancelled.
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (m *Monitor) windowCap() int {
+	if m.maxRecords > 0 {
+		return m.maxRecords
+	}
+	return m.classifier.Window
 }

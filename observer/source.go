@@ -5,6 +5,22 @@
 // tooling (§2.3, §2.4, §2.6, §5.3): observers read heartbeat data the
 // application publishes and adapt on the application's behalf — or detect
 // that it is hung, slow, erratic, or dead.
+//
+// The primary abstraction is Stream: a cursor-based incremental view that
+// delivers each heartbeat record to a consumer exactly once, in batches,
+// as the application publishes them. Consumers accumulate batches in a
+// Window and judge it with Classifier.ClassifyWindow; Monitor packages
+// that loop for one application, and Hub multiplexes many named
+// applications into one loop with per-application Status fan-out. Native
+// streams exist for in-process heartbeats (HeartbeatStream — wakes on
+// flush, no polling) and for heartbeat files written by other processes
+// (FileStream, LogStream — idle ticks cost one cursor read).
+//
+// Source, the original snapshot-pull interface, remains as a thin
+// compatibility shim: every Source still works, and StreamOf converts one
+// to its natural Stream (the built-in sources map to native streams;
+// foreign implementations fall back to snapshot polling). New code should
+// consume Streams; Snapshot re-reads the whole window on every call.
 package observer
 
 import (
@@ -29,28 +45,32 @@ type Snapshot struct {
 }
 
 // Rate computes the average heart rate over the last window records of the
-// snapshot; window <= 0 uses the application's default window.
+// snapshot; window <= 0 uses the application's default window. The math is
+// heartbeat.RateOf — the one shared windowed-rate definition.
 func (s Snapshot) Rate(window int) (perSec float64, ok bool) {
 	if window <= 0 {
 		window = s.Window
 	}
 	recs := s.Records
-	if len(recs) > window {
+	if window > 0 && len(recs) > window {
 		recs = recs[len(recs)-window:]
 	}
-	if len(recs) < 2 {
-		return 0, false
-	}
-	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
-	if span <= 0 {
-		return 0, false
-	}
-	return float64(len(recs)-1) / span.Seconds(), true
+	r, ok := heartbeat.RateOf(recs)
+	return r.PerSec, ok
 }
 
 // Source supplies heartbeat snapshots to observers. Implementations exist
 // for in-process heartbeats (HeartbeatSource) and for heartbeat ring files
 // written by other processes (FileSource).
+//
+// Source is the pre-stream interface, kept as a compatibility shim: each
+// Snapshot re-reads the last-N window whether or not anything changed.
+// Migrate consumers to Stream (see StreamOf) for O(new records) cost.
+//
+// Implementations should populate each Record's Seq: stream adapters
+// dedup by it (PollStream tolerates zero Seqs by falling back to
+// Count-based dedup, but only dense sequence numbers give exact
+// exactly-once forwarding).
 type Source interface {
 	// Snapshot returns the current state with up to maxRecords of the
 	// most recent records.

@@ -1,0 +1,332 @@
+package observer
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+)
+
+// DefaultPollInterval paces the cursor checks of streams that observe a
+// medium with no wake-up channel (files written by another process, foreign
+// Sources). Each check is a single tiny read — the cursor — never a window
+// re-decode, so the interval trades only detection latency, not per-tick
+// work.
+const DefaultPollInterval = 20 * time.Millisecond
+
+// Batch is one increment of an application's heartbeat stream: the records
+// published since the previous batch plus the current advertised state.
+type Batch struct {
+	// Records holds the new records, oldest to newest. It is never
+	// re-delivered data: across the life of a Stream each record is
+	// returned at most once.
+	Records []heartbeat.Record
+	// Count is the total number of heartbeats registered so far.
+	Count uint64
+	// Window is the application's default averaging window.
+	Window int
+	// TargetMin and TargetMax are the advertised goal; valid when
+	// TargetSet.
+	TargetMin, TargetMax float64
+	TargetSet            bool
+	// Missed counts records that were published since the previous batch
+	// but overwritten before this consumer could read them (a consumer
+	// outrun by the producer's ring). 0 in healthy operation.
+	Missed uint64
+}
+
+// Stream is the primary consumer-side abstraction: an incremental,
+// cursor-based view of one application's heartbeats. Next blocks until new
+// records are published and returns them as a Batch — so an idle
+// application costs its observers no per-record work at all, where the old
+// Snapshot polling re-read and re-decoded the whole window every tick.
+//
+// Contract: when records are already pending, Next returns them
+// immediately even if ctx is already cancelled; cancellation is only
+// reported once there is nothing to deliver. This makes a Next with an
+// expired context a non-blocking drain, which is how deterministic loops
+// (Hub.Step, scheduler.CoreScheduler.Step) consume streams. Next returns
+// io.EOF when the producer has closed the stream and every record has been
+// delivered.
+//
+// A Stream is a single-consumer cursor: calls to Next must not overlap.
+// Open one stream per consumer — they are cheap, and each keeps its own
+// position.
+type Stream interface {
+	Next(ctx context.Context) (Batch, error)
+}
+
+// noWaitCtx is an already-cancelled context: by the Stream contract,
+// Next(noWaitCtx) returns pending data immediately and context.Canceled
+// when idle — a non-blocking drain.
+var noWaitCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// DrainInto absorbs every already-published batch of s into w without
+// blocking. eof reports that the stream ended (the producer closed); the
+// window keeps its final state and further drains are pointless. This is
+// the one drain loop shared by every deterministic consumer (Hub.Step,
+// scheduler.CoreScheduler.Step, scheduler.Partitioner.Step).
+func DrainInto(s Stream, w *Window) (eof bool, err error) {
+	for {
+		b, nerr := s.Next(noWaitCtx)
+		if nerr == nil {
+			w.Absorb(b)
+			continue
+		}
+		switch {
+		case errors.Is(nerr, io.EOF):
+			return true, nil
+		case errors.Is(nerr, context.Canceled):
+			return false, nil // nothing pending: the non-blocking drain is done
+		default:
+			return false, nerr
+		}
+	}
+}
+
+// CollectInto absorbs batches of s into w until deadline (eof false, err
+// nil — a normal idle tick), stream end (eof true), ctx cancellation
+// (err = ctx.Err()), or a stream failure. This is the one
+// deadline-bounded collect loop shared by the wall-clock consumers
+// (Monitor.Run, scheduler.CoreScheduler.Run, hbmon -follow).
+func CollectInto(ctx context.Context, s Stream, w *Window, deadline time.Time) (eof bool, err error) {
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	for {
+		b, nerr := s.Next(dctx)
+		if nerr == nil {
+			w.Absorb(b)
+			// Check the wall clock, not just dctx: a producer fast
+			// enough to have records pending on every Next would
+			// otherwise keep this loop absorbing forever (pending data
+			// wins over an expired context by the Stream contract) and
+			// starve the caller's judgment tick.
+			if !time.Now().Before(deadline) {
+				return false, nil
+			}
+			continue
+		}
+		switch {
+		case errors.Is(nerr, io.EOF):
+			return true, nil
+		case ctx.Err() != nil:
+			return false, ctx.Err()
+		case errors.Is(nerr, context.DeadlineExceeded) && dctx.Err() != nil:
+			return false, nil // the interval elapsed: a normal idle tick
+		default:
+			return false, nerr
+		}
+	}
+}
+
+// HeartbeatStream streams an in-process *heartbeat.Heartbeat: the
+// self-observation path of Figure 1(a), now push-based. A blocked Next
+// wakes when a flush publishes records — there is no polling. The first
+// batch delivers the retained history, so a late-attaching observer still
+// sees the recent past.
+func HeartbeatStream(hb *heartbeat.Heartbeat) Stream {
+	return &heartbeatStream{hb: hb, sub: hb.Subscribe(context.Background())}
+}
+
+type heartbeatStream struct {
+	hb         *heartbeat.Heartbeat
+	sub        *heartbeat.Subscription
+	lastMissed uint64
+}
+
+func (s *heartbeatStream) Next(ctx context.Context) (Batch, error) {
+	recs, err := s.sub.Next(ctx)
+	if err != nil {
+		if errors.Is(err, heartbeat.ErrClosed) {
+			return Batch{}, io.EOF
+		}
+		return Batch{}, err
+	}
+	b := Batch{Records: recs, Count: s.hb.Count(), Window: s.hb.Window()}
+	b.TargetMin, b.TargetMax, b.TargetSet = s.hb.Target()
+	m := s.sub.Missed()
+	b.Missed = m - s.lastMissed
+	s.lastMissed = m
+	return b, nil
+}
+
+// Close releases the underlying subscription. The Stream interface does
+// not require Close; it exists for consumers that outlive their interest
+// in the heartbeat.
+func (s *heartbeatStream) Close() error {
+	s.sub.Close()
+	return nil
+}
+
+// FileStream streams a heartbeat ring file written by another process: the
+// external-observation path of Figure 1(b), incrementally. Idle ticks cost
+// one 8-byte cursor read every poll interval (poll <= 0 selects
+// DefaultPollInterval); new records are read and decoded exactly once.
+func FileStream(r *hbfile.Reader, poll time.Duration) Stream {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll}
+}
+
+// LogStream streams an append-only heartbeat log (hbfile.LogReader),
+// tailing appended records without ever re-reading delivered ones. Large
+// backlogs are paged in bounded batches; poll <= 0 selects
+// DefaultPollInterval.
+func LogStream(r *hbfile.LogReader, poll time.Duration) Stream {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll, max: 65536}
+}
+
+// fileStream is the shared cursor loop over either hbfile reader variant.
+type fileStream struct {
+	read   func(since uint64, max int) ([]heartbeat.Record, uint64, error)
+	window func() int
+	target func() (min, max float64, ok bool, err error)
+	poll   time.Duration
+	max    int
+	cursor uint64
+}
+
+func (s *fileStream) Next(ctx context.Context) (Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		recs, cur, err := s.read(s.cursor, s.max)
+		if err != nil {
+			return Batch{}, err
+		}
+		if cur != s.cursor {
+			// Read the target before advancing the cursor: an error here
+			// must leave the cursor in place so the retry re-delivers the
+			// records instead of silently dropping them.
+			min, max, ok, terr := s.target()
+			if terr != nil {
+				return Batch{}, terr
+			}
+			b := Batch{Records: recs, Count: cur, Window: s.window(),
+				TargetMin: min, TargetMax: max, TargetSet: ok}
+			if cur > s.cursor {
+				if d := cur - s.cursor; d > uint64(len(recs)) {
+					b.Missed = d - uint64(len(recs))
+				}
+			}
+			s.cursor = cur
+			return b, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Batch{}, ctx.Err()
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+// PollStream adapts any Source to the Stream interface by polling
+// snapshots and forwarding only records newer than the cursor. It is the
+// compatibility fallback: each check still pays the source's full snapshot
+// cost, so native streams (HeartbeatStream, FileStream, LogStream) are
+// preferred wherever they apply — StreamOf picks them automatically.
+// poll <= 0 selects DefaultPollInterval.
+func PollStream(src Source, poll time.Duration) Stream {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	return &pollStream{src: src, poll: poll}
+}
+
+type pollStream struct {
+	src    Source
+	poll   time.Duration
+	cursor uint64
+}
+
+func (s *pollStream) Next(ctx context.Context) (Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		snap, err := s.src.Snapshot(0)
+		if err != nil {
+			return Batch{}, err
+		}
+		recs := snap.Records
+		var fresh []heartbeat.Record
+		if n := len(recs); n > 0 && recs[n-1].Seq == 0 {
+			// The source does not populate Seq (nothing in the snapshot
+			// API forced it to): fall back to count-based dedup so the
+			// stream still progresses instead of silently delivering
+			// nothing forever. Count regressions resynchronize.
+			if snap.Count < s.cursor {
+				s.cursor = 0
+			}
+			if snap.Count > s.cursor {
+				k := snap.Count - s.cursor
+				if k > uint64(n) {
+					k = uint64(n)
+				}
+				fresh = recs[n-int(k):]
+				s.cursor = snap.Count
+			}
+		} else {
+			if n := len(recs); n > 0 && recs[n-1].Seq < s.cursor {
+				// Sequence numbers regressed: the observed history was
+				// recreated (application restart). Resynchronize rather
+				// than silence the stream forever.
+				s.cursor = 0
+			}
+			i := len(recs)
+			for i > 0 && recs[i-1].Seq > s.cursor {
+				i--
+			}
+			fresh = recs[i:]
+			if len(fresh) > 0 {
+				s.cursor = fresh[len(fresh)-1].Seq
+			}
+		}
+		if len(fresh) > 0 {
+			return Batch{
+				Records:   fresh,
+				Count:     snap.Count,
+				Window:    snap.Window,
+				TargetMin: snap.TargetMin,
+				TargetMax: snap.TargetMax,
+				TargetSet: snap.TargetSet,
+			}, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Batch{}, ctx.Err()
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+// StreamOf converts a Source to its natural Stream: the built-in sources
+// map to their native incremental streams (in-process subscription, file
+// cursor tail), and anything else falls back to snapshot polling through
+// PollStream. poll paces the fallback and the file cursors; poll <= 0
+// selects DefaultPollInterval. This is the migration path for code holding
+// a Source from the pre-stream API.
+func StreamOf(src Source, poll time.Duration) Stream {
+	switch s := src.(type) {
+	case hbSource:
+		return HeartbeatStream(s.hb)
+	case fileSource:
+		return FileStream(s.r, poll)
+	case logSource:
+		return LogStream(s.r, poll)
+	default:
+		return PollStream(src, poll)
+	}
+}

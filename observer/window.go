@@ -1,0 +1,135 @@
+package observer
+
+import (
+	"time"
+
+	"repro/heartbeat"
+	"repro/internal/stats"
+)
+
+// Window accumulates stream batches into the bounded record window that
+// rate and health judgments are made over. It is the stream-side
+// replacement for re-fetching a Snapshot every tick: Absorb folds in only
+// the new records of each batch, and the derived statistics (windowed
+// rate, interval variability) are cached between batches, so an idle tick
+// does no per-record work at all.
+//
+// Window is not safe for concurrent use; each consumer owns one.
+type Window struct {
+	cap    int
+	window int
+	recs   []heartbeat.Record
+
+	count                uint64
+	targetMin, targetMax float64
+	targetSet            bool
+	missed               uint64
+
+	dirty       bool
+	statsWindow int
+	rate        heartbeat.Rate
+	rateOK      bool
+	cv          float64
+}
+
+// NewWindow returns a Window retaining the last capacity records.
+// capacity <= 0 tracks the observed application's own default window
+// (64 records until the first batch reports one).
+func NewWindow(capacity int) *Window {
+	return &Window{cap: capacity, statsWindow: -1}
+}
+
+func (w *Window) limit() int {
+	if w.cap > 0 {
+		return w.cap
+	}
+	if w.window > 0 {
+		return w.window
+	}
+	return 64
+}
+
+// Absorb folds one batch into the window.
+func (w *Window) Absorb(b Batch) {
+	if b.Window > 0 {
+		w.window = b.Window
+	}
+	if b.Count > w.count {
+		w.count = b.Count
+	}
+	w.targetMin, w.targetMax, w.targetSet = b.TargetMin, b.TargetMax, b.TargetSet
+	w.missed += b.Missed
+	if len(b.Records) == 0 {
+		return
+	}
+	w.recs = append(w.recs, b.Records...)
+	if lim := w.limit(); len(w.recs) > lim {
+		keep := w.recs[len(w.recs)-lim:]
+		w.recs = append(w.recs[:0], keep...)
+	}
+	w.dirty = true
+}
+
+// Records returns the retained records, oldest to newest. The slice is the
+// window's own storage: read it, don't keep it across Absorbs.
+func (w *Window) Records() []heartbeat.Record { return w.recs }
+
+// Count returns the observed application's total heartbeat count.
+func (w *Window) Count() uint64 { return w.count }
+
+// Missed returns how many records the stream reported lost to overwrite.
+func (w *Window) Missed() uint64 { return w.missed }
+
+// Target returns the advertised target range; ok is false when the
+// application never set one.
+func (w *Window) Target() (min, max float64, ok bool) {
+	return w.targetMin, w.targetMax, w.targetSet
+}
+
+// LastBeat returns the timestamp of the newest retained record (zero when
+// the window is empty).
+func (w *Window) LastBeat() time.Time {
+	if len(w.recs) == 0 {
+		return time.Time{}
+	}
+	return w.recs[len(w.recs)-1].Time
+}
+
+// RateOver computes the heart rate over the last window records;
+// window <= 0 uses the application's default window.
+func (w *Window) RateOver(window int) (heartbeat.Rate, bool) {
+	if window <= 0 {
+		window = w.window
+	}
+	recs := w.recs
+	if window > 0 && len(recs) > window {
+		recs = recs[len(recs)-window:]
+	}
+	return heartbeat.RateOf(recs)
+}
+
+// Snapshot views the window as the legacy Snapshot type, for code written
+// against the pre-stream API. The records slice is shared, not copied.
+func (w *Window) Snapshot() Snapshot {
+	return Snapshot{
+		Count:     w.count,
+		Window:    w.window,
+		TargetMin: w.targetMin,
+		TargetMax: w.targetMax,
+		TargetSet: w.targetSet,
+		Records:   w.recs,
+	}
+}
+
+// cachedStats returns the windowed rate and interval CV, recomputing them
+// only when records arrived (or the requested rate window changed) since
+// the last call. This is what makes an idle classification tick O(1).
+func (w *Window) cachedStats(rateWindow int) (heartbeat.Rate, bool, float64) {
+	if w.dirty || rateWindow != w.statsWindow {
+		w.rate, w.rateOK = w.RateOver(rateWindow)
+		w.cv = stats.Summarize(heartbeat.Intervals(w.recs)).CV()
+		w.statsWindow = rateWindow
+		w.dirty = false
+	}
+	return w.rate, w.rateOK, w.cv
+}

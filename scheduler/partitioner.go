@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"io"
 
 	"repro/observer"
 )
@@ -15,6 +16,10 @@ import (
 // pool, or from the application most above its window, and given to the
 // application furthest below its own.
 //
+// Each application is consumed as an incremental stream: a Step reads
+// only the records published since the previous Step, per application,
+// instead of re-fetching every window every decision.
+//
 // Partitioner is not safe for concurrent use.
 type Partitioner struct {
 	total  int
@@ -24,9 +29,14 @@ type Partitioner struct {
 
 type partApp struct {
 	name   string
-	source observer.Source
-	set    func(int) int
-	cores  int
+	stream observer.Stream
+	// ownsStream marks a stream the partitioner derived from a Source in
+	// Add (released by Close); AddStream streams belong to the caller.
+	ownsStream bool
+	win        *observer.Window
+	eof        bool
+	set        func(int) int
+	cores      int
 }
 
 // AppStatus reports one application's state at a partitioning decision.
@@ -56,8 +66,28 @@ func NewPartitioner(total, window int) (*Partitioner, error) {
 // actuator (which must clamp and return the effective grant, e.g.
 // (*sim.Proc).SetCores). The initial grant is applied immediately.
 // Add fails if the pool cannot hold one core per registered application.
+// The source is consumed as its natural stream (see observer.StreamOf);
+// AddStream registers a Stream directly.
 func (p *Partitioner) Add(name string, source observer.Source, set func(int) int, initial int) error {
-	if source == nil || set == nil {
+	if source == nil {
+		return fmt.Errorf("scheduler: nil source or actuator for %q", name)
+	}
+	stream := observer.StreamOf(source, 0)
+	if err := p.AddStream(name, stream, set, initial); err != nil {
+		// The derived stream may hold a live subscription; a failed
+		// registration must not leak it.
+		if c, ok := stream.(io.Closer); ok {
+			c.Close()
+		}
+		return err
+	}
+	p.apps[len(p.apps)-1].ownsStream = true
+	return nil
+}
+
+// AddStream is Add for an application already exposed as a Stream.
+func (p *Partitioner) AddStream(name string, stream observer.Stream, set func(int) int, initial int) error {
+	if stream == nil || set == nil {
 		return fmt.Errorf("scheduler: nil source or actuator for %q", name)
 	}
 	if len(p.apps)+1 > p.total {
@@ -69,10 +99,22 @@ func (p *Partitioner) Add(name string, source observer.Source, set func(int) int
 	if used := p.used() + initial; used > p.total {
 		initial = p.total - p.used()
 	}
-	a := &partApp{name: name, source: source, set: set}
+	a := &partApp{name: name, stream: stream, win: observer.NewWindow(p.window), set: set}
 	a.cores = set(initial)
 	p.apps = append(p.apps, a)
 	return nil
+}
+
+// drain absorbs the application's pending batches without blocking.
+func (a *partApp) drain() error {
+	if a.eof {
+		return nil
+	}
+	eof, err := observer.DrainInto(a.stream, a.win)
+	if eof {
+		a.eof = true
+	}
+	return err
 }
 
 func (p *Partitioner) used() int {
@@ -86,26 +128,47 @@ func (p *Partitioner) used() int {
 // Free returns the number of unallocated cores.
 func (p *Partitioner) Free() int { return p.total - p.used() }
 
+// Close releases the streams the partitioner derived from Sources in Add
+// (in-process streams hold a subscription on the observed Heartbeat for as
+// long as they live). Streams registered with AddStream are the caller's
+// to close. Close the partitioner once no Step is active.
+func (p *Partitioner) Close() error {
+	var first error
+	for _, a := range p.apps {
+		if !a.ownsStream {
+			continue
+		}
+		a.ownsStream = false
+		if c, ok := a.stream.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Step performs one observe–decide–actuate cycle over all applications
 // and returns their statuses after actuation.
 func (p *Partitioner) Step() ([]AppStatus, error) {
 	statuses := make([]AppStatus, len(p.apps))
 	for i, a := range p.apps {
-		snap, err := a.source.Snapshot(p.window)
-		if err != nil {
+		if err := a.drain(); err != nil {
 			return nil, fmt.Errorf("scheduler: observing %q: %w", a.name, err)
 		}
-		rate, ok := snap.Rate(p.window)
+		r, ok := a.win.RateOver(p.window)
+		rate := r.PerSec
+		targetMin, targetMax, targetSet := a.win.Target()
 		st := AppStatus{
 			Name: a.name, Rate: rate, RateOK: ok, Cores: a.cores,
-			TargetMin: snap.TargetMin, TargetMax: snap.TargetMax,
+			TargetMin: targetMin, TargetMax: targetMax,
 		}
-		if ok && snap.TargetSet {
-			if rate < snap.TargetMin && snap.TargetMin > 0 {
-				st.Need = (snap.TargetMin - rate) / snap.TargetMin
+		if ok && targetSet {
+			if rate < targetMin && targetMin > 0 {
+				st.Need = (targetMin - rate) / targetMin
 			}
-			if rate > snap.TargetMax && snap.TargetMax > 0 {
-				st.Surplus = (rate - snap.TargetMax) / snap.TargetMax
+			if rate > targetMax && targetMax > 0 {
+				st.Surplus = (rate - targetMax) / targetMax
 			}
 		}
 		statuses[i] = st

@@ -10,7 +10,9 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -81,15 +83,28 @@ type Sample struct {
 	TargetMax float64
 }
 
-// CoreScheduler couples an observer.Source to a CoreMachine through a
-// Policy. Drive it either by calling Step at decision points (the
-// deterministic experiment harness does this once per heartbeat window) or
-// with Run for a wall-clock polling loop.
+// CoreScheduler couples an application's heartbeat stream to a CoreMachine
+// through a Policy. Drive it either by calling Step at decision points
+// (the deterministic experiment harness does this once per heartbeat
+// window) or with Run for a wall-clock loop.
+//
+// Observation is incremental: the scheduler consumes an observer.Stream
+// into a private observer.Window, so each decision reads only the records
+// published since the previous one — a decision point at which the
+// application made no progress costs no per-record work, where the
+// snapshot-era scheduler re-fetched and re-decoded the whole window every
+// cycle.
 type CoreScheduler struct {
-	source  observer.Source
-	machine CoreMachine
-	policy  Policy
-	window  int // observation window in beats (0: source default)
+	stream observer.Stream
+	// ownsStream marks a stream the scheduler derived itself (from the
+	// Source given to New) and must therefore release in Close; a stream
+	// supplied via WithStream belongs to the caller.
+	ownsStream bool
+	machine    CoreMachine
+	policy     Policy
+	window     int // observation window in beats (0: source default)
+	win        *observer.Window
+	eof        bool
 }
 
 // Option configures New.
@@ -99,50 +114,93 @@ type Option func(*CoreScheduler)
 // measurements (default: the application's default window).
 func WithWindow(n int) Option { return func(s *CoreScheduler) { s.window = n } }
 
-// New creates a scheduler. Any nil argument is an error.
+// WithStream has the scheduler consume the given stream instead of
+// deriving one from the Source passed to New (which may then be nil).
+func WithStream(st observer.Stream) Option { return func(s *CoreScheduler) { s.stream = st } }
+
+// New creates a scheduler observing source. A nil machine or policy is an
+// error; source may only be nil when WithStream supplies the stream.
 func New(source observer.Source, machine CoreMachine, policy Policy, opts ...Option) (*CoreScheduler, error) {
-	if source == nil || machine == nil || policy == nil {
-		return nil, fmt.Errorf("scheduler: nil source, machine, or policy")
+	if machine == nil || policy == nil {
+		return nil, fmt.Errorf("scheduler: nil machine or policy")
 	}
-	s := &CoreScheduler{source: source, machine: machine, policy: policy}
+	s := &CoreScheduler{machine: machine, policy: policy}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.stream == nil {
+		if source == nil {
+			return nil, fmt.Errorf("scheduler: nil source, machine, or policy")
+		}
+		s.stream = observer.StreamOf(source, 0)
+		s.ownsStream = true
+	}
+	s.win = observer.NewWindow(s.window)
 	return s, nil
 }
 
-// Step performs one observe–decide–actuate cycle.
+// Close releases the stream the scheduler derived from its Source, if
+// any (in-process streams hold a subscription on the observed Heartbeat
+// for as long as they live). Streams supplied via WithStream are the
+// caller's to close. Close a scheduler once no Run or Step is active.
+func (s *CoreScheduler) Close() error {
+	if !s.ownsStream {
+		return nil
+	}
+	s.ownsStream = false
+	if c, ok := s.stream.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Step performs one observe–decide–actuate cycle: absorb the records
+// published since the last cycle, then decide from the accumulated window.
+// Once the stream ends (the observed Heartbeat was closed) the scheduler
+// keeps deciding from the final window.
 func (s *CoreScheduler) Step() (Sample, error) {
-	maxRecords := s.window
-	if maxRecords <= 0 {
-		maxRecords = 0 // source default
+	if !s.eof {
+		eof, err := observer.DrainInto(s.stream, s.win)
+		if eof {
+			s.eof = true
+		}
+		if err != nil {
+			return Sample{}, fmt.Errorf("scheduler: %w", err)
+		}
 	}
-	snap, err := s.source.Snapshot(maxRecords)
-	if err != nil {
-		return Sample{}, fmt.Errorf("scheduler: %w", err)
-	}
-	rate, ok := snap.Rate(s.window)
+	return s.decide(), nil
+}
+
+// decide runs the policy against the current window state.
+func (s *CoreScheduler) decide() Sample {
+	r, ok := s.win.RateOver(s.window)
 	cur, max := s.machine.Cores(), s.machine.MaxCores()
-	desired := s.policy.DesiredCores(rate, ok, cur, max)
+	desired := s.policy.DesiredCores(r.PerSec, ok, cur, max)
 	granted := cur
 	if desired != cur {
 		granted = s.machine.SetCores(desired)
 	}
+	tmin, tmax, _ := s.win.Target()
 	return Sample{
-		Beat:      snap.Count,
-		Rate:      rate,
+		Beat:      s.win.Count(),
+		Rate:      r.PerSec,
 		RateOK:    ok,
 		Cores:     granted,
-		TargetMin: snap.TargetMin,
-		TargetMax: snap.TargetMax,
-	}, nil
+		TargetMin: tmin,
+		TargetMax: tmax,
+	}
 }
 
-// Run steps every interval until ctx is cancelled, invoking onSample (if
-// non-nil) after each cycle and onError (if non-nil) on failures.
+// Run decides every interval until ctx is cancelled, invoking onSample (if
+// non-nil) after each cycle and onError (if non-nil) on failures. Between
+// decisions it blocks on the stream, absorbing batches as the application
+// publishes them, so an idle application costs nothing per tick. A
+// non-positive interval is clamped to a 100ms decision cadence (the
+// ticker-era Run panicked on one; the stream loop would busy-spin).
 func (s *CoreScheduler) Run(ctx context.Context, interval time.Duration, onSample func(Sample), onError func(error)) {
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
 	for {
 		sample, err := s.Step()
 		if err != nil {
@@ -152,10 +210,49 @@ func (s *CoreScheduler) Run(ctx context.Context, interval time.Duration, onSampl
 		} else if onSample != nil {
 			onSample(sample)
 		}
-		select {
-		case <-ctx.Done():
+		if ctx.Err() != nil {
 			return
-		case <-ticker.C:
+		}
+		if err := s.collect(ctx, time.Now().Add(interval)); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if onError != nil {
+				onError(err)
+			}
+		}
+		if ctx.Err() != nil {
+			return
 		}
 	}
+}
+
+// collect absorbs stream batches until deadline or ctx cancellation.
+// After a stream end or error, the remaining interval is waited out so a
+// dead or failing source cannot spin the decision loop.
+func (s *CoreScheduler) collect(ctx context.Context, deadline time.Time) error {
+	var streamErr error
+	if s.eof {
+		// Nothing more will ever arrive; just keep the decision cadence.
+	} else {
+		eof, err := observer.CollectInto(ctx, s.stream, s.win, deadline)
+		if eof {
+			s.eof = true
+		}
+		switch {
+		case err == nil:
+			return nil // the interval elapsed (or the stream just ended)
+		case errors.Is(err, ctx.Err()) && ctx.Err() != nil:
+			return nil // cancelled: Run checks ctx itself
+		default:
+			streamErr = err
+		}
+	}
+	if d := time.Until(deadline); d > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(d):
+		}
+	}
+	return streamErr
 }
