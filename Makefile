@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-short bench bench-compare
+.PHONY: ci vet build build-extras test race net-loopback bench-short bench bench-compare bench-net
 
-ci: vet build race bench-short bench-compare
+ci: vet build build-extras race net-loopback bench-short bench-compare bench-net
 
 vet:
 	$(GO) vet ./...
@@ -13,11 +13,23 @@ vet:
 build:
 	$(GO) build ./...
 
+# The examples and commands are main packages `go build ./...` covers, but
+# building them explicitly keeps their breakage attributable when ci fails.
+build-extras:
+	$(GO) build ./examples/...
+	$(GO) build ./cmd/...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The hbnet loopback round trip, briefly and race-checked: one real TCP
+# server and client exchanging records in-process — the fastest signal
+# that the wire protocol still works end to end.
+net-loopback:
+	$(GO) test -race -run 'TestLoopbackRoundTrip' ./hbnet
 
 # The core-API benchmarks only, briefly: enough to catch a hot-path
 # regression without regenerating every figure.
@@ -28,13 +40,25 @@ bench-short:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Echo the human-readable ns/op lines back out of a go test -json capture.
+define show-bench
+	@sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' $(1) \
+		| awk '{printf "%s", $$0}' \
+		| sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
+		| grep 'ns/op'
+endef
+
 # Snapshot polling vs cursor streaming, recorded as test2json events in
 # BENCH_stream.json so the consumer-path perf trajectory is tracked across
 # PRs (compare the Output lines of successive runs).
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkPollVsStream' -benchmem \
 		-benchtime=200ms -json . > BENCH_stream.json
-	@sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' BENCH_stream.json \
-		| awk '{printf "%s", $$0}' \
-		| sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
-		| grep 'ns/op'
+	$(call show-bench,BENCH_stream.json)
+
+# The remote consumer path: sustained records/s over loopback TCP and the
+# idle-tick cost, recorded in BENCH_net.json alongside BENCH_stream.json.
+bench-net:
+	$(GO) test -run '^$$' -bench 'BenchmarkNetStream' -benchmem \
+		-benchtime=200ms -json ./hbnet > BENCH_net.json
+	$(call show-bench,BENCH_net.json)

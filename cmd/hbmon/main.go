@@ -1,43 +1,78 @@
-// Command hbmon watches a heartbeat ring or log file and reports the
-// observed application's heart rate, goals, and health — the
-// system-administration use of §2.3: detect hangs, watch program phases,
-// diagnose performance in the field, all without touching the application.
+// Command hbmon watches a heartbeat ring or log file — or a remote hbnet
+// feed — and reports the observed application's heart rate, goals, and
+// health: the system-administration use of §2.3 (detect hangs, watch
+// program phases, diagnose performance in the field) without touching the
+// application, now across machines.
 //
 // Usage:
 //
 //	hbmon -file app.hb [-interval 500ms] [-window N] [-count N] [-follow]
+//	hbmon -file app.hb -listen :9999 [-app NAME]     # relay the file over TCP
+//	hbmon -connect HOST:9999 [-app NAME]             # watch a remote feed
 //
 // The default mode polls a full snapshot every interval. With -follow,
 // hbmon tails the file incrementally: each tick reads only the records
 // published since the previous one (an idle tick is a single cursor
 // read), reports how many new beats arrived, and flags records lost to
-// ring overwrite. Each line reports: beat count, new beats this tick
-// (follow mode), heart rate over the window, the advertised target range,
-// and the health classification (healthy / slow / fast / erratic /
-// flatlined / dead).
+// ring overwrite.
+//
+// With -listen, hbmon additionally serves the file as an hbnet feed so
+// observers on other machines can subscribe to it — the relay case: the
+// application only writes a local file, hbmon exports it. With -connect,
+// hbmon is such a remote observer: it streams the named feed (always
+// incremental, like -follow) and reports identically, including records
+// missed across connection outages. The balance of the reporting flags
+// applies to every mode. Each line reports: beat count, new beats this
+// tick (incremental modes), heart rate over the window, the advertised
+// target range, and the health classification (healthy / slow / fast /
+// erratic / flatlined / dead).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	"repro/hbfile"
+	"repro/hbnet"
 	"repro/observer"
 )
 
 func main() {
-	path := flag.String("file", "", "heartbeat ring or log file to watch (required)")
+	path := flag.String("file", "", "heartbeat ring or log file to watch")
+	connect := flag.String("connect", "", "watch a remote hbnet feed at this address instead of a file")
+	listen := flag.String("listen", "", "also serve the file as an hbnet feed on this address (requires -file)")
+	app := flag.String("app", "app", "feed name to serve (-listen) or subscribe to (-connect)")
 	interval := flag.Duration("interval", 500*time.Millisecond, "reporting interval")
 	window := flag.Int("window", 0, "rate window in beats (0 = file default)")
 	count := flag.Int("count", 0, "stop after this many reports (0 = forever)")
 	follow := flag.Bool("follow", false, "tail the file incrementally instead of re-reading the window each poll")
 	flag.Parse()
-	if *path == "" {
+	if (*path == "") == (*connect == "") {
+		fmt.Fprintln(os.Stderr, "hbmon: exactly one of -file or -connect is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *listen != "" && *path == "" {
+		fmt.Fprintln(os.Stderr, "hbmon: -listen relays a file; it requires -file")
+		os.Exit(2)
+	}
+
+	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
+
+	if *connect != "" {
+		c, err := hbnet.Dial(*connect, *app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		fmt.Printf("watching remote feed %q at %s\n", *app, *connect)
+		runFollow(c, classifier, *interval, *count)
+		return
 	}
 
 	// Accept either file variant: the bounded ring or the append-only log.
@@ -66,7 +101,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
+	if *listen != "" {
+		srv := hbnet.NewServer()
+		// Each subscriber opens its own reader of the file, so the relay
+		// and the local report never share a cursor.
+		if err := srv.Publish(*app, hbnet.FileFeed(*path, *interval/10)); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		// Bind synchronously so a bad address fails the command outright;
+		// once serving, a relay failure only warns — the local monitor
+		// keeps reporting.
+		l, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		go func() {
+			if err := srv.Serve(l); err != nil {
+				fmt.Fprintln(os.Stderr, "hbmon: relay stopped:", err)
+			}
+		}()
+		fmt.Printf("serving feed %q on %s\n", *app, l.Addr())
+	}
+
 	if *follow {
 		runFollow(stream, classifier, *interval, *count)
 		return
@@ -87,8 +146,8 @@ func main() {
 	}
 }
 
-// runFollow is the incremental mode: absorb new records as they land,
-// judge and report every interval.
+// runFollow is the incremental mode shared by -follow and -connect:
+// absorb new records as they land, judge and report every interval.
 func runFollow(stream observer.Stream, classifier *observer.Classifier, interval time.Duration, count int) {
 	win := observer.NewWindow(classifier.Window)
 	ctx := context.Background()

@@ -83,6 +83,10 @@ func (s *Stepper) Reset() { s.cooldown = 0 }
 // continuous actuator value (e.g. desired core count before rounding).
 // Anti-windup clamps the integral term so the output respects
 // [MinOutput, MaxOutput].
+//
+// Non-finite measurements (NaN, ±Inf — a lossy or garbled remote signal)
+// never reach the actuator: the controller holds its last good output (or
+// MinOutput before any good measurement) and leaves the integral untouched.
 type PI struct {
 	// Kp and Ki are the proportional and integral gains.
 	Kp, Ki float64
@@ -92,12 +96,20 @@ type PI struct {
 	MinOutput, MaxOutput float64
 
 	integral float64
+	lastOut  float64
+	haveOut  bool
 }
 
 // Update folds one measurement taken dt seconds after the previous one and
 // returns the clamped actuator value.
 func (c *PI) Update(measured, dt float64) float64 {
-	if dt <= 0 || math.IsNaN(measured) {
+	if math.IsNaN(measured) || math.IsInf(measured, 0) {
+		return c.hold()
+	}
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		// No usable time step (an infinite one would poison the integral
+		// with 0·Inf = NaN): respond proportionally but do not integrate
+		// (the stale integral still contributes its term).
 		return c.output(c.Kp * (c.Setpoint - measured))
 	}
 	err := c.Setpoint - measured
@@ -106,14 +118,28 @@ func (c *PI) Update(measured, dt float64) float64 {
 	return c.output(c.Kp * err)
 }
 
+// hold returns the last actuator value without folding anything in — the
+// safe response to a measurement that cannot be trusted.
+func (c *PI) hold() float64 {
+	if c.haveOut {
+		return c.lastOut
+	}
+	return c.MinOutput
+}
+
 func (c *PI) output(p float64) float64 {
 	out := p + c.Ki*c.integral
+	// NaN compares false against both clamp bounds, so an unsanitized NaN
+	// would fall straight through to the actuator.
+	if math.IsNaN(out) {
+		return c.hold()
+	}
 	if out < c.MinOutput {
-		return c.MinOutput
+		out = c.MinOutput
+	} else if c.MaxOutput > c.MinOutput && out > c.MaxOutput {
+		out = c.MaxOutput
 	}
-	if c.MaxOutput > c.MinOutput && out > c.MaxOutput {
-		return c.MaxOutput
-	}
+	c.lastOut, c.haveOut = out, true
 	return out
 }
 
@@ -135,8 +161,11 @@ func (c *PI) clampIntegral() {
 	}
 }
 
-// Reset clears the accumulated integral.
-func (c *PI) Reset() { c.integral = 0 }
+// Reset clears the accumulated integral and the held last output.
+func (c *PI) Reset() {
+	c.integral = 0
+	c.lastOut, c.haveOut = 0, false
+}
 
 // Ladder walks an ordered list of configurations from slowest/highest
 // quality (level 0) to fastest/lowest quality (MaxLevel) — the paper's

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -159,6 +160,61 @@ func TestPIDegenerateDt(t *testing.T) {
 	}
 }
 
+// Regression: NaN compares false against both clamp bounds, so a NaN
+// measurement used to sail through output() and hand NaN to the actuator —
+// and a dt<=0 update with a NaN measurement computed a fresh NaN error on
+// top of the stale integral. The controller must instead hold its last
+// good output (MinOutput before any) and keep its state uncorrupted.
+func TestPINaNMeasurementSanitized(t *testing.T) {
+	c := &PI{Kp: 0.5, Ki: 0.5, Setpoint: 32, MinOutput: 1, MaxOutput: 16}
+
+	// Before any good measurement, a NaN must yield MinOutput, via either
+	// the dt<=0 branch or the integrating branch.
+	if out := c.Update(math.NaN(), 0); out != c.MinOutput {
+		t.Fatalf("NaN measurement with dt=0 -> %v, want MinOutput %v", out, c.MinOutput)
+	}
+	if out := c.Update(math.NaN(), 1); out != c.MinOutput {
+		t.Fatalf("NaN measurement with dt=1 -> %v, want MinOutput %v", out, c.MinOutput)
+	}
+
+	// Establish a good output, then poison with NaN and ±Inf: the last
+	// good output must be held and the integral left untouched.
+	good := c.Update(20, 1)
+	if math.IsNaN(good) {
+		t.Fatalf("good measurement produced NaN")
+	}
+	integral := c.integral
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if out := c.Update(bad, 1); out != good {
+			t.Fatalf("Update(%v) -> %v, want held %v", bad, out, good)
+		}
+		if c.integral != integral {
+			t.Fatalf("Update(%v) corrupted integral: %v -> %v", bad, integral, c.integral)
+		}
+	}
+
+	// A non-finite dt must not integrate either: 0·Inf = NaN would brick
+	// the controller permanently (every later output would hold forever).
+	for _, badDt := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		out := c.Update(c.Setpoint, badDt) // zero error: pure P is 0 + integral term
+		if math.IsNaN(out) || out < c.MinOutput || out > c.MaxOutput {
+			t.Fatalf("Update(setpoint, dt=%v) -> %v", badDt, out)
+		}
+		if c.integral != integral {
+			t.Fatalf("Update(setpoint, dt=%v) corrupted integral: %v -> %v", badDt, integral, c.integral)
+		}
+	}
+
+	// And the controller still works afterwards: good measurements keep
+	// producing finite, clamped outputs.
+	for i := 0; i < 10; i++ {
+		out := c.Update(20, 1)
+		if math.IsNaN(out) || out < c.MinOutput || out > c.MaxOutput {
+			t.Fatalf("post-NaN update %d -> %v", i, out)
+		}
+	}
+}
+
 func TestLadderWalksDownAndClamps(t *testing.T) {
 	l := &Ladder{MaxLevel: 3, TargetMin: 30}
 	for want := 1; want <= 3; want++ {
@@ -189,6 +245,56 @@ func TestLadderRecover(t *testing.T) {
 	l.SetLevel(0)
 	if got := l.Decide(50, true); got != 0 {
 		t.Fatalf("recover below 0: %d", got)
+	}
+}
+
+// The recover path under alternating rates: a ladder bouncing between a
+// starving and a comfortable plant must oscillate within one level in each
+// direction per judgment, never skip levels, respect Settle in both
+// directions, and stay clamped to [0, MaxLevel] throughout.
+func TestLadderRecoverAlternatingRates(t *testing.T) {
+	l := &Ladder{MaxLevel: 4, TargetMin: 30, TargetMax: 40, Recover: true}
+	l.SetLevel(2)
+	prev := l.Level()
+	for i := 0; i < 50; i++ {
+		rate := 10.0 // below TargetMin: step toward speed
+		if i%2 == 1 {
+			rate = 50 // above TargetMax: recover toward quality
+		}
+		got := l.Decide(rate, true)
+		if got < 0 || got > l.MaxLevel {
+			t.Fatalf("step %d: level %d outside [0, %d]", i, got, l.MaxLevel)
+		}
+		if diff := got - prev; diff < -1 || diff > 1 {
+			t.Fatalf("step %d: level jumped %d -> %d", i, prev, got)
+		}
+		prev = got
+	}
+	// Strict alternation with no settle ping-pongs between two adjacent
+	// levels; after the transient the ladder must not have drifted to
+	// either end.
+	if prev <= 0 || prev >= l.MaxLevel {
+		t.Fatalf("alternating rates drifted ladder to the boundary: %d", prev)
+	}
+
+	// With Settle, the held decisions must apply to recovery steps too.
+	l2 := &Ladder{MaxLevel: 4, TargetMin: 30, TargetMax: 40, Recover: true, Settle: 1}
+	l2.SetLevel(4)
+	if got := l2.Decide(50, true); got != 3 {
+		t.Fatalf("recover step = %d, want 3", got)
+	}
+	if got := l2.Decide(50, true); got != 3 {
+		t.Fatalf("settling recover step = %d, want hold at 3", got)
+	}
+	if got := l2.Decide(50, true); got != 2 {
+		t.Fatalf("post-settle recover step = %d, want 2", got)
+	}
+	// A no-op decision at MaxLevel (starving but nowhere cheaper to go)
+	// sets no cooldown, so the next recovery step is immediate.
+	l2.SetLevel(4)
+	l2.Decide(10, true)
+	if got := l2.Decide(50, true); got != 3 {
+		t.Fatalf("recover from MaxLevel = %d, want 3", got)
 	}
 }
 

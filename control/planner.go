@@ -35,24 +35,43 @@ func amdahlSpeedup(cores int, p float64) float64 {
 
 // DesiredCores implements the scheduler Policy shape: estimate the
 // single-core base rate from the current observation, then return the
-// smallest allocation whose predicted rate reaches TargetMin (never
-// exceeding max; if even max cores cannot reach the window, max is
-// returned and the application must adapt itself instead).
+// smallest allocation whose predicted rate lands inside
+// [TargetMin, TargetMax] — TargetMax participates in the objective, so a
+// rate above the window steps down to the smallest in-window count
+// rather than merely the smallest count reaching TargetMin. When the
+// model's speedup steps straddle the window (no allocation is predicted
+// in-window), the smallest allocation meeting TargetMin is chosen: a
+// fast-but-met goal beats an unmet one — preferring the near miss below
+// would pin the application under its advertised minimum (and oscillate,
+// since the next decision at the lower count faces the inverse choice).
+// If even max cores cannot reach TargetMin, max is returned and the
+// application must adapt itself instead. TargetMax <= 0 means no upper
+// bound.
 func (a *AmdahlPlanner) DesiredCores(rate float64, rateOK bool, current, max int) int {
 	if !rateOK || rate <= 0 || current <= 0 {
 		return current
 	}
-	if rate >= a.TargetMin && rate <= a.TargetMax {
+	if rate >= a.TargetMin && (a.TargetMax <= 0 || rate <= a.TargetMax) {
 		return current // already in window; hold (minimum-resource goal)
 	}
 	base := rate / amdahlSpeedup(current, a.ParallelFrac)
+	met := 0 // smallest count predicted to reach TargetMin, if any
 	for c := 1; c <= max; c++ {
 		predicted := base * amdahlSpeedup(c, a.ParallelFrac)
-		if predicted >= a.TargetMin {
-			// Prefer staying under the max target when possible, but a
-			// fast-but-met goal beats an unmet one.
-			return c
+		if predicted < a.TargetMin {
+			continue
 		}
+		if a.TargetMax <= 0 || predicted <= a.TargetMax {
+			return c // smallest in-window allocation
+		}
+		if met == 0 {
+			met = c
+		}
+		// Larger counts only predict faster: no in-window count remains.
+		break
+	}
+	if met > 0 {
+		return met
 	}
 	return max
 }

@@ -54,6 +54,65 @@ func TestPlannerPicksMinimumCores(t *testing.T) {
 	}
 }
 
+// The step-down direction: when the observed rate is above the window the
+// planner must land on the smallest allocation predicted inside
+// [TargetMin, TargetMax], not merely the smallest reaching TargetMin.
+func TestPlannerStepsDownIntoWindow(t *testing.T) {
+	const base, p = 2.0, 0.95
+	planner := &AmdahlPlanner{ParallelFrac: p, TargetMin: 8, TargetMax: 10}
+	// Running flat out on all 8 cores: well above the window.
+	rate := base * sim.Speedup(8, p)
+	if rate <= planner.TargetMax {
+		t.Fatalf("test setup: rate %.2f not above window", rate)
+	}
+	got := planner.DesiredCores(rate, true, 8, 8)
+	want := 0
+	for c := 1; c <= 8; c++ {
+		if pr := base * sim.Speedup(c, p); pr >= 8 && pr <= 10 {
+			want = c
+			break
+		}
+	}
+	if want == 0 {
+		t.Fatalf("test setup: no in-window allocation exists")
+	}
+	if got != want {
+		t.Fatalf("step-down chose %d cores (predicted %.2f), want %d (predicted %.2f)",
+			got, base*sim.Speedup(got, p), want, base*sim.Speedup(want, p))
+	}
+	// And it holds once in the window.
+	if hold := planner.DesiredCores(base*sim.Speedup(got, p), true, got, 8); hold != got {
+		t.Fatalf("post-step-down decision moved %d -> %d", got, hold)
+	}
+}
+
+// With coarse speedup steps that straddle the window (no allocation is
+// predicted in-window), the planner must pick the smallest count meeting
+// TargetMin — never the near miss below, which would pin the application
+// under its advertised minimum — and then hold there: no oscillation.
+func TestPlannerStraddledWindowMeetsGoalStably(t *testing.T) {
+	const p = 0.9
+	planner := &AmdahlPlanner{ParallelFrac: p, TargetMin: 10, TargetMax: 12}
+	// Plant base rate 9.75: predicted(1) = 9.75 (just below the window),
+	// predicted(2) ≈ 17.7 (above it). Nothing lands inside.
+	const base = 9.75
+	plant := func(c int) float64 { return base * sim.Speedup(c, p) }
+
+	// Step-down direction (far above the window) and step-up direction
+	// (starving at 1 core) must converge on the same goal-meeting count.
+	if got := planner.DesiredCores(plant(4), true, 4, 8); got != 2 {
+		t.Fatalf("straddled step-down: chose %d cores (predicted %.2f), want 2", got, plant(got))
+	}
+	if got := planner.DesiredCores(plant(1), true, 1, 8); got != 2 {
+		t.Fatalf("straddled step-up: chose %d cores (predicted %.2f), want 2", got, plant(got))
+	}
+	// And it is a fixed point: over-target at the chosen count, the next
+	// decision stays rather than ping-ponging below the minimum.
+	if got := planner.DesiredCores(plant(2), true, 2, 8); got != 2 {
+		t.Fatalf("straddled hold: moved 2 -> %d", got)
+	}
+}
+
 func TestPlannerUnreachableTargetSaturates(t *testing.T) {
 	planner := &AmdahlPlanner{ParallelFrac: 0.5, TargetMin: 100, TargetMax: 200}
 	if got := planner.DesiredCores(1, true, 1, 8); got != 8 {

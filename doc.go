@@ -12,6 +12,9 @@
 //   - heartbeat/compat: Table-1-shaped wrappers for C-reference parity
 //   - hbfile: the file-backed ring for cross-process observation, with
 //     incremental readers (an idle observer tick is one 8-byte read)
+//   - hbnet: the network backend — heartbeat streaming over TCP with
+//     cursor resume, so observers on other machines consume the same
+//     Streams (the third backend next to in-process and hbfile)
 //   - observer: external observation as incremental Streams — Monitor for
 //     one application, Hub to multiplex many named applications into one
 //     loop — plus health classification; the old snapshot Source remains

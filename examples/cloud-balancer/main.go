@@ -1,72 +1,223 @@
-// Cloud load balancing and failover (§2.6): each server node exposes a
-// heartbeat; a balancer routes traffic toward nodes with healthy heart
-// rates, detects a flatlined node from its heartbeats alone, fails over,
-// and later reclaims it. The paper: "a lack of heartbeats from a
-// particular node would indicate that it has failed, and slow or erratic
-// heartbeats could indicate that a machine is about to fail".
+// Cloud load balancing and failover (§2.6) across a REAL process
+// boundary: each server node runs as a separate OS process, beats once
+// per served request, and publishes its heartbeats over hbnet (loopback
+// TCP). The balancer process shares no memory with the nodes — it learns
+// everything it knows by subscribing to their heartbeat feeds through an
+// observer.Hub, exactly the paper's claim that heartbeats "can be read by
+// other processes, possibly on other machines": a lack of heartbeats from
+// a node means it failed, and recovery is visible the same way.
+//
+// The run also demonstrates cursor resume: mid-run the balancer drops and
+// re-dials one node's connection, resuming from its cursor — a network
+// blip costs a delay, never a duplicate or a silent gap.
 //
 //	go run ./examples/cloud-balancer
+//
+// (The binary re-executes itself with -node to become a node process.)
 package main
 
 import (
+	"bufio"
+	"context"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/hbnet"
 	"repro/heartbeat"
 	"repro/observer"
-	"repro/sim"
 )
 
-// node is one simulated server: it beats once per served request.
+func main() {
+	nodeName := flag.String("node", "", "internal: run as the named server node")
+	perReq := flag.Duration("perreq", 10*time.Millisecond, "internal: nominal service time per request")
+	flag.Parse()
+	if *nodeName != "" {
+		runNode(*nodeName, *perReq)
+		return
+	}
+	runBalancer()
+}
+
+// runNode is the server-node process: a heartbeat-enabled "application"
+// that serves requests sent on stdin (one command per line) and beats per
+// request. Its only output besides heartbeats is the hbnet address line.
+func runNode(name string, perReq time.Duration) {
+	hb, err := heartbeat.New(20, heartbeat.WithCapacity(4096))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each node advertises the request rate it is provisioned for; the
+	// minimum also calibrates the observer's flatline threshold
+	// (FlatlineFactor × the expected inter-beat interval).
+	if err := hb.SetTarget(50, 2000); err != nil {
+		log.Fatal(err)
+	}
+	srv := hbnet.NewServer()
+	if err := srv.PublishHeartbeat(name, hb); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	fmt.Printf("ADDR %s\n", l.Addr())
+
+	hung := false
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		switch sc.Text() {
+		case "serve":
+			// A hung node consumes the request but never beats — nothing
+			// else announces the failure.
+			if !hung {
+				time.Sleep(perReq / 8) // a slice of the service time, so the demo stays brisk
+				hb.Beat()
+			}
+		case "hang":
+			hung = true
+		case "recover":
+			hung = false
+		}
+	}
+	hb.Close()
+	srv.Close()
+}
+
+// node is the balancer's view of one remote server: an address, a stdin
+// pipe to drive it, and whatever its heartbeats say.
 type node struct {
-	name     string
-	hb       *heartbeat.Heartbeat
-	perReq   time.Duration // service time per request
-	hung     bool
-	source   observer.Source
-	classify *observer.Classifier
+	name    string
+	addr    string
+	stdin   *bufio.Writer
+	closeIn io.Closer
+	served  int
 }
 
 func (n *node) serve() {
-	if n.hung {
-		return // a hung node consumes the request but never beats
-	}
-	n.hb.Beat()
+	n.stdin.WriteString("serve\n")
+	n.stdin.Flush()
+	n.served++
 }
 
-func main() {
-	clk := sim.NewClock(time.Time{})
-	mkNode := func(name string, perReq time.Duration) *node {
-		hb, err := heartbeat.New(10, heartbeat.WithClock(clk))
+func (n *node) command(cmd string) {
+	n.stdin.WriteString(cmd + "\n")
+	n.stdin.Flush()
+}
+
+func runBalancer() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spawn := func(name string, perReq time.Duration) (*node, *exec.Cmd) {
+		cmd := exec.Command(exe, "-node", name, "-perreq", perReq.String())
+		stdin, err := cmd.StdinPipe()
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Each node advertises the request rate it is provisioned for.
-		if err := hb.SetTarget(5, 1000); err != nil {
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
 			log.Fatal(err)
 		}
-		return &node{
-			name: name, hb: hb, perReq: perReq,
-			source:   observer.HeartbeatSource(hb),
-			classify: &observer.Classifier{Clock: clk, FlatlineFactor: 8},
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
 		}
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				return &node{name: name, addr: a, stdin: bufio.NewWriter(stdin), closeIn: stdin}, cmd
+			}
+		}
+		log.Fatalf("node %s never reported its address", name)
+		return nil, nil
 	}
-	nodes := []*node{
-		mkNode("node-a", 8*time.Millisecond),
-		mkNode("node-b", 12*time.Millisecond),
-		mkNode("node-c", 10*time.Millisecond),
+
+	nodes := []*node{}
+	cmds := []*exec.Cmd{}
+	for _, spec := range []struct {
+		name   string
+		perReq time.Duration
+	}{
+		{"node-a", 8 * time.Millisecond},
+		{"node-b", 12 * time.Millisecond},
+		{"node-c", 10 * time.Millisecond},
+	} {
+		n, cmd := spawn(spec.name, spec.perReq)
+		nodes = append(nodes, n)
+		cmds = append(cmds, cmd)
+		fmt.Printf("%s up: pid %d, heartbeats at %s\n", n.name, cmd.Process.Pid, n.addr)
+	}
+
+	// The hub multiplexes every node's remote feed; health judgments are
+	// made balancer-side from raw heartbeats. The balancer never asks a
+	// node how it feels — it watches its pulse.
+	var mu sync.Mutex
+	health := map[string]observer.Health{}
+	hub := observer.NewHub(25*time.Millisecond, func(name string, st observer.Status) {
+		mu.Lock()
+		prev, known := health[name]
+		health[name] = st.Health
+		mu.Unlock()
+		if known && prev != st.Health {
+			fmt.Printf("         hub: %s %s -> %s (beats=%d)\n", name, prev, st.Health, st.Count)
+		}
+	}, observer.WithHubClassifier(func(string) *observer.Classifier {
+		return &observer.Classifier{FlatlineFactor: 8}
+	}))
+	clients := map[string]*hbnet.Client{}
+	for _, n := range nodes {
+		c, err := hbnet.DialIntoHub(hub, n.name, n.addr, n.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[n.name] = c
+	}
+	hubCtx, hubCancel := context.WithCancel(context.Background())
+	defer hubCancel()
+	go hub.Run(hubCtx)
+
+	// A second, directly-owned subscription to node-a audits the transport
+	// itself: mid-run its connection is dropped and resumed from its
+	// cursor, and at the end every received sequence number is checked —
+	// exactly-once, in order, nothing skipped — across the blip.
+	audit, err := hbnet.Dial(nodes[0].addr, nodes[0].name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noWait, cancelNoWait := context.WithCancel(context.Background())
+	cancelNoWait() // expired ctx: Next becomes a non-blocking drain
+	var auditSeqs []uint64
+	var auditMissed uint64
+	drainAudit := func() {
+		for {
+			b, err := audit.Next(noWait)
+			if err != nil {
+				return
+			}
+			for _, r := range b.Records {
+				auditSeqs = append(auditSeqs, r.Seq)
+			}
+			auditMissed += b.Missed
+		}
 	}
 
 	alive := func() []*node {
+		mu.Lock()
+		defer mu.Unlock()
 		var out []*node
 		for _, n := range nodes {
-			snap, err := n.source.Snapshot(0)
-			if err != nil {
-				continue
-			}
-			st := n.classify.Classify(snap)
-			if st.Health != observer.Flatlined && st.Health != observer.Dead {
+			h := health[n.name]
+			if h != observer.Flatlined && h != observer.Dead {
 				out = append(out, n)
 			}
 		}
@@ -74,18 +225,33 @@ func main() {
 	}
 
 	const totalRequests = 3000
-	served := map[string]int{}
 	rr := 0
 	for req := 0; req < totalRequests; req++ {
+		drainAudit() // non-blocking: absorb whatever node-a published
 		// Fault injection: node-b hangs a third of the way in and is
-		// repaired at two thirds.
+		// repaired at two thirds. Only its beats tell the balancer.
 		if req == totalRequests/3 {
-			nodes[1].hung = true
+			nodes[1].command("hang")
 			fmt.Printf("req %4d: node-b hangs (stops beating — nothing else announces the failure)\n", req)
 		}
 		if req == 2*totalRequests/3 {
-			nodes[1].hung = false
+			nodes[1].command("recover")
 			fmt.Printf("req %4d: node-b repaired (beats resume)\n", req)
+		}
+		// A simulated network blip on the audit subscription: drop the
+		// connection outright and resume a fresh one from the delivered
+		// cursor. The stream continues without duplicates, and Missed
+		// stays 0 because the node's history covers the gap — verified
+		// record by record at the end of the run.
+		if req == totalRequests/2 {
+			drainAudit()
+			cursor := audit.Cursor()
+			audit.Close()
+			audit, err = hbnet.DialFrom(nodes[0].addr, nodes[0].name, cursor)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("req %4d: node-a audit connection dropped and re-dialed, resuming after seq %d\n", req, cursor)
 		}
 
 		// The balancer consults heartbeats only — plus an occasional
@@ -101,24 +267,50 @@ func main() {
 			n = pool[rr%len(pool)]
 			rr++
 		}
-		clk.Advance(n.perReq / 3) // three-ish nodes serve concurrently
 		n.serve()
-		served[n.name]++
+		time.Sleep(time.Millisecond)
 
 		if req%500 == 499 {
+			mu.Lock()
 			fmt.Printf("req %4d: ", req+1)
 			for _, n := range nodes {
-				snap, _ := n.source.Snapshot(0)
-				st := n.classify.Classify(snap)
-				fmt.Printf("%s[%s beats=%d] ", n.name, st.Health, st.Count)
+				fmt.Printf("%s[%s] ", n.name, health[n.name])
 			}
+			mu.Unlock()
 			fmt.Println()
 		}
 	}
 
-	fmt.Println("\nrequests served per node (note the failover window):")
+	fmt.Println("\nrequests routed per node (note the failover window):")
 	for _, n := range nodes {
-		fmt.Printf("  %s: %d\n", n.name, served[n.name])
+		fmt.Printf("  %s: %d (missed heartbeat records: %d)\n", n.name, n.served, clients[n.name].Missed())
 	}
-	fmt.Println("node-b lost traffic only while flatlined; detection and recovery both came from heartbeats alone")
+
+	// Settle the audit stream and verify the transport's promise.
+	time.Sleep(100 * time.Millisecond)
+	drainAudit()
+	audit.Close()
+	dense := len(auditSeqs) > 0
+	for i, seq := range auditSeqs {
+		if seq != uint64(i+1) {
+			dense = false
+			break
+		}
+	}
+	fmt.Printf("audit of node-a's stream: %d records, missed %d, dense 1..%d across the dropped connection: %v\n",
+		len(auditSeqs), auditMissed, len(auditSeqs), dense)
+	fmt.Println("node-b lost traffic only while flatlined; detection and recovery both came from heartbeats alone, across process boundaries")
+
+	hubCancel()
+	for i, cmd := range cmds {
+		nodes[i].closeIn.Close() // EOF on stdin tells the node to exit
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
 }

@@ -1,0 +1,74 @@
+package hbnet
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"repro/heartbeat"
+)
+
+// BenchmarkNetStream measures the remote consumer path over real loopback
+// TCP: sustained records/s through server → wire → client, and the cost of
+// an idle tick (a Next that finds nothing pending — the price a remote
+// observer pays per decision interval while the application is quiet).
+func BenchmarkNetStream(b *testing.B) {
+	newPair := func(b *testing.B) (*heartbeat.Heartbeat, *Client) {
+		b.Helper()
+		clk := heartbeat.NewCoarseClock(0)
+		b.Cleanup(clk.Stop)
+		hb, err := heartbeat.New(20, heartbeat.WithCapacity(1<<16), heartbeat.WithClock(clk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := NewServer()
+		srv.PublishHeartbeat("bench", hb)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)
+		b.Cleanup(func() { srv.Close() })
+		c, err := Dial(l.Addr().String(), "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return hb, c
+	}
+
+	b.Run("throughput", func(b *testing.B) {
+		hb, c := newPair(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		go func() {
+			for i := 0; i < b.N; i++ {
+				hb.Beat()
+			}
+			hb.Flush()
+		}()
+		received := 0
+		for received < b.N {
+			batch, err := c.Next(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			received += len(batch.Records) + int(batch.Missed)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("idle-tick", func(b *testing.B) {
+		_, c := newPair(b)
+		drain, cancel := context.WithCancel(context.Background())
+		cancel()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Next(drain); err != context.Canceled {
+				b.Fatal(err)
+			}
+		}
+	})
+}

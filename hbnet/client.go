@@ -1,0 +1,432 @@
+package hbnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/observer"
+)
+
+// ErrRejected marks a handshake the server answered and permanently
+// refused — an unknown feed, a protocol mismatch. Retrying cannot help
+// until the operator intervenes, so the reconnect loop stops and Next
+// surfaces the error (check with errors.Is). Transient server-side
+// failures (a feed file mid-recreation) are NOT rejections: the server
+// flags them as such and the client keeps retrying with backoff.
+var ErrRejected = errors.New("hbnet: subscription rejected")
+
+// ClientOption configures Dial.
+type ClientOption func(*Client)
+
+// WithoutReconnect makes a broken connection terminal: Next returns the
+// connection error instead of redialing. The default is to reconnect with
+// capped exponential backoff, resuming from the last delivered cursor.
+func WithoutReconnect() ClientOption {
+	return func(c *Client) { c.reconnect = false }
+}
+
+// WithDialTimeout bounds each dial attempt, including the handshake
+// (default 5 seconds).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithReconnectBackoff sets the redial pacing: the first retry waits min,
+// doubling up to max. The defaults are 50ms and 2s.
+func WithReconnectBackoff(min, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if min > 0 {
+			c.backoffMin = min
+		}
+		if max >= c.backoffMin {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithOnReconnect installs a callback invoked from the client's reader
+// goroutine after each successful reconnect, with the cursor the stream
+// resumed from.
+func WithOnReconnect(f func(cursor uint64)) ClientOption {
+	return func(c *Client) { c.onReconnect = f }
+}
+
+// Client is a remote heartbeat subscription: the consuming half of an
+// hbnet connection. It satisfies observer.Stream (and io.Closer), so it
+// plugs into everything the local streams plug into — observer.Monitor,
+// observer.Hub, scheduler.CoreScheduler, scheduler.Partitioner — which is
+// the point: a scheduler does not know or care that its signal crosses a
+// machine boundary.
+//
+// A background reader drains the connection into a bounded buffer, so a
+// briefly slow consumer does not stall the socket; a consumer slower than
+// the producer for long backpressures TCP, and any records the producer's
+// ring laps meanwhile surface as Missed. When the connection breaks, the
+// reader redials with the last delivered cursor (unless WithoutReconnect)
+// — the server replays what the history still retains and the gap, if any,
+// is counted in Missed, never silently dropped and never re-delivered.
+//
+// Like every Stream, a Client is a single-consumer cursor: calls to Next
+// must not overlap. Close may be called from any goroutine.
+type Client struct {
+	addr, feed  string
+	dialTimeout time.Duration
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	reconnect   bool
+	onReconnect func(uint64)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	batches chan netBatch
+	// readerDone is closed when the reader goroutine exits; termErr then
+	// holds the terminal error Next reports once the buffer drains.
+	readerDone chan struct{}
+	termErr    error
+
+	mu   sync.Mutex // guards conn swaps vs Close
+	conn net.Conn
+
+	closeOnce sync.Once
+	// wireCursor tracks the newest sequence number read off the wire —
+	// the redial resume point (batches between it and the delivered
+	// cursor sit safely in the buffer, so a reconnect must not re-request
+	// them). delivered and missed advance only when Next hands a batch to
+	// the consumer, so Cursor()/Missed() never run ahead of what the
+	// consumer has actually seen.
+	wireCursor atomic.Uint64
+	delivered  atomic.Uint64
+	missed     atomic.Uint64
+	reconnects atomic.Int64
+}
+
+// netBatch pairs a decoded batch with the server cursor after it.
+type netBatch struct {
+	b      observer.Batch
+	cursor uint64
+}
+
+// Dial connects to an hbnet server and subscribes to the named feed from
+// the beginning of its retained history. The initial connection and
+// handshake are synchronous, so an unreachable server or unknown feed
+// fails here rather than on the first Next.
+func Dial(addr, feed string, opts ...ClientOption) (*Client, error) {
+	return DialFrom(addr, feed, 0, opts...)
+}
+
+// DialFrom is Dial resuming after sequence number since: the server
+// replays only retained records newer than since, counting anything
+// already lapped as Missed — how a consumer that kept its cursor across
+// its own restart avoids re-processing records it has seen.
+func DialFrom(addr, feed string, since uint64, opts ...ClientOption) (*Client, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		addr:        addr,
+		feed:        feed,
+		dialTimeout: 5 * time.Second,
+		backoffMin:  50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+		reconnect:   true,
+		ctx:         ctx,
+		cancel:      cancel,
+		batches:     make(chan netBatch, 16),
+		readerDone:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.wireCursor.Store(since)
+	c.delivered.Store(since)
+	conn, err := c.dialOnce()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// dialOnce establishes one connection and completes the handshake from the
+// current cursor.
+func (c *Client) dialOnce() (net.Conn, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(c.ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("hbnet: dial %s: %w", c.addr, err)
+	}
+	if c.dialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.dialTimeout))
+	}
+	since := c.wireCursor.Load()
+	if err := writeFrame(conn, appendHello(nil, c.feed, since)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hbnet: hello: %w", err)
+	}
+	ftype, body, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hbnet: welcome: %w", err)
+	}
+	switch ftype {
+	case frameWelcome:
+		cursor, err := decodeWelcome(body)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+		}
+		if cursor != since {
+			// The echo proves the server parsed the hello we sent; a
+			// mismatch means the stream would resume from the wrong spot.
+			conn.Close()
+			return nil, fmt.Errorf("%w: welcome echoes cursor %d, sent %d", ErrRejected, cursor, since)
+		}
+	case frameError:
+		conn.Close()
+		msg, permanent := decodeError(body)
+		if permanent {
+			return nil, fmt.Errorf("%w by server: %s", ErrRejected, msg)
+		}
+		// Transient server-side failure (e.g. the feed's file is being
+		// recreated): report it as an ordinary error so redial retries.
+		return nil, fmt.Errorf("hbnet: server: %s", msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("%w: unexpected frame %#x during handshake", ErrRejected, ftype)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// readLoop drains connections into the batch buffer until the stream ends,
+// a terminal error occurs, or the client is closed, redialing as needed.
+func (c *Client) readLoop(conn net.Conn) {
+	defer close(c.readerDone)
+	var failBackoff time.Duration
+	for {
+		start := time.Now()
+		err := c.readConn(conn)
+		conn.Close()
+		switch {
+		case err == nil: // frameEOF: the feed ended cleanly
+			c.termErr = io.EOF
+			return
+		case c.ctx.Err() != nil: // Close raced the read
+			c.termErr = io.EOF
+			return
+		case !c.reconnect:
+			c.termErr = err
+			return
+		}
+		// redial paces failed dial attempts, but a connection that
+		// handshakes fine and then dies immediately (a feed whose stream
+		// errors every time) would otherwise cycle at RTT speed; pace
+		// those too, resetting once a connection survives a while.
+		if time.Since(start) < time.Second {
+			if failBackoff == 0 {
+				failBackoff = c.backoffMin
+			} else if failBackoff *= 2; failBackoff > c.backoffMax {
+				failBackoff = c.backoffMax
+			}
+			select {
+			case <-time.After(failBackoff):
+			case <-c.ctx.Done():
+				c.termErr = io.EOF
+				return
+			}
+		} else {
+			failBackoff = 0
+		}
+		next, rerr := c.redial()
+		if rerr != nil {
+			if c.ctx.Err() != nil {
+				c.termErr = io.EOF
+			} else {
+				c.termErr = rerr
+			}
+			return
+		}
+		conn = next
+		c.reconnects.Add(1)
+		if c.onReconnect != nil {
+			c.onReconnect(c.wireCursor.Load())
+		}
+	}
+}
+
+// readConn forwards batches from one connection. nil means clean EOF; any
+// other return is the broken-connection (or terminal server) error.
+func (c *Client) readConn(conn net.Conn) error {
+	for {
+		ftype, body, err := readFrame(conn)
+		if err != nil {
+			return fmt.Errorf("hbnet: read: %w", err)
+		}
+		switch ftype {
+		case frameBatch:
+			b, cursor, err := decodeBatch(body)
+			if err != nil {
+				// A frame that parses wrongly means the stream framing is
+				// gone; resync by reconnecting from the last good cursor.
+				return err
+			}
+			c.wireCursor.Store(cursor)
+			select {
+			case c.batches <- netBatch{b, cursor}:
+			case <-c.ctx.Done():
+				return fmt.Errorf("hbnet: closed")
+			}
+		case frameEOF:
+			return nil
+		case frameError:
+			// A server-side stream failure: with reconnect enabled the
+			// redial re-opens the feed (the failure may be transient);
+			// without it, readLoop surfaces this error as terminal.
+			msg, _ := decodeError(body)
+			return fmt.Errorf("hbnet: server: %s", msg)
+		default:
+			return fmt.Errorf("hbnet: unexpected frame %#x", ftype)
+		}
+	}
+}
+
+// redial re-establishes the connection with capped exponential backoff.
+// dialOnce presents the wire cursor — NOT the delivered cursor: batches
+// between the two sit safely in c.batches, and re-requesting them would
+// deliver duplicates.
+func (c *Client) redial() (net.Conn, error) {
+	backoff := c.backoffMin
+	for {
+		conn, err := c.dialOnce()
+		if errors.Is(err, ErrRejected) {
+			// The server answered and said no (feed gone, protocol
+			// mismatch): hammering it cannot help. Stop and surface.
+			return nil, err
+		}
+		if err == nil {
+			c.mu.Lock()
+			if c.ctx.Err() != nil {
+				c.mu.Unlock()
+				conn.Close()
+				return nil, fmt.Errorf("hbnet: closed")
+			}
+			c.conn = conn
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if c.ctx.Err() != nil {
+			return nil, err
+		}
+		select {
+		case <-c.ctx.Done():
+			return nil, err
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > c.backoffMax {
+			backoff = c.backoffMax
+		}
+	}
+}
+
+// Next implements observer.Stream: it blocks until the server pushes
+// records and returns them as a Batch. Batches already received are
+// returned even when ctx is expired (the non-blocking drain contract).
+// After the feed ends — or the client is closed — Next drains the buffer
+// and then returns io.EOF; with WithoutReconnect a connection failure is
+// returned instead once the buffer is empty, and a reconnect handshake
+// the server refuses (errors.Is(err, ErrRejected): feed unpublished,
+// protocol mismatch) is terminal even with reconnect enabled.
+func (c *Client) Next(ctx context.Context) (observer.Batch, error) {
+	select {
+	case nb := <-c.batches:
+		return c.deliver(nb), nil
+	default:
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case nb := <-c.batches:
+		return c.deliver(nb), nil
+	case <-c.readerDone:
+		// The reader quit; anything it buffered first still wins.
+		select {
+		case nb := <-c.batches:
+			return c.deliver(nb), nil
+		default:
+			return observer.Batch{}, c.terminal()
+		}
+	case <-ctx.Done():
+		return observer.Batch{}, ctx.Err()
+	}
+}
+
+// deliver advances the consumer-visible accounting as a batch is handed
+// out of Next.
+func (c *Client) deliver(nb netBatch) observer.Batch {
+	c.delivered.Store(nb.cursor)
+	c.missed.Add(nb.b.Missed)
+	return nb.b
+}
+
+// terminal reports why the stream ended; only called after readerDone.
+func (c *Client) terminal() error {
+	if c.termErr != nil {
+		return c.termErr
+	}
+	return io.EOF
+}
+
+// Close disconnects and releases the client. A Next in progress (or any
+// later Next) drains the remaining buffered batches and then returns
+// io.EOF. Close is idempotent and safe from any goroutine.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.cancel()
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+// Cursor returns the newest sequence number Next has delivered — the
+// resume point a successor process would pass to DialFrom. Records the
+// reader has buffered but Next has not yet returned are deliberately NOT
+// covered: resuming from Cursor re-requests them, so a consumer that
+// saves its cursor and restarts never silently skips what it had not
+// processed.
+func (c *Client) Cursor() uint64 { return c.delivered.Load() }
+
+// Missed returns the total records reported lapped across the delivered
+// batches, including across reconnects.
+func (c *Client) Missed() uint64 { return c.missed.Load() }
+
+// Reconnects returns how many times the client has re-established its
+// connection.
+func (c *Client) Reconnects() int { return int(c.reconnects.Load()) }
+
+// DialIntoHub dials a remote feed and registers it with a Hub under name:
+// the one-liner that gives an observer.Hub a remote source next to its
+// local ones. The hub owns the client — Hub.Remove (or closing the
+// returned client) releases the connection.
+func DialIntoHub(h *observer.Hub, name, addr, feed string, opts ...ClientOption) (*Client, error) {
+	c, err := Dial(addr, feed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Add(name, c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,27 @@
+// Package hbnet streams Application Heartbeats between machines: the
+// paper's claim that heartbeats "can be registered by one process and read
+// by other processes, possibly on other machines" (§2–3), realized as the
+// third observation backend next to in-process subscriptions (heartbeat,
+// observer.HeartbeatStream) and shared files (hbfile).
+//
+// A Server publishes named feeds — live heartbeats, heartbeat files, or
+// any cursor-resumable stream — over plain TCP using a length-prefixed
+// binary codec. A Client dials one feed and satisfies observer.Stream, so
+// every local consumer (observer.Monitor, observer.Hub,
+// scheduler.CoreScheduler, scheduler.Partitioner, the control policies)
+// works unchanged across the process or machine boundary.
+//
+// Delivery keeps the local cursor semantics end to end: each record is
+// delivered at most once, in order, and records published but lapped
+// before delivery are counted in Batch.Missed — exactly like a local
+// subscription. A subscriber presents its last cursor on connect; the
+// server replays newer retained records (heartbeat.Heartbeat.ReadSince
+// underneath) and then switches to live push. The Client redials broken
+// connections automatically with that same cursor, so a network blip costs
+// a delay, never a duplicate, and ring overwrites during the outage
+// surface as Missed rather than silent loss.
+//
+// Health judgments stay on the consumer side: the wire carries raw
+// records, not opinions, which is the paper's division of labor — the
+// application publishes progress, observers decide what it means.
+package hbnet

@@ -1,0 +1,403 @@
+package hbnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// A Feed opens one subscriber's view of a heartbeat stream, positioned
+// after global sequence number since — the server calls it once per
+// accepted connection with the cursor the subscriber presented, so every
+// subscriber gets its own independent stream and a reconnecting one
+// resumes where it left off. Streams that also implement io.Closer are
+// closed when the connection ends.
+type Feed func(ctx context.Context, since uint64) (observer.Stream, error)
+
+// HeartbeatFeed publishes a live in-process Heartbeat: each subscriber
+// gets a cursor subscription (heartbeat.Heartbeat.SubscribeFrom via
+// observer.HeartbeatStreamFrom), so replay-then-live-push and Missed
+// accounting behave exactly like a local subscription.
+func HeartbeatFeed(hb *heartbeat.Heartbeat) Feed {
+	return func(ctx context.Context, since uint64) (observer.Stream, error) {
+		return observer.HeartbeatStreamFrom(hb, since), nil
+	}
+}
+
+// FileFeed publishes a heartbeat ring or log file: the relay case, where
+// the hbnet server and the observed application share a filesystem but
+// subscribers do not. Each subscriber opens its own reader (readers never
+// coordinate, so concurrent subscribers cost nothing extra), tailed every
+// poll (poll <= 0 selects observer.DefaultPollInterval). The variant is
+// detected per connection, so the feed survives the file being recreated
+// in the other format.
+func FileFeed(path string, poll time.Duration) Feed {
+	return func(ctx context.Context, since uint64) (observer.Stream, error) {
+		if r, err := hbfile.Open(path); err == nil {
+			return closeStream{observer.FileStreamFrom(r, poll, since), r}, nil
+		}
+		r, err := hbfile.OpenLog(path)
+		if err != nil {
+			return nil, fmt.Errorf("hbnet: open feed file: %w", err)
+		}
+		return closeStream{observer.LogStreamFrom(r, poll, since), r}, nil
+	}
+}
+
+// closeStream pairs a stream with the resource backing it.
+type closeStream struct {
+	observer.Stream
+	c io.Closer
+}
+
+func (s closeStream) Close() error { return s.c.Close() }
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithWriteTimeout bounds each batch write to a subscriber; one that stops
+// draining its socket for longer is disconnected rather than allowed to
+// pin the stream goroutine forever (it reconnects with its cursor and
+// resumes, so nothing is lost that the history still retains). The default
+// is 10 seconds; d <= 0 disables the bound.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithHandshakeTimeout bounds how long an accepted connection may take to
+// present its hello (default 5 seconds).
+func WithHandshakeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.handshakeTimeout = d }
+}
+
+// WithServerOnError installs a callback for per-connection failures
+// (default: dropped; a failed subscriber simply reconnects).
+func WithServerOnError(f func(error)) ServerOption {
+	return func(s *Server) { s.onError = f }
+}
+
+// Server fans named heartbeat feeds out to TCP subscribers. Publish feeds,
+// then drive it with Serve (or ListenAndServe); subscribers dial in with
+// Dial naming the feed they want. A server with many published feeds is
+// the network counterpart of observer.Hub: one endpoint exposing every
+// application on the machine, each subscriber picking one stream.
+//
+// Publish may be called while the server is running; Close stops the
+// listeners and disconnects every subscriber.
+type Server struct {
+	writeTimeout     time.Duration
+	handshakeTimeout time.Duration
+	onError          func(error)
+
+	mu        sync.Mutex
+	feeds     map[string]Feed
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]context.CancelFunc
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer creates a server with no feeds published yet.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		writeTimeout:     10 * time.Second,
+		handshakeTimeout: 5 * time.Second,
+		feeds:            make(map[string]Feed),
+		listeners:        make(map[net.Listener]struct{}),
+		conns:            make(map[net.Conn]context.CancelFunc),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Publish registers feed under name. Re-publishing a name replaces its
+// feed for future subscribers; live subscriptions keep their stream.
+func (s *Server) Publish(name string, feed Feed) error {
+	if feed == nil {
+		return fmt.Errorf("hbnet: nil feed for %q", name)
+	}
+	if len(name) > maxFeedName {
+		return fmt.Errorf("hbnet: feed name exceeds %d bytes", maxFeedName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.feeds[name] = feed
+	return nil
+}
+
+// PublishHeartbeat is Publish(name, HeartbeatFeed(hb)).
+func (s *Server) PublishHeartbeat(name string, hb *heartbeat.Heartbeat) error {
+	if hb == nil {
+		return fmt.Errorf("hbnet: nil heartbeat for %q", name)
+	}
+	return s.Publish(name, HeartbeatFeed(hb))
+}
+
+// Serve accepts subscribers on l until the listener fails or the server is
+// closed. Like net/http, it blocks; run it in its own goroutine. Serve
+// returns nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("hbnet: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+	var acceptDelay time.Duration
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			// Transient accept failures (EMFILE pressure, aborted
+			// handshakes) must not kill the whole relay; back off and
+			// retry, the way net/http's Serve does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				if s.onError != nil {
+					s.onError(fmt.Errorf("hbnet: accept: %w", err))
+				}
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		ctx, cancel := context.WithCancel(context.Background())
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = cancel
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				cancel()
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.serveConn(ctx, conn); err != nil && s.onError != nil {
+				s.onError(fmt.Errorf("hbnet: subscriber %v: %w", conn.RemoteAddr(), err))
+			}
+		}()
+	}
+}
+
+// ListenAndServe listens on the TCP address addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops every listener, disconnects every subscriber, and waits for
+// their goroutines to exit. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for conn, cancel := range s.conns {
+		cancel()
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn runs one subscriber: handshake, replay-then-live-push, done.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
+	if s.handshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout))
+	}
+	ftype, body, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if ftype != frameHello {
+		return fmt.Errorf("first frame is %#x, want hello", ftype)
+	}
+	name, since, err := decodeHello(body)
+	if err != nil {
+		s.writeTimed(conn, appendError(nil, err.Error(), true))
+		return err
+	}
+	s.mu.Lock()
+	feed := s.feeds[name]
+	s.mu.Unlock()
+	if feed == nil {
+		err := fmt.Errorf("unknown feed %q", name)
+		s.writeTimed(conn, appendError(nil, "hbnet: "+err.Error(), true))
+		return err
+	}
+	stream, err := feed(ctx, since)
+	if err != nil {
+		// Not permanent: the feed exists but failed to open — a file
+		// mid-recreation heals, so the subscriber should keep retrying.
+		s.writeTimed(conn, appendError(nil, err.Error(), false))
+		return err
+	}
+	defer func() {
+		if c, ok := stream.(io.Closer); ok {
+			c.Close()
+		}
+	}()
+	if err := s.writeTimed(conn, appendWelcome(nil, since)); err != nil {
+		return fmt.Errorf("writing welcome: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	// The subscriber never speaks again; a read can only return a close or
+	// an error, either way meaning the connection is done. Watching it is
+	// the only way to notice a subscriber that vanished while the stream
+	// is idle (nothing to write, nothing to fail).
+	watchDone := make(chan struct{})
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(watchDone)
+		var one [1]byte
+		conn.Read(one[:])
+		cancel()
+	}()
+	defer func() { conn.Close(); <-watchDone }()
+
+	cursor := since
+	buf := make([]byte, 0, 4096)
+	for {
+		b, err := stream.Next(ctx)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			s.writeTimed(conn, []byte{frameEOF})
+			return nil
+		case ctx.Err() != nil:
+			return nil // subscriber went away or server closed: not a failure
+		default:
+			s.writeTimed(conn, appendError(nil, err.Error(), false))
+			return fmt.Errorf("feed %q: %w", name, err)
+		}
+		// A huge replay (a subscriber dialing from 0 against a very large
+		// retained history arrives as ONE batch) must not exceed the
+		// frame cap — aborting would make the client redial from the
+		// same cursor and rebuild the same batch forever. Split the
+		// records across frames instead; the cursor advances per chunk,
+		// so even a disconnect mid-split resumes exactly.
+		recs := b.Records
+		for first := true; ; first = false {
+			chunk := b
+			chunk.Records = recs
+			if len(recs) > maxRecordsPerFrame {
+				chunk.Records = recs[:maxRecordsPerFrame]
+			}
+			recs = recs[len(chunk.Records):]
+			if !first {
+				chunk.Missed = 0 // lapped records are reported once
+			}
+			cursor = advanceCursor(cursor, chunk)
+			// Encode the length prefix in place so the steady-state push
+			// is one reused buffer and one Write — no per-batch
+			// allocation.
+			buf = appendBatch(append(buf[:0], 0, 0, 0, 0), chunk, cursor)
+			if len(buf)-4 > maxFramePayload {
+				// Cannot happen with the record cap; guard it with a
+				// visible, permanent error rather than a silent livelock.
+				s.writeTimed(conn, appendError(nil, errFrameTooLarge.Error(), true))
+				return fmt.Errorf("feed %q: %w", name, errFrameTooLarge)
+			}
+			binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+			if err := s.writeRaw(conn, buf); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("writing batch: %w", err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// advanceCursor computes the resume cursor after delivering b. For real
+// sequence numbers (every built-in stream) the newest record's Seq is
+// exact — including when it regressed below the cursor, which means the
+// underlying stream resynchronized to a restarted producer's new seq
+// space and the wire cursor must follow it down (a synthetic cursor left
+// above the new head would make the next resume resync again and replay
+// everything already delivered). Foreign zero-Seq streams fall back to
+// counting delivered and lapped records.
+func advanceCursor(cursor uint64, b observer.Batch) uint64 {
+	if n := len(b.Records); n > 0 && b.Records[n-1].Seq > 0 {
+		return b.Records[n-1].Seq
+	}
+	return cursor + uint64(len(b.Records)) + b.Missed
+}
+
+// writeTimed frames and writes one payload under the server's write
+// timeout (the rare handshake/shutdown frames; batches use writeRaw).
+func (s *Server) writeTimed(conn net.Conn, payload []byte) error {
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	err := writeFrame(conn, payload)
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// writeRaw writes an already-framed buffer under the write timeout.
+func (s *Server) writeRaw(conn net.Conn, framed []byte) error {
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	_, err := conn.Write(framed)
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}

@@ -1,0 +1,308 @@
+package hbnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// The wire protocol is length-prefixed binary frames over a byte stream:
+//
+//	frame  = uint32 big-endian payload length | payload
+//	payload = frame type byte | type-specific body
+//
+// A connection carries exactly one hello (client to server), one welcome
+// or error in response, and then a one-way sequence of batch frames until
+// an eof or error frame ends the stream. Integers are varints; record
+// sequence numbers and timestamps are delta-encoded within a batch, so a
+// steady heartbeat stream costs a few bytes per record.
+const (
+	frameHello   = 0x01 // client → server: magic, version, resume cursor, feed name
+	frameWelcome = 0x02 // server → client: accepted; echoes the hello's cursor as an integrity check
+	frameBatch   = 0x03 // server → client: one observer.Batch plus the new cursor
+	frameEOF     = 0x04 // server → client: the feed ended cleanly (producer closed)
+	frameError   = 0x05 // server → client: failure; body = permanence flag byte + message
+)
+
+const (
+	// protocolMagic opens every hello so a server can reject a stray
+	// connection (a port scan, an HTTP request) before parsing further.
+	protocolMagic   = 0x48424e31 // "HBN1"
+	protocolVersion = 1
+
+	// maxFramePayload bounds a single frame: far above any sane batch,
+	// low enough that a garbage length prefix cannot balloon memory.
+	maxFramePayload = 1 << 24
+	// maxRecordsPerFrame caps how many records the server packs into one
+	// batch frame; a worst-case record costs ~35 varint bytes, so the cap
+	// keeps any frame under ~9 MiB, safely inside maxFramePayload.
+	// Oversized batches (a full-history replay) are split across frames.
+	maxRecordsPerFrame = 1 << 18
+	// maxFeedName bounds the hello's feed-name field.
+	maxFeedName = 1024
+)
+
+var errFrameTooLarge = fmt.Errorf("hbnet: frame exceeds %d bytes", maxFramePayload)
+
+// writeFrame sends one payload (type byte already included) with its
+// length prefix in a single Write, so frames are never interleaved by the
+// kernel mid-frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return errFrameTooLarge
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame and returns its type and body (payload minus
+// the type byte). The returned body aliases a fresh allocation.
+func readFrame(r io.Reader) (ftype byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("hbnet: empty frame")
+	}
+	if n > maxFramePayload {
+		return 0, nil, errFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("hbnet: short frame: %w", err)
+	}
+	return payload[0], payload[1:], nil
+}
+
+// appendHello encodes the subscriber handshake.
+func appendHello(dst []byte, feed string, since uint64) []byte {
+	dst = append(dst, frameHello)
+	dst = binary.BigEndian.AppendUint32(dst, protocolMagic)
+	dst = append(dst, protocolVersion)
+	dst = binary.AppendUvarint(dst, since)
+	dst = binary.AppendUvarint(dst, uint64(len(feed)))
+	return append(dst, feed...)
+}
+
+func decodeHello(body []byte) (feed string, since uint64, err error) {
+	d := decoder{buf: body}
+	if magic := d.uint32(); magic != protocolMagic {
+		return "", 0, fmt.Errorf("hbnet: bad magic %#x (not a heartbeat subscriber)", magic)
+	}
+	if v := d.byte(); v != protocolVersion {
+		return "", 0, fmt.Errorf("hbnet: protocol version %d, want %d", v, protocolVersion)
+	}
+	since = d.uvarint()
+	n := d.uvarint()
+	if n > maxFeedName {
+		return "", 0, fmt.Errorf("hbnet: feed name of %d bytes exceeds %d", n, maxFeedName)
+	}
+	name := d.bytes(int(n))
+	if d.err != nil {
+		return "", 0, fmt.Errorf("hbnet: truncated hello: %w", d.err)
+	}
+	return string(name), since, nil
+}
+
+func appendWelcome(dst []byte, cursor uint64) []byte {
+	dst = append(dst, frameWelcome)
+	dst = append(dst, protocolVersion)
+	return binary.AppendUvarint(dst, cursor)
+}
+
+func decodeWelcome(body []byte) (cursor uint64, err error) {
+	d := decoder{buf: body}
+	if v := d.byte(); v != protocolVersion {
+		return 0, fmt.Errorf("hbnet: protocol version %d, want %d", v, protocolVersion)
+	}
+	cursor = d.uvarint()
+	if d.err != nil {
+		return 0, fmt.Errorf("hbnet: truncated welcome: %w", d.err)
+	}
+	return cursor, nil
+}
+
+// appendError encodes a failure report. permanent marks refusals that
+// retrying cannot cure (bad handshake, unknown feed) as opposed to
+// failures that may heal (a feed file mid-recreation): the client stops
+// reconnecting only for the former.
+func appendError(dst []byte, msg string, permanent bool) []byte {
+	dst = append(dst, frameError)
+	if permanent {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return append(dst, msg...)
+}
+
+func decodeError(body []byte) (msg string, permanent bool) {
+	if len(body) == 0 {
+		return "unspecified server error", false
+	}
+	return string(body[1:]), body[0] == 1
+}
+
+const batchFlagTargetSet = 1 << 0
+
+// appendBatch encodes one batch and the server-side cursor after it. The
+// per-record sequence numbers and timestamps are signed deltas from their
+// predecessor (the first record's from zero), which run-length friendly
+// streams compress to a couple of bytes per record while still encoding
+// foreign streams with zero or non-monotone sequence numbers faithfully.
+func appendBatch(dst []byte, b observer.Batch, cursor uint64) []byte {
+	dst = append(dst, frameBatch)
+	dst = binary.AppendUvarint(dst, cursor)
+	dst = binary.AppendUvarint(dst, b.Count)
+	dst = binary.AppendUvarint(dst, uint64(b.Window))
+	dst = binary.AppendUvarint(dst, b.Missed)
+	var flags byte
+	if b.TargetSet {
+		flags |= batchFlagTargetSet
+	}
+	dst = append(dst, flags)
+	if b.TargetSet {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.TargetMin))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.TargetMax))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b.Records)))
+	var prevSeq uint64
+	var prevNanos int64
+	for _, r := range b.Records {
+		dst = binary.AppendVarint(dst, int64(r.Seq-prevSeq))
+		nanos := r.Time.UnixNano()
+		dst = binary.AppendVarint(dst, nanos-prevNanos)
+		dst = binary.AppendVarint(dst, r.Tag)
+		dst = binary.AppendVarint(dst, int64(r.Producer))
+		prevSeq, prevNanos = r.Seq, nanos
+	}
+	return dst
+}
+
+func decodeBatch(body []byte) (b observer.Batch, cursor uint64, err error) {
+	d := decoder{buf: body}
+	cursor = d.uvarint()
+	b.Count = d.uvarint()
+	b.Window = int(d.uvarint())
+	b.Missed = d.uvarint()
+	flags := d.byte()
+	if flags&batchFlagTargetSet != 0 {
+		b.TargetSet = true
+		b.TargetMin = math.Float64frombits(d.uint64())
+		b.TargetMax = math.Float64frombits(d.uint64())
+	}
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)-d.off)/4+1 {
+		// Each record costs at least 4 bytes on the wire; a count beyond
+		// that is a corrupt frame, caught before allocating for it.
+		return observer.Batch{}, 0, fmt.Errorf("hbnet: batch claims %d records in %d bytes", n, len(body))
+	}
+	if n > 0 && d.err == nil {
+		b.Records = make([]heartbeat.Record, 0, n)
+		var prevSeq uint64
+		var prevNanos int64
+		for i := uint64(0); i < n; i++ {
+			seq := prevSeq + uint64(d.varint())
+			nanos := prevNanos + d.varint()
+			tag := d.varint()
+			producer := d.varint()
+			b.Records = append(b.Records, heartbeat.Record{
+				Seq:      seq,
+				Time:     time.Unix(0, nanos),
+				Tag:      tag,
+				Producer: int32(producer),
+			})
+			prevSeq, prevNanos = seq, nanos
+		}
+	}
+	if d.err != nil {
+		return observer.Batch{}, 0, fmt.Errorf("hbnet: truncated batch: %w", d.err)
+	}
+	return b, cursor, nil
+}
+
+// decoder is a cursor over a frame body that records the first failure
+// instead of forcing an error check per field.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}

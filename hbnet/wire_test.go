@@ -1,0 +1,149 @@
+package hbnet
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		feed  string
+		since uint64
+	}{
+		{"", 0},
+		{"app", 42},
+		{"a/b.c", math.MaxUint64},
+	} {
+		payload := appendHello(nil, tc.feed, tc.since)
+		if payload[0] != frameHello {
+			t.Fatalf("hello frame type %#x", payload[0])
+		}
+		feed, since, err := decodeHello(payload[1:])
+		if err != nil {
+			t.Fatalf("decodeHello(%q, %d): %v", tc.feed, tc.since, err)
+		}
+		if feed != tc.feed || since != tc.since {
+			t.Fatalf("round trip (%q, %d) -> (%q, %d)", tc.feed, tc.since, feed, since)
+		}
+	}
+}
+
+func TestHelloRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeHello([]byte("GET / HTTP/1.1\r\n")); err == nil {
+		t.Fatal("HTTP request accepted as hello")
+	}
+	// Truncations of a valid hello must error, never panic.
+	full := appendHello(nil, "app", 7)[1:]
+	for n := 0; n < len(full); n++ {
+		if _, _, err := decodeHello(full[:n]); err == nil {
+			t.Fatalf("truncated hello of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	payload := appendWelcome(nil, 123456)
+	cursor, err := decodeWelcome(payload[1:])
+	if err != nil || cursor != 123456 {
+		t.Fatalf("welcome round trip: cursor=%d err=%v", cursor, err)
+	}
+}
+
+// Property: any batch survives the codec bit-exactly, including zero and
+// non-monotone sequence numbers, negative tags, and NaN-free targets.
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(count uint64, window uint16, missed uint32, targetSet bool,
+		tmin, tmax float64, seqs []uint64, tags []int64) bool {
+		if math.IsNaN(tmin) || math.IsNaN(tmax) {
+			return true // Batch targets are validated upstream; NaN != NaN would fail reflect
+		}
+		b := observer.Batch{
+			Count:  count,
+			Window: int(window),
+			Missed: uint64(missed),
+		}
+		if targetSet {
+			b.TargetSet, b.TargetMin, b.TargetMax = true, tmin, tmax
+		}
+		for i, seq := range seqs {
+			var tag int64
+			if i < len(tags) {
+				tag = tags[i]
+			}
+			b.Records = append(b.Records, heartbeat.Record{
+				Seq:      seq,
+				Time:     time.Unix(0, int64(seq%math.MaxInt32)).Add(time.Duration(i) * time.Millisecond),
+				Tag:      tag,
+				Producer: int32(i % 7),
+			})
+		}
+		payload := appendBatch(nil, b, count+1)
+		got, cursor, err := decodeBatch(payload[1:])
+		if err != nil || cursor != count+1 {
+			return false
+		}
+		// time.Unix carries no monotonic clock, so reflect equality holds.
+		if len(got.Records) == 0 {
+			got.Records = nil
+		}
+		if len(b.Records) == 0 {
+			b.Records = nil
+		}
+		return reflect.DeepEqual(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchDecodeRejectsCorruption(t *testing.T) {
+	b := observer.Batch{Count: 10, Window: 5, TargetSet: true, TargetMin: 1, TargetMax: 2}
+	for i := 0; i < 8; i++ {
+		b.Records = append(b.Records, heartbeat.Record{Seq: uint64(i + 1), Time: time.Unix(0, int64(i)*1e6)})
+	}
+	payload := appendBatch(nil, b, 10)[1:]
+	// Every truncation errors instead of panicking or fabricating records.
+	for n := 0; n < len(payload); n++ {
+		if _, _, err := decodeBatch(payload[:n]); err == nil {
+			t.Fatalf("truncated batch of %d/%d bytes accepted", n, len(payload))
+		}
+	}
+	// A record count far beyond the body size is rejected before allocation.
+	huge := []byte{0}                                 // cursor 0
+	huge = append(huge, 0, 0, 0, 0)                   // count, window, missed, flags
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // nrecs ≈ 34 billion
+	if _, _, err := decodeBatch(huge); err == nil {
+		t.Fatal("absurd record count accepted")
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	payload := appendWelcome(nil, 9)
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	ftype, body, err := readFrame(&buf)
+	if err != nil || ftype != frameWelcome {
+		t.Fatalf("readFrame: type=%#x err=%v", ftype, err)
+	}
+	if cursor, err := decodeWelcome(body); err != nil || cursor != 9 {
+		t.Fatalf("welcome body: cursor=%d err=%v", cursor, err)
+	}
+	// Oversized length prefix is rejected without allocating.
+	bad := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Empty frame is rejected.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}

@@ -77,6 +77,9 @@
 // Cross-process observation — the paper's reference implementation writes
 // heartbeats to a file — is provided by the companion package hbfile via the
 // Sink hook (WithSink); its readers offer the same incremental ReadSince.
+// Cross-machine observation is the companion package hbnet: the same
+// cursor semantics streamed over TCP, with disconnected subscribers
+// resuming via SubscribeFrom on the serving side.
 //
 // # Quick start
 //

@@ -192,6 +192,18 @@ func (s *Subscription) isClosed() bool {
 // when the cursor is already current.
 func (s *Subscription) Poll() ([]Record, bool) {
 	recs, cur := s.h.ReadSince(s.cursor)
+	if cur < s.cursor {
+		// The history's head is behind the cursor: this subscription was
+		// resumed (SubscribeFrom) with a cursor from a previous life of
+		// the producer, whose sequence numbers restarted. Resynchronize
+		// from the beginning — the stream-side resync pollStream and
+		// fileStream already do — rather than stall silently until the
+		// new history happens to pass the old cursor. The records between
+		// the two lives are unknowable, so they are not counted as
+		// Missed.
+		s.cursor = 0
+		recs, cur = s.h.ReadSince(0)
+	}
 	if cur <= s.cursor {
 		return nil, false
 	}

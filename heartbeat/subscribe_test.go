@@ -240,6 +240,42 @@ func TestSubscribeFromResumesWithoutLossOrDup(t *testing.T) {
 	}
 }
 
+// Regression: a cursor saved from a previous life of the producer (whose
+// sequence numbers restarted at 1) used to stall the subscription forever
+// — ReadSince's head stayed below the cursor, so Poll never returned
+// records, Missed, or an error. The subscription must resynchronize from
+// the new history instead, like the stream-side resyncs already do.
+func TestSubscribeFromFutureCursorResynchronizes(t *testing.T) {
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "restarted producer": this Heartbeat's seqs start at 1, but the
+	// consumer resumes with a cursor from before the restart.
+	sub := hb.SubscribeFrom(context.Background(), 5000)
+	defer sub.Close()
+	for i := 0; i < 4; i++ {
+		clk.Advance(time.Millisecond)
+		hb.Beat()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	recs, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("resumed-from-future Next stalled: %v", err)
+	}
+	if len(recs) != 4 || recs[0].Seq != 1 || recs[3].Seq != 4 {
+		t.Fatalf("resynchronized batch = %+v, want seqs 1..4", recs)
+	}
+	if sub.Missed() != 0 {
+		t.Fatalf("resync counted %d phantom missed records", sub.Missed())
+	}
+	if sub.Cursor() != 4 {
+		t.Fatalf("cursor = %d after resync", sub.Cursor())
+	}
+}
+
 func TestSubscribeNextErrClosedAfterDrain(t *testing.T) {
 	hb, err := heartbeat.New(10)
 	if err != nil {

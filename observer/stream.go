@@ -135,6 +135,16 @@ func HeartbeatStream(hb *heartbeat.Heartbeat) Stream {
 	return &heartbeatStream{hb: hb, sub: hb.Subscribe(context.Background())}
 }
 
+// HeartbeatStreamFrom is HeartbeatStream resuming after global sequence
+// number since: the first batch delivers only records newer than since,
+// with records published-but-lapped beyond the cursor counted as Missed —
+// exactly a local subscription resumed via SubscribeFrom. This is the
+// resume point remote fan-out (package hbnet) replays reconnecting
+// subscribers from.
+func HeartbeatStreamFrom(hb *heartbeat.Heartbeat, since uint64) Stream {
+	return &heartbeatStream{hb: hb, sub: hb.SubscribeFrom(context.Background(), since)}
+}
+
 type heartbeatStream struct {
 	hb         *heartbeat.Heartbeat
 	sub        *heartbeat.Subscription
@@ -170,10 +180,19 @@ func (s *heartbeatStream) Close() error {
 // one 8-byte cursor read every poll interval (poll <= 0 selects
 // DefaultPollInterval); new records are read and decoded exactly once.
 func FileStream(r *hbfile.Reader, poll time.Duration) Stream {
+	return FileStreamFrom(r, poll, 0)
+}
+
+// FileStreamFrom is FileStream with the cursor pre-positioned after
+// sequence number since — records at or before since are never delivered,
+// and records published beyond since but already overwritten count as
+// Missed. It is how a disconnected consumer of a ring file resumes without
+// re-reading (or double-counting) what it already saw.
+func FileStreamFrom(r *hbfile.Reader, poll time.Duration, since uint64) Stream {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
-	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll}
+	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll, cursor: since}
 }
 
 // LogStream streams an append-only heartbeat log (hbfile.LogReader),
@@ -181,10 +200,16 @@ func FileStream(r *hbfile.Reader, poll time.Duration) Stream {
 // backlogs are paged in bounded batches; poll <= 0 selects
 // DefaultPollInterval.
 func LogStream(r *hbfile.LogReader, poll time.Duration) Stream {
+	return LogStreamFrom(r, poll, 0)
+}
+
+// LogStreamFrom is LogStream resuming after sequence number since (see
+// FileStreamFrom).
+func LogStreamFrom(r *hbfile.LogReader, poll time.Duration, since uint64) Stream {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
-	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll, max: 65536}
+	return &fileStream{read: r.ReadSince, window: r.Window, target: r.Target, poll: poll, max: 65536, cursor: since}
 }
 
 // fileStream is the shared cursor loop over either hbfile reader variant.
@@ -205,6 +230,18 @@ func (s *fileStream) Next(ctx context.Context) (Batch, error) {
 		recs, cur, err := s.read(s.cursor, s.max)
 		if err != nil {
 			return Batch{}, err
+		}
+		if cur < s.cursor {
+			// The file's head is behind the cursor: the file was
+			// recreated by a restarted producer (or the cursor came from
+			// another life of it, the FileStreamFrom resume case).
+			// Resynchronize from the beginning — parity with the
+			// in-process Subscription resync — rather than silently
+			// skipping the new life's records until it passes the old
+			// cursor. The records between the two lives are unknowable,
+			// so they are not counted as Missed.
+			s.cursor = 0
+			continue
 		}
 		if cur != s.cursor {
 			// Read the target before advancing the cursor: an error here

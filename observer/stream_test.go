@@ -98,6 +98,51 @@ func TestFileStreamTailsRing(t *testing.T) {
 	}
 }
 
+// Regression: resuming a file stream with a cursor from a previous life
+// of the producer (the file was recreated, its seqs restarted) used to
+// jump the cursor down silently and skip the new life's retained records
+// entirely — where the in-process Subscription resync redelivers them.
+// The two backends must agree: resynchronize and deliver.
+func TestFileStreamFromFutureCursorResynchronizes(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "a.hb")
+	w, err := hbfile.Create(p, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sim.NewClock(time.Time{})
+	hb, err := heartbeat.New(10, heartbeat.WithClock(clk), heartbeat.WithSink(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	beatSteadily(hb, clk, 5, 25*time.Millisecond)
+
+	r, err := hbfile.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// The consumer's cursor predates this file's life entirely.
+	st := observer.FileStreamFrom(r, time.Millisecond, 100)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for delivered := 0; delivered < 5; {
+		b, err := st.Next(ctx)
+		if err != nil {
+			t.Fatalf("resumed-from-future Next stalled after %d records: %v", delivered, err)
+		}
+		for _, rec := range b.Records {
+			delivered++
+			if rec.Seq != uint64(delivered) {
+				t.Fatalf("record %d has seq %d: resync skipped or duplicated", delivered, rec.Seq)
+			}
+		}
+		if b.Missed != 0 {
+			t.Fatalf("resync counted %d phantom missed records", b.Missed)
+		}
+	}
+}
+
 func TestLogStreamTailsLog(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "a.hbl")
 	w, err := hbfile.CreateLog(p, 10)

@@ -43,6 +43,61 @@ func TestWatchdogDebounces(t *testing.T) {
 	}
 }
 
+// Re-fire semantics under alternating judgments: a watchdog that has fired
+// must re-arm from zero, count only consecutive bad judgments toward the
+// next fire, and never fire while healthy judgments keep interleaving —
+// however long the alternation runs.
+func TestWatchdogRefireAlternating(t *testing.T) {
+	flat := observer.Status{Health: observer.Flatlined}
+	dead := observer.Status{Health: observer.Dead}
+	ok := observer.Status{Health: observer.Healthy}
+	slow := observer.Status{Health: observer.Slow}
+
+	w := &observer.Watchdog{Threshold: 2}
+	// Strict bad/good alternation never reaches the threshold.
+	for i := 0; i < 100; i++ {
+		if w.Observe(flat) {
+			t.Fatalf("fired on alternation at %d", i)
+		}
+		good := ok
+		if i%2 == 1 {
+			good = slow // any non-flatlined, non-dead health resets
+		}
+		if w.Observe(good) {
+			t.Fatalf("fired on healthy judgment at %d", i)
+		}
+	}
+	if w.Restarts() != 0 {
+		t.Fatalf("alternation accumulated %d restarts", w.Restarts())
+	}
+
+	// A sustained hang fires on every full threshold, mixing flatlined and
+	// dead judgments: 10 bad judgments at threshold 2 = 5 fires.
+	for i := 0; i < 10; i++ {
+		bad := flat
+		if i%2 == 1 {
+			bad = dead
+		}
+		fired := w.Observe(bad)
+		if want := i%2 == 1; fired != want {
+			t.Fatalf("judgment %d: fired=%v, want %v", i, fired, want)
+		}
+	}
+	if w.Restarts() != 5 {
+		t.Fatalf("sustained hang fired %d times, want 5", w.Restarts())
+	}
+
+	// Recovery one judgment short of a re-fire discards the partial count.
+	w.Observe(flat)
+	w.Observe(ok)
+	if w.Observe(flat) {
+		t.Fatal("partial count survived a healthy judgment")
+	}
+	if !w.Observe(flat) {
+		t.Fatal("did not re-fire after a fresh full threshold")
+	}
+}
+
 func TestWatchdogCountsDeadToo(t *testing.T) {
 	w := &observer.Watchdog{Threshold: 2}
 	if w.Observe(observer.Status{Health: observer.Dead}) {

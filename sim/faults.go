@@ -28,12 +28,13 @@ func NewFaultInjector(events ...FaultEvent) *FaultInjector {
 }
 
 // Step applies every not-yet-applied event with AtBeat <= beat to m and
-// returns the number of cores failed by this call.
+// returns the number of cores actually failed by this call: an event
+// requesting more failures than the machine has healthy cores clamps, and
+// the requested-but-impossible failures are not counted.
 func (f *FaultInjector) Step(beat uint64, m *Machine) int {
 	failed := 0
 	for f.next < len(f.events) && f.events[f.next].AtBeat <= beat {
-		m.FailCores(f.events[f.next].FailCores)
-		failed += f.events[f.next].FailCores
+		failed += m.FailCores(f.events[f.next].FailCores)
 		f.next++
 	}
 	return failed

@@ -118,18 +118,22 @@ func (m *Machine) SetCores(n int) int {
 	return m.effectiveLocked()
 }
 
-// FailCores removes n cores from the healthy pool, simulating core death.
-// At least zero healthy cores remain; failing more cores than exist clamps.
-func (m *Machine) FailCores(n int) {
+// FailCores removes n cores from the healthy pool, simulating core death,
+// and returns how many cores actually failed: failing more cores than
+// remain healthy clamps, so the return value can be less than n (zero on a
+// fully dead machine).
+func (m *Machine) FailCores(n int) int {
 	if n < 0 {
 		panic("sim: negative core failure count")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	before := m.failed
 	m.failed += n
 	if m.failed > m.totalCores {
 		m.failed = m.totalCores
 	}
+	return m.failed - before
 }
 
 // Restore heals all failed cores.

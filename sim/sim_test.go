@@ -184,6 +184,35 @@ func TestFaultInjector(t *testing.T) {
 	}
 }
 
+// Regression: Step used to report the requested FailCores sum, not what
+// Machine.FailCores actually failed — a machine with fewer healthy cores
+// than the event demands over-reported the damage.
+func TestFaultInjectorReportsActualFailures(t *testing.T) {
+	m := NewMachine(NewClock(time.Time{}), 4, 1)
+	inj := NewFaultInjector(
+		FaultEvent{AtBeat: 10, FailCores: 3},
+		FaultEvent{AtBeat: 20, FailCores: 3}, // only 1 healthy core left
+		FaultEvent{AtBeat: 30, FailCores: 2}, // machine already dead
+	)
+	if n := inj.Step(10, m); n != 3 || m.MaxCores() != 1 {
+		t.Fatalf("Step(10): n=%d max=%d, want 3 failed", n, m.MaxCores())
+	}
+	if n := inj.Step(20, m); n != 1 || m.MaxCores() != 0 {
+		t.Fatalf("Step(20): n=%d max=%d, want 1 actually failed of 3 requested", n, m.MaxCores())
+	}
+	if n := inj.Step(30, m); n != 0 {
+		t.Fatalf("Step(30) on a dead machine reported %d failures", n)
+	}
+	// FailCores itself reports the clamp.
+	m2 := NewMachine(NewClock(time.Time{}), 2, 1)
+	if n := m2.FailCores(5); n != 2 {
+		t.Fatalf("FailCores(5) on 2-core machine = %d", n)
+	}
+	if n := m2.FailCores(1); n != 0 {
+		t.Fatalf("FailCores on dead machine = %d", n)
+	}
+}
+
 func TestMachineValidation(t *testing.T) {
 	for _, fn := range []func(){
 		func() { NewMachine(nil, 8, 1) },
