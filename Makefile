@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build build-extras test race net-loopback bench-short bench bench-compare bench-net
+.PHONY: ci vet build build-extras test race net-loopback docs bench-short bench bench-compare bench-net bench-relay
 
-ci: vet build build-extras race net-loopback bench-short bench-compare bench-net
+ci: vet build build-extras race net-loopback docs bench-short bench-compare bench-net bench-relay
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,14 @@ race:
 # that the wire protocol still works end to end.
 net-loopback:
 	$(GO) test -race -run 'TestLoopbackRoundTrip' ./hbnet
+
+# Documentation verification: vet, every godoc Example compiled and run,
+# and the README/ARCHITECTURE code blocks checked against the sources they
+# are annotated with (tools/docscheck), so the docs cannot silently drift
+# from the code.
+docs: vet
+	$(GO) test -run '^Example' ./...
+	$(GO) run ./tools/docscheck README.md ARCHITECTURE.md
 
 # The core-API benchmarks only, briefly: enough to catch a hot-path
 # regression without regenerating every figure.
@@ -62,3 +70,11 @@ bench-net:
 	$(GO) test -run '^$$' -bench 'BenchmarkNetStream' -benchmem \
 		-benchtime=200ms -json ./hbnet > BENCH_net.json
 	$(call show-bench,BENCH_net.json)
+
+# The fan-in tier: records/s through N producers → relay → subscriber over
+# real loopback TCP, plus the in-process downsample cost, recorded in
+# BENCH_relay.json next to the other trajectories.
+bench-relay:
+	$(GO) test -run '^$$' -bench 'BenchmarkRelay' -benchmem \
+		-benchtime=200ms -json ./hbnet > BENCH_relay.json
+	$(call show-bench,BENCH_relay.json)

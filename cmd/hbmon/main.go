@@ -9,12 +9,16 @@
 //	hbmon -file app.hb [-interval 500ms] [-window N] [-count N] [-follow]
 //	hbmon -file app.hb -listen :9999 [-app NAME]     # relay the file over TCP
 //	hbmon -connect HOST:9999 [-app NAME]             # watch a remote feed
+//	hbmon -connect HOST:9999 -rollup [-app NAME]     # watch a rollup feed
+//	hbmon -relay -listen :9999 \
+//	      -upstream a=host1:9999/app -upstream-file b=/var/run/b.hb
 //
 // The default mode polls a full snapshot every interval. With -follow,
 // hbmon tails the file incrementally: each tick reads only the records
 // published since the previous one (an idle tick is a single cursor
 // read), reports how many new beats arrived, and flags records lost to
-// ring overwrite.
+// ring overwrite. The tail survives the file being deleted and recreated
+// by a restarted producer (the reader reopens on inode change).
 //
 // With -listen, hbmon additionally serves the file as an hbnet feed so
 // observers on other machines can subscribe to it — the relay case: the
@@ -26,6 +30,18 @@
 // tick (incremental modes), heart rate over the window, the advertised
 // target range, and the health classification (healthy / slow / fast /
 // erratic / flatlined / dead).
+//
+// With -relay, hbmon is a hierarchical fan-in node (hbnet.Relay): it
+// subscribes to every -upstream (a remote hbnet feed, NAME=ADDR/FEED) and
+// -upstream-file (a local heartbeat file, NAME=PATH), merges them, and
+// serves two feeds on -listen — the raw merged stream (-merged-feed,
+// default "merged") and per-app downsampled rollups every
+// -rollup-interval (-rollup-feed, default "rollup"). Relays compose:
+// point an -upstream at another relay's merged feed and a single monitor
+// can watch thousands of producers through one connection. Each rollup
+// interval, the relay prints one line per app: records, rate, and
+// losses. With -connect -rollup, hbmon subscribes to such a rollup feed
+// and prints the same lines from the consumer side.
 package main
 
 import (
@@ -34,6 +50,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"repro/hbfile"
@@ -41,29 +58,63 @@ import (
 	"repro/observer"
 )
 
+// multiFlag collects a repeatable -flag value.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	path := flag.String("file", "", "heartbeat ring or log file to watch")
 	connect := flag.String("connect", "", "watch a remote hbnet feed at this address instead of a file")
-	listen := flag.String("listen", "", "also serve the file as an hbnet feed on this address (requires -file)")
+	listen := flag.String("listen", "", "serve an hbnet feed on this address (with -file: relay the file; with -relay: serve the merged and rollup feeds)")
 	app := flag.String("app", "app", "feed name to serve (-listen) or subscribe to (-connect)")
 	interval := flag.Duration("interval", 500*time.Millisecond, "reporting interval")
 	window := flag.Int("window", 0, "rate window in beats (0 = file default)")
 	count := flag.Int("count", 0, "stop after this many reports (0 = forever)")
 	follow := flag.Bool("follow", false, "tail the file incrementally instead of re-reading the window each poll")
+	rollup := flag.Bool("rollup", false, "with -connect: the feed is a rollup feed; print per-app rollup lines")
+	relay := flag.Bool("relay", false, "run as a fan-in relay node (requires -listen and at least one -upstream/-upstream-file)")
+	var upstreams, upstreamFiles multiFlag
+	flag.Var(&upstreams, "upstream", "relay upstream, NAME=ADDR/FEED (repeatable)")
+	flag.Var(&upstreamFiles, "upstream-file", "relay upstream heartbeat file, NAME=PATH (repeatable)")
+	mergedFeed := flag.String("merged-feed", "merged", "feed name for the relay's raw merged stream (empty = don't publish)")
+	rollupFeed := flag.String("rollup-feed", "rollup", "feed name for the relay's rollup stream (empty = don't publish)")
+	rollupInterval := flag.Duration("rollup-interval", time.Second, "relay downsample window length")
 	flag.Parse()
+
+	if *relay {
+		runRelay(*listen, upstreams, upstreamFiles, *mergedFeed, *rollupFeed, *rollupInterval, *interval)
+		return
+	}
 	if (*path == "") == (*connect == "") {
 		fmt.Fprintln(os.Stderr, "hbmon: exactly one of -file or -connect is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *listen != "" && *path == "" {
-		fmt.Fprintln(os.Stderr, "hbmon: -listen relays a file; it requires -file")
+		fmt.Fprintln(os.Stderr, "hbmon: -listen relays a file; it requires -file (or -relay)")
 		os.Exit(2)
 	}
 
 	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
 
 	if *connect != "" {
+		if *rollup {
+			c, err := hbnet.DialRollup(*connect, *app)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbmon:", err)
+				os.Exit(1)
+			}
+			defer c.Close()
+			fmt.Printf("watching remote rollup feed %q at %s\n", *app, *connect)
+			runRollups(c, *count)
+			return
+		}
 		c, err := hbnet.Dial(*connect, *app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hbmon:", err)
@@ -77,21 +128,19 @@ func main() {
 
 	// Accept either file variant: the bounded ring or the append-only log.
 	var (
-		source     observer.Source
-		stream     observer.Stream
-		fileWindow int
+		source      observer.Source
+		fileWindow  int
+		closeReader func() error
 	)
 	if r, err := hbfile.Open(*path); err == nil {
-		defer r.Close()
+		closeReader = r.Close
 		fmt.Printf("watching ring %s (pid %d, window %d, capacity %d)\n", *path, r.PID(), r.Window(), r.Capacity())
 		source = observer.FileSource(r)
-		stream = observer.FileStream(r, *interval/10)
 		fileWindow = r.Window()
 	} else if lr, lerr := hbfile.OpenLog(*path); lerr == nil {
-		defer lr.Close()
+		closeReader = lr.Close
 		fmt.Printf("watching log %s (window %d, full history)\n", *path, lr.Window())
 		source = observer.LogSource(lr)
-		stream = observer.LogStream(lr, *interval/10)
 		fileWindow = lr.Window()
 	} else {
 		// Neither variant opened: show both failures — the ring error
@@ -127,9 +176,22 @@ func main() {
 	}
 
 	if *follow {
-		runFollow(stream, classifier, *interval, *count)
+		// The banner reader's job is done; holding it open would pin the
+		// deleted inode across the very producer restart the follow
+		// stream exists to survive.
+		closeReader()
+		// The live tail reopens on inode change, so a producer that
+		// restarts and recreates its file resumes instead of flatlining.
+		fs, err := observer.FollowFile(*path, *interval/10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		runFollow(fs, classifier, *interval, *count)
 		return
 	}
+
+	defer closeReader()
 
 	maxRecords := *window
 	if maxRecords <= 0 {
@@ -165,6 +227,120 @@ func runFollow(stream observer.Stream, classifier *observer.Classifier, interval
 		report(st, delta, win.Missed()-lastMissed)
 		lastCount, lastMissed = st.Count, win.Missed()
 	}
+}
+
+// runRelay runs hbmon as a fan-in relay node: merge every upstream, serve
+// the merged and rollup feeds, and print one rollup line per app per
+// downsample window.
+func runRelay(listen string, upstreams, upstreamFiles []string, mergedFeed, rollupFeed string, rollupInterval, poll time.Duration) {
+	if listen == "" {
+		fmt.Fprintln(os.Stderr, "hbmon: -relay requires -listen")
+		os.Exit(2)
+	}
+	if len(upstreams)+len(upstreamFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "hbmon: -relay requires at least one -upstream or -upstream-file")
+		os.Exit(2)
+	}
+	relay := hbnet.NewRelay(
+		hbnet.WithRollupInterval(rollupInterval),
+		hbnet.WithRelayOnError(func(app string, err error) {
+			fmt.Fprintf(os.Stderr, "hbmon: upstream %s: %v\n", app, err)
+		}),
+		hbnet.WithRelayOnRollup(func(rs []observer.Rollup) {
+			for _, r := range rs {
+				reportRollup(r)
+			}
+		}),
+	)
+	for _, spec := range upstreams {
+		name, rest, ok := strings.Cut(spec, "=")
+		addr, feed, ok2 := strings.Cut(rest, "/")
+		if !ok || !ok2 || name == "" || addr == "" || feed == "" {
+			fmt.Fprintf(os.Stderr, "hbmon: bad -upstream %q, want NAME=ADDR/FEED\n", spec)
+			os.Exit(2)
+		}
+		if _, err := relay.DialUpstream(name, addr, feed); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("upstream %s: feed %q at %s\n", name, feed, addr)
+	}
+	for _, spec := range upstreamFiles {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "hbmon: bad -upstream-file %q, want NAME=PATH\n", spec)
+			os.Exit(2)
+		}
+		if err := relay.AddFileUpstream(name, path, poll/10); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("upstream %s: file %s\n", name, path)
+	}
+	srv := hbnet.NewServer(hbnet.WithServerOnError(func(err error) {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+	}))
+	if err := relay.PublishOn(srv, mergedFeed, rollupFeed); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		os.Exit(1)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon: serve:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("relaying %d upstreams on %s (merged %q, rollups %q every %v)\n",
+		len(upstreams)+len(upstreamFiles), l.Addr(), mergedFeed, rollupFeed, rollupInterval)
+	defer relay.Close()
+	defer srv.Close()
+	relay.Run(context.Background())
+}
+
+// runRollups prints rollups from a remote rollup feed; count bounds the
+// printed report lines (one line per app per window), matching what
+// -count means in the other modes.
+func runRollups(c *hbnet.Client, count int) {
+	printed := 0
+	for count == 0 || printed < count {
+		rb, err := c.NextRollups(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		if rb.Missed > 0 {
+			fmt.Printf("(%d rollup windows lost to a long disconnect)\n", rb.Missed)
+		}
+		for _, r := range rb.Rollups {
+			reportRollup(r)
+			if printed++; count != 0 && printed >= count {
+				break
+			}
+		}
+	}
+}
+
+// reportRollup prints one per-app downsampled window.
+func reportRollup(r observer.Rollup) {
+	rate := "rate  n/a"
+	if r.RateOK {
+		rate = fmt.Sprintf("rate %7.2f beats/s", r.Rate.PerSec)
+	}
+	line := fmt.Sprintf("%s  %-12s beats %8d  +%d  %s",
+		r.End.Format("15:04:05.000"), r.App, r.Count, r.Records, rate)
+	if r.Records > 0 {
+		line += fmt.Sprintf("  iv [%s %s %s]", r.MinInterval.Round(time.Microsecond),
+			r.MeanInterval.Round(time.Microsecond), r.MaxInterval.Round(time.Microsecond))
+	}
+	if r.Missed > 0 {
+		line += fmt.Sprintf("  (missed %d)", r.Missed)
+	}
+	fmt.Println(line)
 }
 
 // report prints one status line; delta < 0 means "don't show new-beat

@@ -14,16 +14,22 @@
 //     incremental readers (an idle observer tick is one 8-byte read)
 //   - hbnet: the network backend — heartbeat streaming over TCP with
 //     cursor resume, so observers on other machines consume the same
-//     Streams (the third backend next to in-process and hbfile)
+//     Streams (the third backend next to in-process and hbfile) — and the
+//     hierarchical fan-in tier (Relay): many producers merged into one
+//     feed plus downsampled per-app rollups, composing into trees so one
+//     monitor watches a fleet through one connection
 //   - observer: external observation as incremental Streams — Monitor for
 //     one application, Hub to multiplex many named applications into one
-//     loop — plus health classification; the old snapshot Source remains
-//     as a compat shim (see observer.StreamOf)
+//     loop, RollupWindow/Downsampler to reduce streams to per-interval
+//     summaries — plus health classification; the old snapshot Source
+//     remains as a compat shim (see observer.StreamOf)
 //   - control: adaptation policies (threshold stepper, PI, quality ladder)
 //   - scheduler: heart-rate-driven core allocation, deciding from streams
 //   - sim: the deterministic simulated multicore machine
 //
-// See README.md for a tour. The benchmarks in bench_test.go regenerate the
+// See README.md for a tour and ARCHITECTURE.md for the layered picture,
+// the cursor/Missed delivery contract, and how to choose among the four
+// observation topologies. The benchmarks in bench_test.go regenerate the
 // paper's tables and figures under go test -bench and ablate the main
 // design choices; BenchmarkPollVsStream records the snapshot-polling vs
 // cursor-streaming consumer cost (make bench-compare).

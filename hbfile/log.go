@@ -284,5 +284,9 @@ func (r *LogReader) Rate(window int) (perSec float64, ok bool, err error) {
 	return rate.PerSec, ok, nil
 }
 
+// Stat returns the metadata of the opened file (see Reader.Stat): the
+// recreation-detection hook for live tails.
+func (r *LogReader) Stat() (os.FileInfo, error) { return r.f.Stat() }
+
 // Close closes the log file.
 func (r *LogReader) Close() error { return r.f.Close() }

@@ -200,5 +200,12 @@ func (r *Reader) Rate(window int) (perSec float64, ok bool, err error) {
 	return rate.PerSec, ok, nil
 }
 
+// Stat returns the metadata of the opened file — the file as it was
+// opened, not as the path currently resolves. A live tail compares it
+// against os.Stat(path) (via os.SameFile) to notice that a restarted
+// producer deleted and recreated the file, which this reader, holding the
+// old inode, would otherwise report as a flatline forever.
+func (r *Reader) Stat() (os.FileInfo, error) { return r.f.Stat() }
+
 // Close closes the file.
 func (r *Reader) Close() error { return r.f.Close() }

@@ -82,10 +82,14 @@ type Client struct {
 	reconnect   bool
 	onReconnect func(uint64)
 
+	// kind is the frame type this subscription expects: frameBatch for raw
+	// record feeds (Dial), frameRollup for rollup feeds (DialRollup).
+	kind byte
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	batches chan netBatch
+	batches chan netMsg
 	// readerDone is closed when the reader goroutine exits; termErr then
 	// holds the terminal error Next reports once the buffer drains.
 	readerDone chan struct{}
@@ -107,9 +111,11 @@ type Client struct {
 	reconnects atomic.Int64
 }
 
-// netBatch pairs a decoded batch with the server cursor after it.
-type netBatch struct {
+// netMsg is one decoded delivery: a raw batch or a rollup batch (per the
+// client's kind), paired with the server cursor after it.
+type netMsg struct {
 	b      observer.Batch
+	rb     RollupBatch
 	cursor uint64
 }
 
@@ -126,17 +132,37 @@ func Dial(addr, feed string, opts ...ClientOption) (*Client, error) {
 // already lapped as Missed — how a consumer that kept its cursor across
 // its own restart avoids re-processing records it has seen.
 func DialFrom(addr, feed string, since uint64, opts ...ClientOption) (*Client, error) {
+	return dial(addr, feed, since, frameBatch, opts)
+}
+
+// DialRollup connects to a rollup feed (Server.PublishRollup — typically a
+// Relay's downsampled export) from the beginning of its retained
+// emissions. Consume it with NextRollups; Next is for raw feeds and
+// errors on a rollup subscription.
+func DialRollup(addr, feed string, opts ...ClientOption) (*Client, error) {
+	return DialRollupFrom(addr, feed, 0, opts...)
+}
+
+// DialRollupFrom is DialRollup resuming after emission number since (the
+// Cursor of the last delivered RollupBatch): emissions still retained are
+// replayed, emissions already lapped are counted as Missed.
+func DialRollupFrom(addr, feed string, since uint64, opts ...ClientOption) (*Client, error) {
+	return dial(addr, feed, since, frameRollup, opts)
+}
+
+func dial(addr, feed string, since uint64, kind byte, opts []ClientOption) (*Client, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
 		addr:        addr,
 		feed:        feed,
+		kind:        kind,
 		dialTimeout: 5 * time.Second,
 		backoffMin:  50 * time.Millisecond,
 		backoffMax:  2 * time.Second,
 		reconnect:   true,
 		ctx:         ctx,
 		cancel:      cancel,
-		batches:     make(chan netBatch, 16),
+		batches:     make(chan netMsg, 16),
 		readerDone:  make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -221,6 +247,12 @@ func (c *Client) readLoop(conn net.Conn) {
 		case c.ctx.Err() != nil: // Close raced the read
 			c.termErr = io.EOF
 			return
+		case errors.Is(err, ErrRejected):
+			// A kind mismatch (raw Next against a rollup feed or vice
+			// versa) cannot heal by redialing: the server will keep
+			// streaming the same frame type.
+			c.termErr = err
+			return
 		case !c.reconnect:
 			c.termErr = err
 			return
@@ -271,6 +303,9 @@ func (c *Client) readConn(conn net.Conn) error {
 		}
 		switch ftype {
 		case frameBatch:
+			if c.kind != frameBatch {
+				return fmt.Errorf("%w: feed %q streams raw records — subscribe with Dial, not DialRollup", ErrRejected, c.feed)
+			}
 			b, cursor, err := decodeBatch(body)
 			if err != nil {
 				// A frame that parses wrongly means the stream framing is
@@ -279,7 +314,21 @@ func (c *Client) readConn(conn net.Conn) error {
 			}
 			c.wireCursor.Store(cursor)
 			select {
-			case c.batches <- netBatch{b, cursor}:
+			case c.batches <- netMsg{b: b, cursor: cursor}:
+			case <-c.ctx.Done():
+				return fmt.Errorf("hbnet: closed")
+			}
+		case frameRollup:
+			if c.kind != frameRollup {
+				return fmt.Errorf("%w: feed %q streams rollups — subscribe with DialRollup, not Dial", ErrRejected, c.feed)
+			}
+			rb, err := decodeRollups(body)
+			if err != nil {
+				return err
+			}
+			c.wireCursor.Store(rb.Cursor)
+			select {
+			case c.batches <- netMsg{rb: rb, cursor: rb.Cursor}:
 			case <-c.ctx.Done():
 				return fmt.Errorf("hbnet: closed")
 			}
@@ -344,6 +393,36 @@ func (c *Client) redial() (net.Conn, error) {
 // the server refuses (errors.Is(err, ErrRejected): feed unpublished,
 // protocol mismatch) is terminal even with reconnect enabled.
 func (c *Client) Next(ctx context.Context) (observer.Batch, error) {
+	if c.kind != frameBatch {
+		// Wrapped in ErrRejected: the mismatch is permanent, so consumers
+		// that retire terminally rejected streams (a Relay upstream pump)
+		// treat this misuse the same way instead of retrying forever.
+		return observer.Batch{}, fmt.Errorf("%w: rollup subscription to %q: use NextRollups", ErrRejected, c.feed)
+	}
+	nb, err := c.next(ctx)
+	if err != nil {
+		return observer.Batch{}, err
+	}
+	return nb.b, nil
+}
+
+// NextRollups is Next for rollup subscriptions (DialRollup): it blocks
+// until the relay emits rollups and returns them as a RollupBatch, with
+// the same drain-then-EOF and reconnect semantics as Next. Missed counts
+// emissions (downsample windows) lapped before delivery, and accumulates
+// into Missed() alongside delivery.
+func (c *Client) NextRollups(ctx context.Context) (RollupBatch, error) {
+	if c.kind != frameRollup {
+		return RollupBatch{}, fmt.Errorf("%w: raw subscription to %q: use Next", ErrRejected, c.feed)
+	}
+	nb, err := c.next(ctx)
+	if err != nil {
+		return RollupBatch{}, err
+	}
+	return nb.rb, nil
+}
+
+func (c *Client) next(ctx context.Context) (netMsg, error) {
 	select {
 	case nb := <-c.batches:
 		return c.deliver(nb), nil
@@ -361,19 +440,23 @@ func (c *Client) Next(ctx context.Context) (observer.Batch, error) {
 		case nb := <-c.batches:
 			return c.deliver(nb), nil
 		default:
-			return observer.Batch{}, c.terminal()
+			return netMsg{}, c.terminal()
 		}
 	case <-ctx.Done():
-		return observer.Batch{}, ctx.Err()
+		return netMsg{}, ctx.Err()
 	}
 }
 
 // deliver advances the consumer-visible accounting as a batch is handed
-// out of Next.
-func (c *Client) deliver(nb netBatch) observer.Batch {
+// out of Next (records missed) or NextRollups (emissions missed).
+func (c *Client) deliver(nb netMsg) netMsg {
 	c.delivered.Store(nb.cursor)
-	c.missed.Add(nb.b.Missed)
-	return nb.b
+	if c.kind == frameRollup {
+		c.missed.Add(nb.rb.Missed)
+	} else {
+		c.missed.Add(nb.b.Missed)
+	}
+	return nb
 }
 
 // terminal reports why the stream ended; only called after readerDone.

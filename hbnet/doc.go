@@ -24,4 +24,11 @@
 // Health judgments stay on the consumer side: the wire carries raw
 // records, not opinions, which is the paper's division of labor — the
 // application publishes progress, observers decide what it means.
+//
+// For fleets, Relay adds a hierarchical fan-in tier: one node subscribes
+// to many upstream feeds (or local files), merges them into a single
+// re-sequenced feed, and emits downsampled per-app Rollups — and relays
+// compose into trees, so a monitor holds O(1) connections however many
+// producers exist. See ARCHITECTURE.md at the repository root for when to
+// choose each observation topology.
 package hbnet

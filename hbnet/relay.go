@@ -1,0 +1,837 @@
+package hbnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// This file is the hierarchical fan-in tier: a Relay subscribes to many
+// upstream heartbeat streams (remote hbnet feeds, local files, in-process
+// heartbeats — anything satisfying observer.Stream), merges them into one
+// bounded replay ring with its own dense sequence space, reduces them into
+// per-app rollup windows, and re-exports both as hbnet feeds. Because the
+// merged feed is itself an ordinary feed, relays compose into trees:
+// producers → leaf relays → a root relay → one monitor connection, keeping
+// every node's fan-in (and every subscriber's connection count) bounded
+// while the fleet underneath grows.
+
+// RollupBatch is one delivery of a rollup feed: the rollups of one or more
+// emissions, flattened, plus the emission cursor to resume from. Missed
+// counts emissions that were dropped from the relay's bounded rollup
+// history before this subscriber could read them — downsampling keeps the
+// same never-silent loss accounting as raw streams.
+type RollupBatch struct {
+	Rollups []observer.Rollup
+	// Cursor is the emission index of the newest delivered emission; a
+	// reconnecting subscriber presents it to resume exactly.
+	Cursor uint64
+	// Missed counts emissions lapped before delivery.
+	Missed uint64
+}
+
+// RollupStream is the rollup counterpart of observer.Stream: Next blocks
+// until new emissions are published and honors the same non-blocking-drain
+// contract (pending data is returned even under an expired ctx; io.EOF
+// after the publisher closes).
+type RollupStream interface {
+	Next(ctx context.Context) (RollupBatch, error)
+}
+
+// RollupFeed opens one subscriber's view of a rollup stream, positioned
+// after emission number since — the rollup counterpart of Feed.
+type RollupFeed func(ctx context.Context, since uint64) (RollupStream, error)
+
+// maxRelayBatch bounds how many records a replay-ring subscriber receives
+// per Next, keeping every frame the server builds from it far inside the
+// wire caps.
+const maxRelayBatch = 1 << 16
+
+// maxRollupBatchBytes bounds the estimated encoded size of one rollup
+// delivery (whole emissions; at least one emission is always delivered),
+// keeping every frame far inside maxFramePayload even when app names run
+// to their maxFeedName limit. A single emission can only exceed it with
+// thousands of maximally-named upstreams on one relay — the server's
+// frame guard still catches that pathology explicitly.
+const maxRollupBatchBytes = 4 << 20
+
+// rollupWireCost over-estimates one rollup's encoded size: its app name
+// plus a generous fixed overhead for every other field.
+func rollupWireCost(r observer.Rollup) int { return len(r.App) + 64 }
+
+// replayRing is the relay's merged history: a bounded ring of records in
+// the relay's own dense sequence space, fanned out to any number of
+// cursor-carrying subscribers. Appends re-sequence the records (a relay
+// hop assigns hop-local sequence numbers — origin spaces from different
+// upstreams collide) and widen the space by the upstream's reported losses,
+// so a gap in the upstream surfaces to every subscriber exactly once, as
+// Missed, through ordinary cursor arithmetic.
+type replayRing struct {
+	mu     sync.Mutex
+	recs   []heartbeat.Record // ring storage, strictly increasing Seq
+	start  int
+	n      int
+	head   uint64 // newest assigned seq, counting gap (missed) seqs
+	notify chan struct{}
+	closed bool
+}
+
+func newReplayRing(capacity int) *replayRing {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &replayRing{recs: make([]heartbeat.Record, capacity), notify: make(chan struct{})}
+}
+
+// append re-sequences recs into the ring. missed widens the sequence space
+// without storing records; producer, when >= 0, overwrites each record's
+// Producer with the hop-local upstream id.
+func (r *replayRing) append(recs []heartbeat.Record, missed uint64, producer int32) {
+	if len(recs) == 0 && missed == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.head += missed
+	for _, rec := range recs {
+		r.head++
+		rec.Seq = r.head
+		if producer >= 0 {
+			rec.Producer = producer
+		}
+		r.recs[(r.start+r.n)%len(r.recs)] = rec
+		if r.n < len(r.recs) {
+			r.n++
+		} else {
+			r.start = (r.start + 1) % len(r.recs)
+		}
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// close marks the ring ended; subscribers drain and then see io.EOF.
+func (r *replayRing) close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.notify)
+		r.notify = make(chan struct{})
+	}
+	r.mu.Unlock()
+}
+
+// readSince returns up to max retained records with Seq > since plus the
+// cursor to resume from, the current notify channel (valid until the next
+// append) and the closed flag. When the returned batch is not truncated by
+// max the cursor advances to head, so trailing gap seqs (upstream losses
+// with no records) are accounted in the same read.
+func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, cur uint64, notify <-chan struct{}, closed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	notify, closed = r.notify, r.closed
+	if r.head <= since {
+		// Idle — or a foreign cursor from a previous relay life (head <
+		// since): return head either way so the caller resynchronizes.
+		return nil, r.head, notify, closed
+	}
+	// First retained index with Seq > since (records are Seq-ordered).
+	i := sort.Search(r.n, func(i int) bool {
+		return r.recs[(r.start+i)%len(r.recs)].Seq > since
+	})
+	take := r.n - i
+	truncated := false
+	if take > max {
+		take, truncated = max, true
+	}
+	if take > 0 {
+		out = make([]heartbeat.Record, take)
+		for k := 0; k < take; k++ {
+			out[k] = r.recs[(r.start+i+k)%len(r.recs)]
+		}
+	}
+	if truncated {
+		cur = out[len(out)-1].Seq
+	} else {
+		cur = r.head
+	}
+	return out, cur, notify, closed
+}
+
+// replayStream is one subscriber's cursor over a replayRing; it satisfies
+// observer.Stream with the same resync-and-loss semantics as every other
+// stream in the system.
+type replayStream struct {
+	ring   *replayRing
+	cursor uint64
+}
+
+func (s *replayStream) Next(ctx context.Context) (observer.Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		recs, cur, notify, closed := s.ring.readSince(s.cursor, maxRelayBatch)
+		if cur < s.cursor {
+			// The ring's head is behind the cursor: the cursor came from a
+			// previous life of the relay. Resynchronize from the beginning
+			// (parity with fileStream and Subscription); the records
+			// between the two lives are unknowable, so not Missed.
+			s.cursor = 0
+			continue
+		}
+		if cur > s.cursor {
+			b := observer.Batch{Records: recs, Count: cur}
+			if d := cur - s.cursor; d > uint64(len(recs)) {
+				b.Missed = d - uint64(len(recs))
+			}
+			s.cursor = cur
+			return b, nil
+		}
+		if closed {
+			return observer.Batch{}, io.EOF
+		}
+		select {
+		case <-ctx.Done():
+			return observer.Batch{}, ctx.Err()
+		case <-notify:
+		}
+	}
+}
+
+// rollupRing retains the last N rollup emissions (one emission = the
+// rollups of every tracked app for one downsample window) for replay to
+// reconnecting rollup subscribers.
+type rollupRing struct {
+	mu     sync.Mutex
+	emits  [][]observer.Rollup
+	start  int
+	n      int
+	head   uint64 // emission count
+	notify chan struct{}
+	closed bool
+}
+
+func newRollupRing(capacity int) *rollupRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &rollupRing{emits: make([][]observer.Rollup, capacity), notify: make(chan struct{})}
+}
+
+func (r *rollupRing) append(rs []observer.Rollup) {
+	if len(rs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.head++
+	r.emits[(r.start+r.n)%len(r.emits)] = rs
+	if r.n < len(r.emits) {
+		r.n++
+	} else {
+		r.start = (r.start + 1) % len(r.emits)
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+}
+
+func (r *rollupRing) close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.notify)
+		r.notify = make(chan struct{})
+	}
+	r.mu.Unlock()
+}
+
+// readSince returns the flattened rollups of emissions since+1..head
+// (bounded by maxRollupBatchBytes, whole emissions, at least one), the
+// emission cursor consumed up to, how many emissions were delivered, the
+// notify channel, and the closed flag.
+func (r *rollupRing) readSince(since uint64) (out []observer.Rollup, cur uint64, delivered uint64, notify <-chan struct{}, closed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	notify, closed = r.notify, r.closed
+	if r.head <= since {
+		return nil, r.head, 0, notify, closed
+	}
+	oldest := r.head - uint64(r.n) + 1
+	first := since + 1
+	if first < oldest {
+		first = oldest // the gap below is the caller's Missed
+	}
+	cur = since
+	bytes := 0
+	for e := first; e <= r.head; e++ {
+		rs := r.emits[(r.start+int(e-oldest))%len(r.emits)]
+		cost := 0
+		for _, ru := range rs {
+			cost += rollupWireCost(ru)
+		}
+		if len(out) > 0 && bytes+cost > maxRollupBatchBytes {
+			break
+		}
+		out = append(out, rs...)
+		bytes += cost
+		delivered++
+		cur = e
+	}
+	if delivered == 0 && first > since+1 {
+		// Everything newer than since was lapped and nothing was taken
+		// (cannot happen — first <= head implies at least one emission is
+		// taken — but keep the cursor honest if it ever does).
+		cur = first - 1
+	}
+	return out, cur, delivered, notify, closed
+}
+
+// rollupReplayStream is one subscriber's cursor over a rollupRing.
+type rollupReplayStream struct {
+	ring   *rollupRing
+	cursor uint64
+}
+
+func (s *rollupReplayStream) Next(ctx context.Context) (RollupBatch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		rs, cur, delivered, notify, closed := s.ring.readSince(s.cursor)
+		if cur < s.cursor {
+			s.cursor = 0 // previous relay life: resynchronize
+			continue
+		}
+		if cur > s.cursor {
+			b := RollupBatch{Rollups: rs, Cursor: cur}
+			if d := cur - s.cursor; d > delivered {
+				b.Missed = d - delivered
+			}
+			s.cursor = cur
+			return b, nil
+		}
+		if closed {
+			return RollupBatch{}, io.EOF
+		}
+		select {
+		case <-ctx.Done():
+			return RollupBatch{}, ctx.Err()
+		case <-notify:
+		}
+	}
+}
+
+// StreamFeed adapts one live observer.Stream — which is single-consumer —
+// into a Feed any number of subscribers can open with independent cursors:
+// feed registration from a live stream. Run pumps the stream into a
+// bounded replay ring; Feed opens subscriber cursors over it. The ring
+// re-sequences records into its own dense space (hop-local sequence
+// numbers), and upstream losses widen the space so they surface to every
+// subscriber as Missed.
+//
+//	sf := hbnet.NewStreamFeed(observer.HeartbeatStream(hb), 0)
+//	go sf.Run(ctx)
+//	srv.Publish("app", sf.Feed())
+type StreamFeed struct {
+	src  observer.Stream
+	ring *replayRing
+}
+
+// NewStreamFeed wraps src; retain bounds the replay ring (<= 0 selects
+// 65536 records). The StreamFeed takes ownership of src: Close releases it
+// when it implements io.Closer.
+func NewStreamFeed(src observer.Stream, retain int) *StreamFeed {
+	return &StreamFeed{src: src, ring: newReplayRing(retain)}
+}
+
+// Run pumps the source stream into the ring until ctx is cancelled, the
+// source ends (subscribers then drain and see EOF), or it fails.
+func (f *StreamFeed) Run(ctx context.Context) error {
+	for {
+		b, err := f.src.Next(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				f.ring.close()
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		f.ring.append(b.Records, b.Missed, -1)
+	}
+}
+
+// Feed returns the fan-out feed over the pumped history.
+func (f *StreamFeed) Feed() Feed {
+	return func(ctx context.Context, since uint64) (observer.Stream, error) {
+		return &replayStream{ring: f.ring, cursor: since}, nil
+	}
+}
+
+// Close ends the feed (subscribers drain, then EOF) and releases the
+// source stream.
+func (f *StreamFeed) Close() error {
+	f.ring.close()
+	if c, ok := f.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// RelayOption configures NewRelay.
+type RelayOption func(*Relay)
+
+// WithRollupInterval sets the downsample window length: one rollup per
+// tracked app is emitted every d (default 1s).
+func WithRollupInterval(d time.Duration) RelayOption {
+	return func(r *Relay) {
+		if d > 0 {
+			r.rollupEvery = d
+		}
+	}
+}
+
+// WithMergedRetain bounds the merged replay ring (default 65536 records):
+// how far behind (or how long disconnected) a raw subscriber may fall
+// before lapped records surface as Missed.
+func WithMergedRetain(n int) RelayOption {
+	return func(r *Relay) { r.mergedRetain = n }
+}
+
+// WithRollupRetain bounds the retained rollup emissions (default 256): how
+// many downsample windows a reconnecting rollup subscriber can replay.
+func WithRollupRetain(n int) RelayOption {
+	return func(r *Relay) { r.rollupRetain = n }
+}
+
+// WithRelayOnError installs a callback for per-upstream stream failures
+// (default: dropped; a failing upstream surfaces as silence in its
+// rollups). Transient failures are retried on the rollup cadence and
+// re-reported each attempt; a terminal rejection (ErrRejected) is
+// reported once and the upstream retired.
+func WithRelayOnError(f func(app string, err error)) RelayOption {
+	return func(r *Relay) { r.onError = f }
+}
+
+// WithRelayOnRollup installs a callback invoked from the relay loop with
+// each emission — the local observation hook (hbmon -relay prints these).
+func WithRelayOnRollup(f func([]observer.Rollup)) RelayOption {
+	return func(r *Relay) { r.onRollup = f }
+}
+
+// Relay is a hierarchical fan-in node: it subscribes to N upstream
+// heartbeat streams, merges them into one bounded history in its own dense
+// sequence space, reduces them into per-app rollup windows every interval,
+// and re-exports both as feeds (MergedFeed, RollupFeed — publish them with
+// PublishOn). Add upstreams with AddUpstream / DialUpstream /
+// AddFileUpstream, then drive the relay with Run.
+//
+// Composition: a relay's merged feed is an ordinary raw feed, so another
+// relay can dial it as an upstream — trees of relays keep both each node's
+// fan-in and the final observer's connection count bounded as the fleet
+// grows. Each hop re-sequences records (hop-local dense seqs, Producer
+// rewritten to the hop-local upstream id) and conserves loss accounting:
+// records + Missed is invariant end to end.
+//
+// Run may be restarted with a fresh context; the merged history and rollup
+// history survive across runs (and across Server restarts — a relay
+// process that loses its listener re-publishes the same feeds and resuming
+// subscribers lose nothing the rings still retain).
+type Relay struct {
+	rollupEvery  time.Duration
+	mergedRetain int
+	rollupRetain int
+	onError      func(app string, err error)
+	onRollup     func([]observer.Rollup)
+
+	merged  *replayRing
+	rollups *rollupRing
+
+	mu      sync.Mutex
+	ds      *observer.Downsampler // guarded by mu: pumps absorb on shutdown
+	ups     map[string]*relayUpstream
+	order   []string
+	winFrom time.Time // current rollup window's start
+	runCtx  context.Context
+	events  chan relayEvent
+	pumps   sync.WaitGroup
+	closed  bool
+}
+
+type relayUpstream struct {
+	app     string
+	id      int32
+	stream  observer.Stream
+	cancel  context.CancelFunc
+	pumping bool
+	eof     bool
+	// pending holds a batch the pump consumed from the stream but could
+	// not hand to a stopped Run loop; the next shutdown drain (or Run)
+	// absorbs it after the older events still queued in r.events, so the
+	// merged order is preserved across a Run restart.
+	pending *observer.Batch
+}
+
+type relayEvent struct {
+	up    *relayUpstream
+	batch observer.Batch
+	err   error
+	eof   bool
+}
+
+// NewRelay creates a relay with no upstreams yet.
+func NewRelay(opts ...RelayOption) *Relay {
+	r := &Relay{
+		rollupEvery: time.Second,
+		ds:          observer.NewDownsampler(),
+		ups:         make(map[string]*relayUpstream),
+		events:      make(chan relayEvent, 64),
+		winFrom:     time.Now(),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.merged = newReplayRing(r.mergedRetain)
+	r.rollups = newRollupRing(r.rollupRetain)
+	return r
+}
+
+// AddUpstream registers a live stream under a unique app name: feed
+// registration from any observer.Stream — an hbnet Client, a FollowFile
+// tail, an in-process HeartbeatStream. The relay takes ownership (the
+// stream is closed with the relay when it implements io.Closer). Upstreams
+// may be added while Run is active; their pump starts immediately.
+func (r *Relay) AddUpstream(app string, stream observer.Stream) error {
+	if stream == nil {
+		return fmt.Errorf("hbnet: nil upstream stream for %q", app)
+	}
+	if len(app) > maxFeedName {
+		return fmt.Errorf("hbnet: upstream name exceeds %d bytes", maxFeedName)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("hbnet: relay closed")
+	}
+	if _, dup := r.ups[app]; dup {
+		return fmt.Errorf("hbnet: duplicate upstream %q", app)
+	}
+	up := &relayUpstream{app: app, id: int32(len(r.order)), stream: stream}
+	r.ups[app] = up
+	r.order = append(r.order, app)
+	r.ds.Track(app) // silent upstreams still roll up, as silence
+	if r.runCtx != nil && r.runCtx.Err() == nil {
+		r.startPumpLocked(up)
+	}
+	return nil
+}
+
+// DialUpstream dials a remote feed and registers it as an upstream: how a
+// relay subscribes to a producer's server — or to another relay's merged
+// feed, composing a tree. The returned client is owned by the relay; it is
+// returned for introspection (Reconnects, Missed).
+func (r *Relay) DialUpstream(app, addr, feed string, opts ...ClientOption) (*Client, error) {
+	c, err := Dial(addr, feed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.AddUpstream(app, c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// AddFileUpstream registers a heartbeat ring or log file as an upstream,
+// tailed live via observer.FollowFileFrom — so a producer that restarts
+// and recreates its file resumes instead of flatlining. poll <= 0 selects
+// observer.DefaultPollInterval.
+func (r *Relay) AddFileUpstream(app, path string, poll time.Duration) error {
+	s, err := observer.FollowFile(path, poll)
+	if err != nil {
+		return err
+	}
+	if err := r.AddUpstream(app, s); err != nil {
+		if c, ok := s.(io.Closer); ok {
+			c.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// Apps returns the upstream names in registration order.
+func (r *Relay) Apps() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// MergedHead returns the newest sequence number of the merged history:
+// total records relayed plus upstream losses.
+func (r *Relay) MergedHead() uint64 {
+	r.merged.mu.Lock()
+	defer r.merged.mu.Unlock()
+	return r.merged.head
+}
+
+// MergedFeed returns the raw merged feed: every upstream's records in the
+// relay's own dense sequence space (Producer = hop-local upstream id),
+// replay-then-live-push from any cursor.
+func (r *Relay) MergedFeed() Feed {
+	return func(ctx context.Context, since uint64) (observer.Stream, error) {
+		return &replayStream{ring: r.merged, cursor: since}, nil
+	}
+}
+
+// RollupFeed returns the downsampled feed: one Rollup per upstream per
+// interval, replayable across the retained emissions.
+func (r *Relay) RollupFeed() RollupFeed {
+	return func(ctx context.Context, since uint64) (RollupStream, error) {
+		return &rollupReplayStream{ring: r.rollups, cursor: since}, nil
+	}
+}
+
+// PublishOn registers the merged feed and the rollup feed on srv under the
+// given names (the conventional pair is "merged" and "rollup"). Either
+// name may be empty to skip that feed.
+func (r *Relay) PublishOn(srv *Server, mergedName, rollupName string) error {
+	if mergedName != "" {
+		if err := srv.Publish(mergedName, r.MergedFeed()); err != nil {
+			return err
+		}
+	}
+	if rollupName != "" {
+		if err := srv.PublishRollup(rollupName, r.RollupFeed()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run pumps every upstream into the merged history and emits rollups every
+// interval until ctx is cancelled. When Run returns, every pump has exited;
+// the relay may be Run again with a fresh context.
+func (r *Relay) Run(ctx context.Context) {
+	r.mu.Lock()
+	r.runCtx = ctx
+	r.winFrom = time.Now()
+	for _, app := range r.order {
+		r.startPumpLocked(r.ups[app])
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		for _, up := range r.ups {
+			if up.cancel != nil {
+				up.cancel()
+			}
+		}
+		r.mu.Unlock()
+		r.pumps.Wait()
+		// Absorb what the shutdown stranded, oldest first: events still
+		// queued predate any batch a pump parked in pending (each pump is
+		// its upstream's only producer), so draining the channel before
+		// the pending slots keeps every upstream's records in order.
+		for {
+			select {
+			case ev := <-r.events:
+				r.handleEvent(ev)
+				continue
+			default:
+			}
+			break
+		}
+		r.mu.Lock()
+		for _, app := range r.order {
+			if up := r.ups[app]; up.pending != nil {
+				b := *up.pending
+				up.pending = nil
+				r.absorbLocked(up, b)
+			}
+		}
+		r.mu.Unlock()
+	}()
+	ticker := time.NewTicker(r.rollupEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-r.events:
+			r.handleEvent(ev)
+		case <-ticker.C:
+			r.flushRollups()
+		}
+	}
+}
+
+// flushRollups emits one rollup per upstream for the elapsed window.
+func (r *Relay) flushRollups() {
+	now := time.Now()
+	r.mu.Lock()
+	rs := r.ds.Flush(r.winFrom, now)
+	r.winFrom = now
+	cb := r.onRollup
+	r.mu.Unlock()
+	r.rollups.append(rs)
+	if cb != nil && len(rs) > 0 {
+		cb(rs)
+	}
+}
+
+func (r *Relay) handleEvent(ev relayEvent) {
+	r.mu.Lock()
+	up := ev.up
+	if live, ok := r.ups[up.app]; !ok || live != up {
+		r.mu.Unlock()
+		return // removed/replaced while the event was in flight
+	}
+	if ev.err != nil {
+		cb := r.onError
+		r.mu.Unlock()
+		if cb != nil {
+			cb(up.app, ev.err)
+		}
+		return
+	}
+	if ev.eof {
+		up.eof = true
+		r.mu.Unlock()
+		return
+	}
+	r.absorbLocked(up, ev.batch)
+	r.mu.Unlock()
+}
+
+// absorbLocked merges one upstream batch: into the replay ring (re-
+// sequenced, loss-widened) and into the app's rollup window. Callers hold
+// r.mu.
+func (r *Relay) absorbLocked(up *relayUpstream, b observer.Batch) {
+	r.merged.append(b.Records, b.Missed, up.id)
+	r.ds.Absorb(up.app, b)
+}
+
+// startPumpLocked starts the goroutine that blocks in the upstream's Next
+// and forwards batches to the relay loop. Callers hold r.mu.
+func (r *Relay) startPumpLocked(up *relayUpstream) {
+	if up.pumping || up.eof {
+		return
+	}
+	up.pumping = true
+	pctx, cancel := context.WithCancel(r.runCtx)
+	up.cancel = cancel
+	r.pumps.Add(1)
+	go func() {
+		defer func() {
+			r.mu.Lock()
+			up.pumping = false
+			r.mu.Unlock()
+			r.pumps.Done()
+		}()
+		for {
+			// Bound each wait by the rollup interval: re-entering Next is
+			// itself a read for poll-based upstreams, so a low-rate
+			// in-process upstream still publishes at least once per window.
+			nctx, ncancel := context.WithTimeout(pctx, r.rollupEvery)
+			b, err := up.stream.Next(nctx)
+			ncancel()
+			if err == nil {
+				select {
+				case r.events <- relayEvent{up: up, batch: b}:
+				case <-pctx.Done():
+					// Shutting down with a batch in hand: park it so the
+					// records already consumed from the upstream cursor are
+					// not lost across a Run restart. It must NOT be absorbed
+					// here — an older batch of this upstream may still sit
+					// in r.events, and absorbing out of order would corrupt
+					// the merged history; Run's shutdown drain absorbs the
+					// queue first, then this.
+					r.mu.Lock()
+					up.pending = &b
+					r.mu.Unlock()
+					return
+				}
+				continue
+			}
+			if pctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue // idle window: loop and re-poll
+			}
+			if errors.Is(err, io.EOF) {
+				select {
+				case r.events <- relayEvent{up: up, eof: true}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			if errors.Is(err, ErrRejected) {
+				// The subscription was refused for good (feed unpublished,
+				// kind mismatch): every further Next returns the same
+				// error, so report it once and retire the upstream rather
+				// than re-reporting it every interval forever.
+				select {
+				case r.events <- relayEvent{up: up, err: err}:
+				case <-pctx.Done():
+				}
+				select {
+				case r.events <- relayEvent{up: up, eof: true}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			select {
+			case r.events <- relayEvent{up: up, err: err}:
+			case <-pctx.Done():
+				return
+			}
+			// Pace retries against a persistently failing upstream.
+			select {
+			case <-time.After(r.rollupEvery):
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Close ends both feeds (subscribers drain, then EOF) and releases every
+// upstream stream. Close is idempotent; cancel Run's context first (or
+// concurrently) — Close does not stop a running loop, it only closes the
+// histories and upstreams.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	ups := make([]*relayUpstream, 0, len(r.order))
+	for _, app := range r.order {
+		ups = append(ups, r.ups[app])
+	}
+	r.mu.Unlock()
+	for _, up := range ups {
+		if up.cancel != nil {
+			up.cancel()
+		}
+		if c, ok := up.stream.(io.Closer); ok {
+			c.Close()
+		}
+	}
+	r.merged.close()
+	r.rollups.close()
+	return nil
+}

@@ -1,0 +1,118 @@
+package hbnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// BenchmarkRelay measures the fan-in tier: N producer processes' worth of
+// heartbeat servers, one relay subscribing to all of them over real
+// loopback TCP, one subscriber draining the merged feed — sustained
+// records/s through produce → N×(server → wire → client) → merge →
+// re-sequence → wire → subscriber. This is the number that bounds how many
+// producers one relay node absorbs at a given per-producer rate
+// (make bench-relay records it in BENCH_relay.json).
+func BenchmarkRelay(b *testing.B) {
+	for _, fan := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("fanin-%d", fan), func(b *testing.B) {
+			benchRelayFanIn(b, fan)
+		})
+	}
+
+	// The reducer alone, in-process: what each absorbed batch costs the
+	// rollup path (no network, 64-record batches).
+	b.Run("downsample", func(b *testing.B) {
+		ds := observer.NewDownsampler()
+		recs := make([]heartbeat.Record, 64)
+		base := time.Unix(1000, 0)
+		for i := range recs {
+			recs[i] = heartbeat.Record{Seq: uint64(i + 1), Time: base.Add(time.Duration(i) * time.Millisecond)}
+		}
+		batch := observer.Batch{Records: recs, Count: 64}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds.Absorb("app", batch)
+			if i%1024 == 1023 {
+				ds.Flush(base, base.Add(time.Second))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "records/s")
+	})
+}
+
+func benchRelayFanIn(b *testing.B, fan int) {
+	clk := heartbeat.NewCoarseClock(0)
+	b.Cleanup(clk.Stop)
+	relay := NewRelay(WithRollupInterval(100*time.Millisecond), WithMergedRetain(1<<18))
+	hbs := make([]*heartbeat.Heartbeat, fan)
+	for i := range hbs {
+		hb, err := heartbeat.New(20, heartbeat.WithCapacity(1<<16), heartbeat.WithClock(clk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hbs[i] = hb
+		b.Cleanup(func() { hb.Close() })
+		srv := NewServer()
+		srv.PublishHeartbeat("app", hb)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(l)
+		b.Cleanup(func() { srv.Close() })
+		if _, err := relay.DialUpstream(fmt.Sprintf("app-%d", i), l.Addr().String(), "app"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	b.Cleanup(func() { cancel(); <-done; relay.Close() })
+
+	srv := NewServer()
+	if err := relay.PublishOn(srv, "merged", "rollup"); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	b.Cleanup(func() { srv.Close() })
+	c, err := Dial(l.Addr().String(), "merged")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+
+	per := b.N / fan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, hb := range hbs {
+		go func(hb *heartbeat.Heartbeat, n int) {
+			for i := 0; i < n; i++ {
+				hb.Beat()
+			}
+			hb.Flush()
+		}(hb, per)
+	}
+	want := per * fan
+	received := 0
+	for received < want {
+		batch, err := c.Next(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		received += len(batch.Records) + int(batch.Missed)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(want)/b.Elapsed().Seconds(), "records/s")
+}

@@ -10,7 +10,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/hbfile"
 	"repro/heartbeat"
 	"repro/observer"
 )
@@ -35,31 +34,22 @@ func HeartbeatFeed(hb *heartbeat.Heartbeat) Feed {
 
 // FileFeed publishes a heartbeat ring or log file: the relay case, where
 // the hbnet server and the observed application share a filesystem but
-// subscribers do not. Each subscriber opens its own reader (readers never
-// coordinate, so concurrent subscribers cost nothing extra), tailed every
-// poll (poll <= 0 selects observer.DefaultPollInterval). The variant is
-// detected per connection, so the feed survives the file being recreated
-// in the other format.
+// subscribers do not. Each subscriber opens its own live tail
+// (observer.FollowFileFrom — readers never coordinate, so concurrent
+// subscribers cost nothing extra), tailed every poll (poll <= 0 selects
+// observer.DefaultPollInterval). The variant is detected per open, and the
+// tail survives the file being deleted and recreated by a restarted
+// producer — including in the other format — without dropping the
+// connection.
 func FileFeed(path string, poll time.Duration) Feed {
 	return func(ctx context.Context, since uint64) (observer.Stream, error) {
-		if r, err := hbfile.Open(path); err == nil {
-			return closeStream{observer.FileStreamFrom(r, poll, since), r}, nil
-		}
-		r, err := hbfile.OpenLog(path)
+		s, err := observer.FollowFileFrom(path, poll, since)
 		if err != nil {
 			return nil, fmt.Errorf("hbnet: open feed file: %w", err)
 		}
-		return closeStream{observer.LogStreamFrom(r, poll, since), r}, nil
+		return s, nil
 	}
 }
-
-// closeStream pairs a stream with the resource backing it.
-type closeStream struct {
-	observer.Stream
-	c io.Closer
-}
-
-func (s closeStream) Close() error { return s.c.Close() }
 
 // ServerOption configures NewServer.
 type ServerOption func(*Server)
@@ -99,11 +89,18 @@ type Server struct {
 	onError          func(error)
 
 	mu        sync.Mutex
-	feeds     map[string]Feed
+	feeds     map[string]feedEntry
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]context.CancelFunc
 	closed    bool
 	wg        sync.WaitGroup
+}
+
+// feedEntry is one published name: a raw record feed or a rollup feed
+// (exactly one of the two is set).
+type feedEntry struct {
+	raw    Feed
+	rollup RollupFeed
 }
 
 // NewServer creates a server with no feeds published yet.
@@ -111,7 +108,7 @@ func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		writeTimeout:     10 * time.Second,
 		handshakeTimeout: 5 * time.Second,
-		feeds:            make(map[string]Feed),
+		feeds:            make(map[string]feedEntry),
 		listeners:        make(map[net.Listener]struct{}),
 		conns:            make(map[net.Conn]context.CancelFunc),
 	}
@@ -127,12 +124,27 @@ func (s *Server) Publish(name string, feed Feed) error {
 	if feed == nil {
 		return fmt.Errorf("hbnet: nil feed for %q", name)
 	}
+	return s.publish(name, feedEntry{raw: feed})
+}
+
+// PublishRollup registers a rollup feed under name: subscribers dial it
+// with DialRollup and receive downsampled per-app Rollups instead of raw
+// records. A name carries either raw records or rollups, never both —
+// the conventional relay pair is Publish(raw) next to PublishRollup.
+func (s *Server) PublishRollup(name string, feed RollupFeed) error {
+	if feed == nil {
+		return fmt.Errorf("hbnet: nil rollup feed for %q", name)
+	}
+	return s.publish(name, feedEntry{rollup: feed})
+}
+
+func (s *Server) publish(name string, e feedEntry) error {
 	if len(name) > maxFeedName {
 		return fmt.Errorf("hbnet: feed name exceeds %d bytes", maxFeedName)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.feeds[name] = feed
+	s.feeds[name] = e
 	return nil
 }
 
@@ -266,14 +278,17 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 		return err
 	}
 	s.mu.Lock()
-	feed := s.feeds[name]
+	entry := s.feeds[name]
 	s.mu.Unlock()
-	if feed == nil {
+	if entry.raw == nil && entry.rollup == nil {
 		err := fmt.Errorf("unknown feed %q", name)
 		s.writeTimed(conn, appendError(nil, "hbnet: "+err.Error(), true))
 		return err
 	}
-	stream, err := feed(ctx, since)
+	if entry.rollup != nil {
+		return s.serveRollup(ctx, conn, name, entry.rollup, since)
+	}
+	stream, err := entry.raw(ctx, since)
 	if err != nil {
 		// Not permanent: the feed exists but failed to open — a file
 		// mid-recreation heals, so the subscriber should keep retrying.
@@ -290,20 +305,9 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	// The subscriber never speaks again; a read can only return a close or
-	// an error, either way meaning the connection is done. Watching it is
-	// the only way to notice a subscriber that vanished while the stream
-	// is idle (nothing to write, nothing to fail).
-	watchDone := make(chan struct{})
-	ctx, cancel := context.WithCancel(ctx)
+	ctx, cancel, unwatch := s.watchSubscriber(ctx, conn)
 	defer cancel()
-	go func() {
-		defer close(watchDone)
-		var one [1]byte
-		conn.Read(one[:])
-		cancel()
-	}()
-	defer func() { conn.Close(); <-watchDone }()
+	defer unwatch()
 
 	cursor := since
 	buf := make([]byte, 0, 4096)
@@ -358,6 +362,78 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			if len(recs) == 0 {
 				break
 			}
+		}
+	}
+}
+
+// watchSubscriber watches the subscriber side of an established stream:
+// the subscriber never speaks again, so a read can only return a close or
+// an error, either way meaning the connection is done — the only way to
+// notice a subscriber that vanished while the stream is idle (nothing to
+// write, nothing to fail). The returned cleanup closes the connection and
+// reaps the watch goroutine; call it (deferred) before cancel.
+func (s *Server) watchSubscriber(ctx context.Context, conn net.Conn) (context.Context, context.CancelFunc, func()) {
+	watchDone := make(chan struct{})
+	ctx, cancel := context.WithCancel(ctx)
+	go func() {
+		defer close(watchDone)
+		var one [1]byte
+		conn.Read(one[:])
+		cancel()
+	}()
+	return ctx, cancel, func() { conn.Close(); <-watchDone }
+}
+
+// serveRollup runs one rollup subscriber: same shape as the raw path, but
+// each delivery is one rollup frame (the ring bounds batch sizes, so no
+// frame splitting is needed).
+func (s *Server) serveRollup(ctx context.Context, conn net.Conn, name string, feed RollupFeed, since uint64) error {
+	stream, err := feed(ctx, since)
+	if err != nil {
+		s.writeTimed(conn, appendError(nil, err.Error(), false))
+		return err
+	}
+	defer func() {
+		if c, ok := stream.(io.Closer); ok {
+			c.Close()
+		}
+	}()
+	if err := s.writeTimed(conn, appendWelcome(nil, since)); err != nil {
+		return fmt.Errorf("writing welcome: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	ctx, cancel, unwatch := s.watchSubscriber(ctx, conn)
+	defer cancel()
+	defer unwatch()
+
+	buf := make([]byte, 0, 4096)
+	for {
+		rb, err := stream.Next(ctx)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			s.writeTimed(conn, []byte{frameEOF})
+			return nil
+		case ctx.Err() != nil:
+			return nil // subscriber went away or server closed: not a failure
+		default:
+			s.writeTimed(conn, appendError(nil, err.Error(), false))
+			return fmt.Errorf("rollup feed %q: %w", name, err)
+		}
+		buf = appendRollups(append(buf[:0], 0, 0, 0, 0), rb)
+		if len(buf)-4 > maxFramePayload {
+			// Cannot happen with the per-batch rollup cap; guard it with a
+			// visible, permanent error rather than a silent livelock.
+			s.writeTimed(conn, appendError(nil, errFrameTooLarge.Error(), true))
+			return fmt.Errorf("rollup feed %q: %w", name, errFrameTooLarge)
+		}
+		binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+		if err := s.writeRaw(conn, buf); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("writing rollup batch: %w", err)
 		}
 	}
 }

@@ -27,6 +27,7 @@ const (
 	frameBatch   = 0x03 // server → client: one observer.Batch plus the new cursor
 	frameEOF     = 0x04 // server → client: the feed ended cleanly (producer closed)
 	frameError   = 0x05 // server → client: failure; body = permanence flag byte + message
+	frameRollup  = 0x06 // server → client: one RollupBatch plus the new emission cursor
 )
 
 const (
@@ -229,6 +230,100 @@ func decodeBatch(body []byte) (b observer.Batch, cursor uint64, err error) {
 		return observer.Batch{}, 0, fmt.Errorf("hbnet: truncated batch: %w", d.err)
 	}
 	return b, cursor, nil
+}
+
+const rollupFlagRateOK = 1 << 0
+
+// appendRollups encodes one rollup delivery: the emission cursor after it,
+// lapped emissions, and the rollups themselves. Window start times are
+// delta-encoded from the previous rollup's (relays flush every app at the
+// same instant, so consecutive rollups usually share a start and the delta
+// is one zero byte); each end is a delta from its own start.
+func appendRollups(dst []byte, b RollupBatch) []byte {
+	dst = append(dst, frameRollup)
+	dst = binary.AppendUvarint(dst, b.Cursor)
+	dst = binary.AppendUvarint(dst, b.Missed)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Rollups)))
+	var prevStart int64
+	for _, r := range b.Rollups {
+		dst = binary.AppendUvarint(dst, uint64(len(r.App)))
+		dst = append(dst, r.App...)
+		start := r.Start.UnixNano()
+		dst = binary.AppendVarint(dst, start-prevStart)
+		dst = binary.AppendVarint(dst, r.End.UnixNano()-start)
+		prevStart = start
+		dst = binary.AppendUvarint(dst, r.Records)
+		dst = binary.AppendUvarint(dst, r.Missed)
+		dst = binary.AppendUvarint(dst, r.Count)
+		var flags byte
+		if r.RateOK {
+			flags |= rollupFlagRateOK
+		}
+		dst = append(dst, flags)
+		if r.RateOK {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Rate.PerSec))
+			dst = binary.AppendUvarint(dst, uint64(r.Rate.Beats))
+			dst = binary.AppendVarint(dst, int64(r.Rate.Span))
+		}
+		dst = binary.AppendUvarint(dst, r.Rate.FirstSeq)
+		dst = binary.AppendUvarint(dst, r.Rate.LastSeq)
+		dst = binary.AppendVarint(dst, int64(r.MinInterval))
+		dst = binary.AppendVarint(dst, int64(r.MaxInterval))
+		dst = binary.AppendVarint(dst, int64(r.MeanInterval))
+	}
+	return dst
+}
+
+func decodeRollups(body []byte) (RollupBatch, error) {
+	d := decoder{buf: body}
+	var b RollupBatch
+	b.Cursor = d.uvarint()
+	b.Missed = d.uvarint()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)-d.off)/8+1 {
+		// Each rollup costs at least 8 bytes on the wire; a count beyond
+		// that is a corrupt frame, caught before allocating for it.
+		return RollupBatch{}, fmt.Errorf("hbnet: rollup frame claims %d rollups in %d bytes", n, len(body))
+	}
+	if n > 0 && d.err == nil {
+		b.Rollups = make([]observer.Rollup, 0, n)
+		var prevStart int64
+		for i := uint64(0); i < n; i++ {
+			var r observer.Rollup
+			nameLen := d.uvarint()
+			if nameLen > maxFeedName {
+				return RollupBatch{}, fmt.Errorf("hbnet: rollup app name of %d bytes exceeds %d", nameLen, maxFeedName)
+			}
+			r.App = string(d.bytes(int(nameLen)))
+			start := prevStart + d.varint()
+			r.Start = time.Unix(0, start)
+			r.End = time.Unix(0, start+d.varint())
+			prevStart = start
+			r.Records = d.uvarint()
+			r.Missed = d.uvarint()
+			r.Count = d.uvarint()
+			flags := d.byte()
+			if flags&rollupFlagRateOK != 0 {
+				r.RateOK = true
+				r.Rate.PerSec = math.Float64frombits(d.uint64())
+				r.Rate.Beats = int(d.uvarint())
+				r.Rate.Span = time.Duration(d.varint())
+			}
+			r.Rate.FirstSeq = d.uvarint()
+			r.Rate.LastSeq = d.uvarint()
+			r.MinInterval = time.Duration(d.varint())
+			r.MaxInterval = time.Duration(d.varint())
+			r.MeanInterval = time.Duration(d.varint())
+			if d.err != nil {
+				break
+			}
+			b.Rollups = append(b.Rollups, r)
+		}
+	}
+	if d.err != nil {
+		return RollupBatch{}, fmt.Errorf("hbnet: truncated rollup frame: %w", d.err)
+	}
+	return b, nil
 }
 
 // decoder is a cursor over a frame body that records the first failure

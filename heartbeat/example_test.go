@@ -71,6 +71,35 @@ func ExampleHeartbeat_Thread() {
 	// fast 20 beats/s, slow 6.7 beats/s, global beats 0
 }
 
+// A Subscription is a cursor over the history: each record is delivered
+// exactly once, and a consumer that disconnects resumes from its saved
+// cursor — the contract every observation backend (files, network,
+// relays) extends across process and machine boundaries.
+func ExampleHeartbeat_SubscribeFrom() {
+	hb, _ := heartbeat.New(10)
+	for i := 0; i < 3; i++ {
+		hb.Beat()
+	}
+
+	sub := hb.Subscribe(nil)
+	recs, _ := sub.Next(nil)
+	fmt.Printf("first batch: seqs 1..%d\n", recs[len(recs)-1].Seq)
+	cursor := sub.Cursor()
+	sub.Close() // the consumer goes away, keeping its cursor
+
+	for i := 0; i < 2; i++ {
+		hb.Beat()
+	}
+	resumed := hb.SubscribeFrom(nil, cursor)
+	defer resumed.Close()
+	recs, _ = resumed.Next(nil)
+	fmt.Printf("resumed after %d: seqs %d..%d, nothing twice\n",
+		cursor, recs[0].Seq, recs[len(recs)-1].Seq)
+	// Output:
+	// first batch: seqs 1..3
+	// resumed after 3: seqs 4..5, nothing twice
+}
+
 // History returns the recent records for in-depth analysis.
 func ExampleHeartbeat_History() {
 	clk := sim.NewClock(time.Time{})

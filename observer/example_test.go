@@ -53,6 +53,41 @@ func ExampleWatchdog() {
 	// restarts: 1
 }
 
+// A Hub multiplexes many named applications into one control loop: each
+// gets its own incremental window and classifier, and judgments fan out
+// per application. Step() drives it deterministically (simulated clock);
+// Run(ctx) is the wall-clock equivalent.
+func ExampleHub() {
+	clk := sim.NewClock(time.Time{})
+	video, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+	indexer, _ := heartbeat.New(10, heartbeat.WithClock(clk))
+
+	hub := observer.NewHub(time.Second, nil,
+		observer.WithHubClassifier(func(string) *observer.Classifier {
+			return &observer.Classifier{Clock: clk}
+		}))
+	hub.Add("video", observer.HeartbeatStream(video))
+	hub.Add("indexer", observer.HeartbeatStream(indexer))
+
+	for i := 0; i < 20; i++ {
+		clk.Advance(100 * time.Millisecond) // both beat at 10/s
+		video.Beat()
+		indexer.Beat()
+	}
+	// The indexer hangs; video keeps beating.
+	for i := 0; i < 300; i++ {
+		clk.Advance(100 * time.Millisecond)
+		video.Beat()
+	}
+
+	for _, ns := range hub.Step() {
+		fmt.Printf("%s: %s after %d beats\n", ns.Name, ns.Status.Health, ns.Status.Count)
+	}
+	// Output:
+	// video: healthy after 320 beats
+	// indexer: flatlined after 20 beats
+}
+
 // A phase detector segments execution into performance regimes from the
 // heart rate alone (§2.3, the structure of the paper's Figure 2).
 func ExamplePhaseDetector() {

@@ -1,0 +1,168 @@
+package observer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/hbfile"
+)
+
+// FollowFile tails the heartbeat file at path — ring or append-only log,
+// detected automatically — surviving the file being deleted and recreated
+// by a restarted producer. A plain FileStream holds the inode it opened:
+// once the producer recreates the path, the old reader tails a dead file
+// and the stream flatlines until the consumer reopens by hand. FollowFile
+// stats the path on idle ticks (a recreation can only surface when the old
+// file has gone quiet, so the stat costs nothing on the hot path) and,
+// when the path no longer names the opened file, reopens it and
+// resynchronizes — redelivering the new life's retained records exactly
+// like FileStreamFrom resuming against a recreated file.
+//
+// The initial open must succeed; after that, transient open failures (the
+// producer mid-recreation) are retried on the poll cadence rather than
+// surfaced. poll <= 0 selects DefaultPollInterval. The returned stream
+// implements io.Closer; Close releases the current reader.
+func FollowFile(path string, poll time.Duration) (Stream, error) {
+	return FollowFileFrom(path, poll, 0)
+}
+
+// FollowFileFrom is FollowFile with the cursor pre-positioned after
+// sequence number since (see FileStreamFrom).
+func FollowFileFrom(path string, poll time.Duration, since uint64) (Stream, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	s := &followStream{path: path, poll: poll, cursor: since}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// followStream wraps a fileStream with path-level recreation detection.
+type followStream struct {
+	path   string
+	poll   time.Duration
+	cursor uint64 // carried across reopens
+
+	fs     *fileStream // nil between a failed reopen and the next retry
+	closer io.Closer
+	info   os.FileInfo // identity of the opened file, for os.SameFile
+}
+
+// open (re)opens the path, detecting the variant, and positions the new
+// reader at the carried cursor. The resynchronization against a shorter
+// new life happens inside fileStream.poll (head < cursor → resync to 0).
+func (s *followStream) open() error {
+	if r, err := hbfile.Open(s.path); err == nil {
+		info, serr := r.Stat()
+		if serr != nil {
+			r.Close()
+			return serr
+		}
+		s.fs, s.closer, s.info = newRingFileStream(r, s.poll, s.cursor), r, info
+		return nil
+	}
+	r, err := hbfile.OpenLog(s.path)
+	if err != nil {
+		return fmt.Errorf("observer: follow %s: %w", s.path, err)
+	}
+	info, serr := r.Stat()
+	if serr != nil {
+		r.Close()
+		return serr
+	}
+	s.fs, s.closer, s.info = newLogFileStream(r, s.poll, s.cursor), r, info
+	return nil
+}
+
+// restart drops the current reader after a detected recreation and resets
+// the cursor to zero: the inode change proves the path is a new life whose
+// sequence space restarted, so the whole retained history of the successor
+// is due — a bare cursor carried over would silently skip any new-life
+// records numbered at or below it (the cursor-only resync in fileStream
+// can only catch the head falling BELOW the cursor; the stat gives this
+// stream strictly more information, so it uses it).
+func (s *followStream) restart() {
+	if s.closer != nil {
+		s.closer.Close()
+	}
+	s.fs, s.closer, s.info = nil, nil, nil
+	s.cursor = 0
+}
+
+// recreated reports whether the path no longer names the opened file. A
+// missing path is not a recreation: the old reader keeps draining the
+// deleted-but-open inode until a successor file appears.
+func (s *followStream) recreated() bool {
+	if s.info == nil {
+		return false
+	}
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return false
+	}
+	return !os.SameFile(s.info, fi)
+}
+
+func (s *followStream) Next(ctx context.Context) (Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		if s.fs == nil {
+			// A previous reopen failed (producer mid-recreation): retry on
+			// the poll cadence; the path healing is the only way forward.
+			if err := s.open(); err != nil {
+				if werr := s.wait(ctx); werr != nil {
+					return Batch{}, werr
+				}
+				continue
+			}
+		}
+		b, ok, err := s.fs.step()
+		if err != nil {
+			// A read error from a file that was recreated under us (e.g.
+			// truncated below the old offsets) heals by reopening; any
+			// other failure is the caller's to see.
+			if s.recreated() {
+				s.restart()
+				continue
+			}
+			return Batch{}, err
+		}
+		if ok {
+			s.cursor = s.fs.cursor
+			return b, nil
+		}
+		// Idle tick: the one moment a recreation can be outstanding —
+		// records already drained from the old inode, nothing new coming.
+		if s.recreated() {
+			s.restart()
+			continue
+		}
+		if err := s.wait(ctx); err != nil {
+			return Batch{}, err
+		}
+	}
+}
+
+func (s *followStream) wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(s.poll):
+		return nil
+	}
+}
+
+// Close releases the underlying reader.
+func (s *followStream) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}

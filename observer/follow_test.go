@@ -1,0 +1,143 @@
+package observer
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/hbfile"
+	"repro/heartbeat"
+)
+
+// drainFollow collects batches until want records have arrived or the
+// deadline passes.
+func drainFollow(t *testing.T, s Stream, want int) []heartbeat.Record {
+	t.Helper()
+	var out []heartbeat.Record
+	deadline := time.Now().Add(10 * time.Second)
+	for len(out) < want {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		b, err := s.Next(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("Next after %d records: %v", len(out), err)
+		}
+		out = append(out, b.Records...)
+	}
+	return out
+}
+
+func writeRing(t *testing.T, path string, first, n int) {
+	t.Helper()
+	w, err := hbfile.Create(path, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < n; i++ {
+		rec := heartbeat.Record{Seq: uint64(first + i), Time: time.Now()}
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The ROADMAP gap this covers: a live tail held the inode it opened, so a
+// producer that restarted — deleting and recreating its file — read as a
+// flatline forever. FollowFile must notice the recreation on an idle tick
+// and resume with the new life's records.
+func TestFollowFileSurvivesDeleteRecreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.hb")
+	writeRing(t, path, 1, 5)
+
+	s, err := FollowFile(path, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.(io.Closer).Close()
+	first := drainFollow(t, s, 5)
+	if first[len(first)-1].Seq != 5 {
+		t.Fatalf("first life tail wrong: %+v", first)
+	}
+
+	// The producer restarts: the file is DELETED and recreated, so the new
+	// file is a different inode and the new life's seqs restart at 1.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	writeRing(t, path, 1, 3)
+
+	second := drainFollow(t, s, 3)
+	for i, r := range second {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("new life record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+}
+
+// Recreation in the other variant (ring -> append-only log) must also be
+// picked up: the variant is detected per reopen.
+func TestFollowFileSurvivesVariantChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.hb")
+	writeRing(t, path, 1, 4)
+
+	s, err := FollowFile(path, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.(io.Closer).Close()
+	drainFollow(t, s, 4)
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	lw, err := hbfile.CreateLog(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Close()
+	for i := 1; i <= 2; i++ {
+		if err := lw.WriteRecord(heartbeat.Record{Seq: uint64(i), Time: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := drainFollow(t, s, 2)
+	if recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("log life records wrong: %+v", recs)
+	}
+}
+
+// While the path is deleted but not yet recreated, the tail keeps serving
+// the old (open) inode rather than erroring — and still catches up when
+// the successor appears.
+func TestFollowFileMissingGap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.hb")
+	writeRing(t, path, 1, 2)
+
+	s, err := FollowFile(path, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.(io.Closer).Close()
+	drainFollow(t, s, 2)
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// Idle while the path is missing: Next must report a clean timeout,
+	// not a failure.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if _, err := s.Next(ctx); err != context.DeadlineExceeded {
+		cancel()
+		t.Fatalf("Next during the gap: %v, want deadline exceeded", err)
+	}
+	cancel()
+
+	writeRing(t, path, 1, 6)
+	if recs := drainFollow(t, s, 6); recs[5].Seq != 6 {
+		t.Fatalf("catch-up after gap wrong: %+v", recs)
+	}
+}

@@ -1,0 +1,122 @@
+package observer
+
+import (
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+)
+
+// recsAt builds records with the given sequence numbers, spaced evenly by
+// step starting at base.
+func recsAt(base time.Time, step time.Duration, seqs ...uint64) []heartbeat.Record {
+	out := make([]heartbeat.Record, len(seqs))
+	for i, s := range seqs {
+		out[i] = heartbeat.Record{Seq: s, Time: base.Add(time.Duration(i) * step)}
+	}
+	return out
+}
+
+func TestRollupWindowStats(t *testing.T) {
+	base := time.Unix(1000, 0)
+	w := NewRollupWindow("app")
+	w.Absorb(Batch{Records: recsAt(base, 100*time.Millisecond, 1, 2, 3, 4, 5), Count: 5})
+
+	r := w.Flush(base, base.Add(time.Second))
+	if r.App != "app" || r.Records != 5 || r.Missed != 0 || r.Count != 5 {
+		t.Fatalf("rollup basics wrong: %+v", r)
+	}
+	if !r.RateOK {
+		t.Fatal("RateOK false with 5 records")
+	}
+	// 4 beats over 400ms = 10/s.
+	if r.Rate.PerSec < 9.99 || r.Rate.PerSec > 10.01 {
+		t.Fatalf("rate %v, want 10/s", r.Rate.PerSec)
+	}
+	if r.Rate.FirstSeq != 1 || r.Rate.LastSeq != 5 || r.Rate.Beats != 5 {
+		t.Fatalf("rate bounds wrong: %+v", r.Rate)
+	}
+	if r.MinInterval != 100*time.Millisecond || r.MaxInterval != 100*time.Millisecond || r.MeanInterval != 100*time.Millisecond {
+		t.Fatalf("intervals wrong: %v %v %v", r.MinInterval, r.MaxInterval, r.MeanInterval)
+	}
+
+	// The next window is empty: silence is reported, not elided.
+	r2 := w.Flush(base.Add(time.Second), base.Add(2*time.Second))
+	if r2.Records != 0 || r2.RateOK || r2.MinInterval != 0 {
+		t.Fatalf("silent window not silent: %+v", r2)
+	}
+	if r2.Count != 5 {
+		t.Fatalf("cumulative count lost across flush: %d", r2.Count)
+	}
+}
+
+// The interval spanning two windows is charged to the later window, so
+// downsampled interval stats cover the same gaps a raw Window sees.
+func TestRollupWindowIntervalContinuity(t *testing.T) {
+	base := time.Unix(1000, 0)
+	w := NewRollupWindow("app")
+	w.Absorb(Batch{Records: recsAt(base, 10*time.Millisecond, 1, 2)})
+	w.Flush(base, base.Add(time.Second))
+
+	// One record, 40ms after the previous window's last: the window has one
+	// interval even though it has only one record.
+	w.Absorb(Batch{Records: []heartbeat.Record{{Seq: 3, Time: base.Add(50 * time.Millisecond)}}})
+	r := w.Flush(base.Add(time.Second), base.Add(2*time.Second))
+	if r.Records != 1 {
+		t.Fatalf("records %d, want 1", r.Records)
+	}
+	if r.RateOK {
+		t.Fatal("RateOK with a single record")
+	}
+	if r.Rate.FirstSeq != 3 || r.Rate.LastSeq != 3 {
+		t.Fatalf("seq bounds wrong: %+v", r.Rate)
+	}
+	if r.MeanInterval != 40*time.Millisecond {
+		t.Fatalf("cross-window interval %v, want 40ms", r.MeanInterval)
+	}
+}
+
+func TestRollupWindowMissed(t *testing.T) {
+	w := NewRollupWindow("app")
+	w.Absorb(Batch{Missed: 7, Count: 7})
+	r := w.Flush(time.Time{}, time.Time{})
+	if r.Missed != 7 || r.Records != 0 {
+		t.Fatalf("missed-only window wrong: %+v", r)
+	}
+	// Missed resets with the window.
+	if r2 := w.Flush(time.Time{}, time.Time{}); r2.Missed != 0 {
+		t.Fatalf("missed leaked across flush: %+v", r2)
+	}
+}
+
+func TestDownsamplerPerApp(t *testing.T) {
+	base := time.Unix(1000, 0)
+	d := NewDownsampler()
+	d.Track("silent")
+	d.Absorb("a", Batch{Records: recsAt(base, time.Millisecond, 1, 2, 3), Count: 3})
+	d.Absorb("b", Batch{Records: recsAt(base, time.Millisecond, 1, 2), Count: 2, Missed: 4})
+
+	rs := d.Flush(base, base.Add(time.Second))
+	if len(rs) != 3 {
+		t.Fatalf("got %d rollups, want 3 (incl. the silent app)", len(rs))
+	}
+	byApp := map[string]Rollup{}
+	for _, r := range rs {
+		byApp[r.App] = r
+	}
+	if byApp["a"].Records != 3 || byApp["b"].Records != 2 || byApp["b"].Missed != 4 {
+		t.Fatalf("per-app accounting wrong: %+v", byApp)
+	}
+	if byApp["silent"].Records != 0 || byApp["silent"].RateOK {
+		t.Fatalf("silent app not silent: %+v", byApp["silent"])
+	}
+	// Sum of records+missed is conserved per flush: the rollup tier never
+	// hides loss (the raw-parity invariant the relay tests lean on).
+	var recs, missed uint64
+	for _, r := range rs {
+		recs, missed = recs+r.Records, missed+r.Missed
+	}
+	if recs != 5 || missed != 4 {
+		t.Fatalf("conservation broken: records %d missed %d", recs, missed)
+	}
+}

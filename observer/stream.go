@@ -189,6 +189,12 @@ func FileStream(r *hbfile.Reader, poll time.Duration) Stream {
 // Missed. It is how a disconnected consumer of a ring file resumes without
 // re-reading (or double-counting) what it already saw.
 func FileStreamFrom(r *hbfile.Reader, poll time.Duration, since uint64) Stream {
+	return newRingFileStream(r, poll, since)
+}
+
+// newRingFileStream is the one place the ring-file cursor loop is wired
+// up (FileStreamFrom and followStream.open share it).
+func newRingFileStream(r *hbfile.Reader, poll time.Duration, since uint64) *fileStream {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
@@ -206,6 +212,12 @@ func LogStream(r *hbfile.LogReader, poll time.Duration) Stream {
 // LogStreamFrom is LogStream resuming after sequence number since (see
 // FileStreamFrom).
 func LogStreamFrom(r *hbfile.LogReader, poll time.Duration, since uint64) Stream {
+	return newLogFileStream(r, poll, since)
+}
+
+// newLogFileStream is newRingFileStream's append-only-log counterpart;
+// the max bound pages large backlogs in batches.
+func newLogFileStream(r *hbfile.LogReader, poll time.Duration, since uint64) *fileStream {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
@@ -227,9 +239,30 @@ func (s *fileStream) Next(ctx context.Context) (Batch, error) {
 		ctx = context.Background()
 	}
 	for {
-		recs, cur, err := s.read(s.cursor, s.max)
+		b, ok, err := s.step()
 		if err != nil {
 			return Batch{}, err
+		}
+		if ok {
+			return b, nil
+		}
+		select {
+		case <-ctx.Done():
+			return Batch{}, ctx.Err()
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+// step performs one non-blocking cursor check: (batch, true, nil) when new
+// records (or a detected loss) advanced the cursor, (zero, false, nil) on
+// an idle tick. followStream interleaves these checks with recreation
+// stats, which is why the step is separate from the waiting loop.
+func (s *fileStream) step() (Batch, bool, error) {
+	for {
+		recs, cur, err := s.read(s.cursor, s.max)
+		if err != nil {
+			return Batch{}, false, err
 		}
 		if cur < s.cursor {
 			// The file's head is behind the cursor: the file was
@@ -243,29 +276,23 @@ func (s *fileStream) Next(ctx context.Context) (Batch, error) {
 			s.cursor = 0
 			continue
 		}
-		if cur != s.cursor {
-			// Read the target before advancing the cursor: an error here
-			// must leave the cursor in place so the retry re-delivers the
-			// records instead of silently dropping them.
-			min, max, ok, terr := s.target()
-			if terr != nil {
-				return Batch{}, terr
-			}
-			b := Batch{Records: recs, Count: cur, Window: s.window(),
-				TargetMin: min, TargetMax: max, TargetSet: ok}
-			if cur > s.cursor {
-				if d := cur - s.cursor; d > uint64(len(recs)) {
-					b.Missed = d - uint64(len(recs))
-				}
-			}
-			s.cursor = cur
-			return b, nil
+		if cur == s.cursor {
+			return Batch{}, false, nil
 		}
-		select {
-		case <-ctx.Done():
-			return Batch{}, ctx.Err()
-		case <-time.After(s.poll):
+		// Read the target before advancing the cursor: an error here
+		// must leave the cursor in place so the retry re-delivers the
+		// records instead of silently dropping them.
+		min, max, ok, terr := s.target()
+		if terr != nil {
+			return Batch{}, false, terr
 		}
+		b := Batch{Records: recs, Count: cur, Window: s.window(),
+			TargetMin: min, TargetMax: max, TargetSet: ok}
+		if d := cur - s.cursor; d > uint64(len(recs)) {
+			b.Missed = d - uint64(len(recs))
+		}
+		s.cursor = cur
+		return b, true, nil
 	}
 }
 

@@ -1,0 +1,153 @@
+// Command docscheck keeps the markdown documentation honest: it fails
+// when a Go code block in README.md (or any other given markdown file)
+// drifts from the source it claims to come from.
+//
+// Every ```go fence must be annotated with an HTML comment on one of the
+// three lines above it:
+//
+//	<!-- snippet: hbnet/example_test.go -->   the block is an excerpt: every
+//	                                          non-blank line must appear, in
+//	                                          order, in the named file
+//	<!-- snippet: freestanding -->            the block is illustrative; it
+//	                                          must still parse as Go
+//
+// An unannotated fence is an error — each block must either be tied to
+// compiled code (the godoc Example functions `make docs` runs) or
+// explicitly declared freestanding, so future edits cannot silently
+// introduce unchecked code samples.
+//
+//	go run ./tools/docscheck README.md ARCHITECTURE.md
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md"}
+	}
+	failed := false
+	for _, f := range files {
+		for _, err := range checkFile(f) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// fence is one ```go block with its annotation.
+type fence struct {
+	file    string
+	line    int // 1-based line of the opening ```go
+	snippet string
+	code    []string
+}
+
+func checkFile(path string) []error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, f := range parseFences(path, strings.Split(string(data), "\n")) {
+		if err := checkFence(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+func parseFences(path string, lines []string) []fence {
+	var out []fence
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		f := fence{file: path, line: i + 1}
+		// The annotation may sit up to three lines above the fence.
+		for back := 1; back <= 3 && i-back >= 0; back++ {
+			t := strings.TrimSpace(lines[i-back])
+			if rest, ok := strings.CutPrefix(t, "<!-- snippet:"); ok {
+				f.snippet = strings.TrimSpace(strings.TrimSuffix(rest, "-->"))
+				break
+			}
+		}
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			f.code = append(f.code, lines[i])
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func checkFence(f fence) error {
+	where := fmt.Sprintf("%s:%d", f.file, f.line)
+	switch f.snippet {
+	case "":
+		return fmt.Errorf("%s: go block without a <!-- snippet: ... --> annotation (name its source file, or mark it freestanding)", where)
+	case "freestanding":
+		return checkParses(where, f.code)
+	default:
+		if err := checkParses(where, f.code); err != nil {
+			return err
+		}
+		return checkExcerpt(where, f.snippet, f.code)
+	}
+}
+
+// checkParses accepts either a whole file or a fragment that parses
+// inside a function body.
+func checkParses(where string, code []string) error {
+	src := strings.Join(code, "\n")
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "block.go", src, 0); err == nil {
+		return nil
+	}
+	wrapped := "package p\nfunc _() {\n" + src + "\n}\n"
+	if _, err := parser.ParseFile(fset, "block.go", wrapped, 0); err != nil {
+		return fmt.Errorf("%s: block does not parse as Go: %v", where, err)
+	}
+	return nil
+}
+
+// checkExcerpt verifies every non-blank block line appears, in order, in
+// the named source file (whitespace-normalized) — so renaming an API or
+// reshaping an example breaks the build until the docs follow.
+func checkExcerpt(where, src string, code []string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("%s: snippet source: %w", where, err)
+	}
+	have := strings.Split(string(data), "\n")
+	for i := range have {
+		have[i] = strings.TrimSpace(have[i])
+	}
+	pos := 0
+	for _, raw := range code {
+		want := strings.TrimSpace(raw)
+		if want == "" {
+			continue
+		}
+		found := false
+		for ; pos < len(have); pos++ {
+			if have[pos] == want {
+				found = true
+				pos++
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: line %q not found (in order) in %s — the doc drifted from the code", where, want, src)
+		}
+	}
+	return nil
+}
