@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build build-extras test race net-loopback docs bench-short bench bench-compare bench-net bench-relay
+.PHONY: ci vet build build-extras test race net-loopback sim-matrix fuzz-short docs bench-short bench bench-compare bench-net bench-relay
 
-ci: vet build build-extras race net-loopback docs bench-short bench-compare bench-net bench-relay
+ci: vet build build-extras race net-loopback sim-matrix fuzz-short docs bench-short bench-compare bench-net bench-relay
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,32 @@ race:
 # that the wire protocol still works end to end.
 net-loopback:
 	$(GO) test -race -run 'TestLoopbackRoundTrip' ./hbnet
+
+# The deterministic simulation matrix, race-checked: 100+ seeded
+# whole-stack scenarios (lapped rings, producer restarts, file recreation,
+# link blips, partitions, relay outages across every topology), hundreds
+# of simulated seconds in a few real ones, every scenario checked against
+# the simcheck delivery contract. The run is recorded as test2json events
+# in BENCH_sim.json so the suite's runtime trajectory is tracked across
+# PRs; a failing scenario prints its seed (replay with SIMNET_SEED=<seed>)
+# both to the console and into the recording. One rotating seed rides
+# along with the fixed ones, widening coverage over time.
+sim-matrix:
+	@rm -f BENCH_sim.json
+	$(GO) test -race -run 'TestScenarioMatrix' -v -json ./simnet > BENCH_sim.json; \
+		status=$$?; \
+		sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' BENCH_sim.json \
+			| awk '{printf "%s", $$0}' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
+			| grep -E 'matrix:|SIMNET_SEED' || true; \
+		exit $$status
+
+# Short go-fuzz passes over the hbnet wire codec: the decoders face bytes
+# from the network, so they must never panic and must decode accepted
+# frames to values that re-encode identically. The checked-in corpus under
+# hbnet/testdata/fuzz holds past finds as regressions.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrame$$' -fuzztime 3s ./hbnet
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRollup$$' -fuzztime 3s ./hbnet
 
 # Documentation verification: vet, every godoc Example compiled and run,
 # and the README/ARCHITECTURE code blocks checked against the sources they

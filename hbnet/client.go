@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/heartbeat"
 	"repro/observer"
 )
 
@@ -81,6 +82,8 @@ type Client struct {
 	backoffMax  time.Duration
 	reconnect   bool
 	onReconnect func(uint64)
+	dialer      Dialer          // nil = real network
+	clk         heartbeat.Clock // nil = wall clock; paces backoff waits
 
 	// kind is the frame type this subscription expects: frameBatch for raw
 	// record feeds (Dial), frameRollup for rollup feeds (DialRollup).
@@ -183,8 +186,19 @@ func dial(addr, feed string, since uint64, kind byte, opts []ClientOption) (*Cli
 // dialOnce establishes one connection and completes the handshake from the
 // current cursor.
 func (c *Client) dialOnce() (net.Conn, error) {
-	d := net.Dialer{Timeout: c.dialTimeout}
-	conn, err := d.DialContext(c.ctx, "tcp", c.addr)
+	d := c.dialer
+	if d == nil {
+		d = &net.Dialer{Timeout: c.dialTimeout}
+	}
+	// Bound the dial through the context too, so an injected dialer that
+	// blackholes is cut off after dialTimeout just like the real network.
+	dctx := c.ctx
+	if c.dialTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(c.ctx, c.dialTimeout)
+		defer cancel()
+	}
+	conn, err := d.DialContext(dctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("hbnet: dial %s: %w", c.addr, err)
 	}
@@ -237,7 +251,7 @@ func (c *Client) readLoop(conn net.Conn) {
 	defer close(c.readerDone)
 	var failBackoff time.Duration
 	for {
-		start := time.Now()
+		start := c.now()
 		err := c.readConn(conn)
 		conn.Close()
 		switch {
@@ -261,14 +275,14 @@ func (c *Client) readLoop(conn net.Conn) {
 		// handshakes fine and then dies immediately (a feed whose stream
 		// errors every time) would otherwise cycle at RTT speed; pace
 		// those too, resetting once a connection survives a while.
-		if time.Since(start) < time.Second {
+		if c.now().Sub(start) < time.Second {
 			if failBackoff == 0 {
 				failBackoff = c.backoffMin
 			} else if failBackoff *= 2; failBackoff > c.backoffMax {
 				failBackoff = c.backoffMax
 			}
 			select {
-			case <-time.After(failBackoff):
+			case <-heartbeat.After(c.clk, failBackoff):
 			case <-c.ctx.Done():
 				c.termErr = io.EOF
 				return
@@ -376,13 +390,16 @@ func (c *Client) redial() (net.Conn, error) {
 		select {
 		case <-c.ctx.Done():
 			return nil, err
-		case <-time.After(backoff):
+		case <-heartbeat.After(c.clk, backoff):
 		}
 		if backoff *= 2; backoff > c.backoffMax {
 			backoff = c.backoffMax
 		}
 	}
 }
+
+// now reads the client's clock, falling back to the wall clock.
+func (c *Client) now() time.Time { return heartbeat.Now(c.clk) }
 
 // Next implements observer.Stream: it blocks until the server pushes
 // records and returns them as a Batch. Batches already received are

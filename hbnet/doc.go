@@ -31,4 +31,13 @@
 // compose into trees, so a monitor holds O(1) connections however many
 // producers exist. See ARCHITECTURE.md at the repository root for when to
 // choose each observation topology.
+//
+// The transport is a seam, not a hard-coded socket: Serve accepts any
+// net.Listener, and WithDialer routes a Client's dials (initial and every
+// reconnect) through any Dialer. The deterministic simulation harness
+// (package simnet) injects an in-memory network with a programmable fault
+// schedule through exactly this seam, and WithClientClock / WithRelayClock
+// put the backoff and rollup cadences on a virtual clock — which is how
+// the reconnect/resume machinery is proven over hundreds of seeded fault
+// scenarios per CI run without opening a socket.
 package hbnet

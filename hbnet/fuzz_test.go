@@ -1,0 +1,171 @@
+package hbnet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// Fuzz targets for the wire codec: the decoders face bytes from the
+// network, so they must never panic, never allocate absurdly, and — when
+// they do accept a frame — decode it to a value that re-encodes to the
+// same meaning (the round-trip stability property the hand-written tests
+// check on friendly inputs, extended to adversarial ones). Seed corpus:
+// the encodings the round-trip tests exercise.
+
+// fuzzSeedBatch is a representative batch covering the encoder's paths:
+// targets set, missed records, negative tags, non-dense foreign seqs.
+func fuzzSeedBatch() observer.Batch {
+	base := time.Unix(1234, 567)
+	return observer.Batch{
+		Count:     1007,
+		Window:    20,
+		Missed:    3,
+		TargetMin: 5.5, TargetMax: 99.25, TargetSet: true,
+		Records: []heartbeat.Record{
+			{Seq: 5, Time: base, Tag: -7, Producer: 2},
+			{Seq: 6, Time: base.Add(time.Millisecond), Tag: 0, Producer: 0},
+			{Seq: 100, Time: base.Add(-time.Second), Tag: 1 << 40, Producer: 31},
+		},
+	}
+}
+
+func fuzzSeedRollups() RollupBatch {
+	base := time.Unix(1234, 567)
+	return RollupBatch{
+		Cursor: 42,
+		Missed: 3,
+		Rollups: []observer.Rollup{
+			{
+				App: "video", Start: base, End: base.Add(time.Second),
+				Records: 100, Missed: 2, Count: 102,
+				Rate: heartbeat.Rate{PerSec: 99.5, Beats: 100, Span: 995 * time.Millisecond,
+					FirstSeq: 3, LastSeq: 102},
+				RateOK:      true,
+				MinInterval: 9 * time.Millisecond, MaxInterval: 11 * time.Millisecond,
+				MeanInterval: 10 * time.Millisecond,
+			},
+			{App: "silent", Start: base, End: base.Add(time.Second)},
+		},
+	}
+}
+
+// FuzzDecodeFrame fuzzes every frame decoder through the type-byte
+// dispatch a connection reader performs.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(appendHello(nil, "app", 123))
+	f.Add(appendWelcome(nil, 456))
+	f.Add(appendError(nil, "feed file mid-recreation", false))
+	f.Add(appendError(nil, "unknown feed", true))
+	f.Add([]byte{frameEOF})
+	f.Add(appendBatch(nil, fuzzSeedBatch(), 1009))
+	f.Add(appendBatch(nil, observer.Batch{}, 0))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 {
+			return
+		}
+		body := payload[1:]
+		switch payload[0] {
+		case frameHello:
+			feed, since, err := decodeHello(body)
+			if err == nil {
+				redecFeed, redecSince, rerr := decodeHello(appendHello(nil, feed, since)[1:])
+				if rerr != nil || redecFeed != feed || redecSince != since {
+					t.Fatalf("hello not stable: %q/%d -> %q/%d, %v", feed, since, redecFeed, redecSince, rerr)
+				}
+			}
+		case frameWelcome:
+			if cursor, err := decodeWelcome(body); err == nil {
+				if redec, rerr := decodeWelcome(appendWelcome(nil, cursor)[1:]); rerr != nil || redec != cursor {
+					t.Fatalf("welcome not stable: %d -> %d, %v", cursor, redec, rerr)
+				}
+			}
+		case frameError:
+			msg, permanent := decodeError(body)
+			remsg, reperm := decodeError(appendError(nil, msg, permanent)[1:])
+			if remsg != msg || reperm != permanent {
+				t.Fatalf("error frame not stable: %q/%v -> %q/%v", msg, permanent, remsg, reperm)
+			}
+		case frameBatch:
+			b, cursor, err := decodeBatch(body)
+			if err != nil {
+				return
+			}
+			reenc := appendBatch(nil, b, cursor)
+			b2, cursor2, rerr := decodeBatch(reenc[1:])
+			if rerr != nil || cursor2 != cursor || !batchEquivalent(b, b2) {
+				t.Fatalf("batch not stable:\n in %+v (cursor %d)\nout %+v (cursor %d), %v", b, cursor, b2, cursor2, rerr)
+			}
+		case frameRollup:
+			fuzzRollupBody(t, body)
+		}
+	})
+}
+
+// FuzzDecodeRollup aims the fuzzer squarely at the most intricate decoder.
+func FuzzDecodeRollup(f *testing.F) {
+	f.Add(appendRollups(nil, fuzzSeedRollups())[1:])
+	f.Add(appendRollups(nil, RollupBatch{Cursor: 1})[1:])
+	f.Fuzz(fuzzRollupBody)
+}
+
+func fuzzRollupBody(t *testing.T, body []byte) {
+	rb, err := decodeRollups(body)
+	if err != nil {
+		return
+	}
+	reenc := appendRollups(nil, rb)
+	rb2, rerr := decodeRollups(reenc[1:])
+	if rerr != nil || !rollupsEquivalent(rb, rb2) {
+		t.Fatalf("rollup batch not stable:\n in %+v\nout %+v, %v", rb, rb2, rerr)
+	}
+}
+
+// rollupsEquivalent is DeepEqual up to float bit patterns: the wire
+// faithfully carries a NaN rate (the fuzzer found one), and NaN != NaN
+// would fail a comparison by value.
+func rollupsEquivalent(a, b RollupBatch) bool {
+	if a.Cursor != b.Cursor || a.Missed != b.Missed || len(a.Rollups) != len(b.Rollups) {
+		return false
+	}
+	for i := range a.Rollups {
+		ra, rb := a.Rollups[i], b.Rollups[i]
+		if math.Float64bits(ra.Rate.PerSec) != math.Float64bits(rb.Rate.PerSec) {
+			return false
+		}
+		ra.Rate.PerSec, rb.Rate.PerSec = 0, 0
+		if !reflect.DeepEqual(ra, rb) {
+			return false
+		}
+	}
+	return true
+}
+
+// batchEquivalent compares decoded batches up to timestamp re-encoding:
+// times survive as Unix nanoseconds, so compare them that way (a fuzzed
+// delta chain can produce any nanosecond value; the meaning is the int64).
+func batchEquivalent(a, b observer.Batch) bool {
+	if a.Count != b.Count || a.Window != b.Window || a.Missed != b.Missed ||
+		a.TargetSet != b.TargetSet || len(a.Records) != len(b.Records) {
+		return false
+	}
+	if a.TargetSet {
+		// Compare the bit patterns: NaN targets must round-trip too.
+		if math.Float64bits(a.TargetMin) != math.Float64bits(b.TargetMin) ||
+			math.Float64bits(a.TargetMax) != math.Float64bits(b.TargetMax) {
+			return false
+		}
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Seq != rb.Seq || ra.Tag != rb.Tag || ra.Producer != rb.Producer ||
+			ra.Time.UnixNano() != rb.Time.UnixNano() {
+			return false
+		}
+	}
+	return true
+}

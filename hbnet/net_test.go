@@ -13,6 +13,7 @@ import (
 
 	"repro/hbfile"
 	"repro/heartbeat"
+	"repro/internal/simcheck"
 	"repro/observer"
 )
 
@@ -50,16 +51,12 @@ func collect(t *testing.T, s observer.Stream, done func(recs []heartbeat.Record,
 }
 
 // assertDense fails unless recs carry strictly increasing, dense sequence
-// numbers starting right after since.
+// numbers starting right after since. The check itself lives in
+// internal/simcheck, shared with the simulated scenario matrix — live and
+// simulated tests enforce the same contract with the same code.
 func assertDense(t *testing.T, recs []heartbeat.Record, since uint64) {
 	t.Helper()
-	next := since + 1
-	for i, r := range recs {
-		if r.Seq != next {
-			t.Fatalf("record %d: seq %d, want %d (duplicate or gap)", i, r.Seq, next)
-		}
-		next++
-	}
+	simcheck.RequireDense(t, recs, since)
 }
 
 // The short loopback round trip `make ci` runs: every beat arrives exactly

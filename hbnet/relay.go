@@ -429,6 +429,14 @@ func WithRelayOnRollup(f func([]observer.Rollup)) RelayOption {
 	return func(r *Relay) { r.onRollup = f }
 }
 
+// WithRelayClock runs the relay on an explicit clock: rollup windows are
+// stamped and flushed on clk's time, and the pump re-poll/retry pacing
+// follows it, so a virtual clock drives the whole fan-in node as a
+// simulation participant. A nil clk is the wall clock.
+func WithRelayClock(clk heartbeat.Clock) RelayOption {
+	return func(r *Relay) { r.clk = clk }
+}
+
 // Relay is a hierarchical fan-in node: it subscribes to N upstream
 // heartbeat streams, merges them into one bounded history in its own dense
 // sequence space, reduces them into per-app rollup windows every interval,
@@ -453,6 +461,7 @@ type Relay struct {
 	rollupRetain int
 	onError      func(app string, err error)
 	onRollup     func([]observer.Rollup)
+	clk          heartbeat.Clock // nil = wall clock
 
 	merged  *replayRing
 	rollups *rollupRing
@@ -496,11 +505,11 @@ func NewRelay(opts ...RelayOption) *Relay {
 		ds:          observer.NewDownsampler(),
 		ups:         make(map[string]*relayUpstream),
 		events:      make(chan relayEvent, 64),
-		winFrom:     time.Now(),
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	r.winFrom = r.now()
 	r.merged = newReplayRing(r.mergedRetain)
 	r.rollups = newRollupRing(r.rollupRetain)
 	return r
@@ -538,9 +547,15 @@ func (r *Relay) AddUpstream(app string, stream observer.Stream) error {
 
 // DialUpstream dials a remote feed and registers it as an upstream: how a
 // relay subscribes to a producer's server — or to another relay's merged
-// feed, composing a tree. The returned client is owned by the relay; it is
-// returned for introspection (Reconnects, Missed).
+// feed, composing a tree. The relay's clock (WithRelayClock) is passed to
+// the client so its reconnect pacing follows the same time as the rest of
+// the fan-in node; explicit ClientOptions still override it. The returned
+// client is owned by the relay; it is returned for introspection
+// (Reconnects, Missed).
 func (r *Relay) DialUpstream(app, addr, feed string, opts ...ClientOption) (*Client, error) {
+	if r.clk != nil {
+		opts = append([]ClientOption{WithClientClock(r.clk)}, opts...)
+	}
 	c, err := Dial(addr, feed, opts...)
 	if err != nil {
 		return nil, err
@@ -557,7 +572,7 @@ func (r *Relay) DialUpstream(app, addr, feed string, opts ...ClientOption) (*Cli
 // and recreates its file resumes instead of flatlining. poll <= 0 selects
 // observer.DefaultPollInterval.
 func (r *Relay) AddFileUpstream(app, path string, poll time.Duration) error {
-	s, err := observer.FollowFile(path, poll)
+	s, err := observer.FollowFileClock(path, poll, 0, r.clk)
 	if err != nil {
 		return err
 	}
@@ -625,7 +640,7 @@ func (r *Relay) PublishOn(srv *Server, mergedName, rollupName string) error {
 func (r *Relay) Run(ctx context.Context) {
 	r.mu.Lock()
 	r.runCtx = ctx
-	r.winFrom = time.Now()
+	r.winFrom = r.now()
 	for _, app := range r.order {
 		r.startPumpLocked(r.ups[app])
 	}
@@ -662,23 +677,27 @@ func (r *Relay) Run(ctx context.Context) {
 		}
 		r.mu.Unlock()
 	}()
-	ticker := time.NewTicker(r.rollupEvery)
-	defer ticker.Stop()
+	tick := heartbeat.NewTicker(r.clk, r.rollupEvery)
+	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case ev := <-r.events:
 			r.handleEvent(ev)
-		case <-ticker.C:
+		case <-tick.C():
+			tick.Next()
 			r.flushRollups()
 		}
 	}
 }
 
+// now reads the relay's clock, falling back to the wall clock.
+func (r *Relay) now() time.Time { return heartbeat.Now(r.clk) }
+
 // flushRollups emits one rollup per upstream for the elapsed window.
 func (r *Relay) flushRollups() {
-	now := time.Now()
+	now := r.now()
 	r.mu.Lock()
 	rs := r.ds.Flush(r.winFrom, now)
 	r.winFrom = now
@@ -743,7 +762,7 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 			// Bound each wait by the rollup interval: re-entering Next is
 			// itself a read for poll-based upstreams, so a low-rate
 			// in-process upstream still publishes at least once per window.
-			nctx, ncancel := context.WithTimeout(pctx, r.rollupEvery)
+			nctx, ncancel := heartbeat.ContextWithTimeout(pctx, r.clk, r.rollupEvery)
 			b, err := up.stream.Next(nctx)
 			ncancel()
 			if err == nil {
@@ -799,7 +818,7 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 			}
 			// Pace retries against a persistently failing upstream.
 			select {
-			case <-time.After(r.rollupEvery):
+			case <-heartbeat.After(r.clk, r.rollupEvery):
 			case <-pctx.Done():
 				return
 			}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/heartbeat"
+	"repro/internal/simcheck"
 	"repro/observer"
 )
 
@@ -331,36 +332,34 @@ func TestRollupMissedParityUnderLap(t *testing.T) {
 		rawDelivered += uint64(len(recs))
 	}
 	rawMissed = sub.Missed()
-	if rawDelivered+rawMissed != total {
-		t.Fatalf("raw subscription does not conserve: %d + %d != %d", rawDelivered, rawMissed, total)
-	}
+	simcheck.RequireConserved(t, "raw subscription", rawDelivered, rawMissed, total)
 	if rawMissed == 0 {
 		t.Fatal("test did not force a lap; tighten the ring")
 	}
 
 	// Rollup path: sum of Records and Missed across every emission. The
 	// sums can never exceed the head if accounting is right, so collecting
-	// until they reach it (or time runs out) asserts exact conservation.
-	var ruRecords, ruMissed uint64
-	for ruRecords+ruMissed < total {
+	// until they reach it (or time runs out) asserts exact conservation —
+	// via the same simcheck.RollupAccount the scenario matrix uses.
+	var account simcheck.RollupAccount
+	for account.Records+account.Missed < total {
 		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		rb, err := rollups.NextRollups(ctx)
 		cancel()
 		if err != nil {
-			t.Fatalf("NextRollups at %d + %d of %d: %v", ruRecords, ruMissed, total, err)
+			t.Fatalf("NextRollups at %d + %d of %d: %v", account.Records, account.Missed, total, err)
 		}
 		if rb.Missed != 0 {
+			// Lost emissions would make the sums below unreachable; fail
+			// with the cause rather than spinning to the deadline.
 			t.Fatalf("rollup emissions lapped in a short run: %d", rb.Missed)
 		}
-		for _, r := range rb.Rollups {
-			ruRecords += r.Records
-			ruMissed += r.Missed
-		}
+		account.AbsorbRollups(rb.Rollups, rb.Missed)
 	}
-	if ruRecords+ruMissed != total {
-		t.Fatalf("rollups do not conserve: %d + %d != %d", ruRecords, ruMissed, total)
+	if err := account.CheckConserved("rollups", total); err != nil {
+		t.Fatal(err)
 	}
-	if ruMissed == 0 {
+	if account.Missed == 0 {
 		t.Fatal("rollups hid the lap entirely")
 	}
 
@@ -368,9 +367,7 @@ func TestRollupMissedParityUnderLap(t *testing.T) {
 	mgRecs, mgMissed := collect(t, mergedC, func(recs []heartbeat.Record, missed uint64) bool {
 		return uint64(len(recs))+missed >= total
 	})
-	if uint64(len(mgRecs))+mgMissed != total {
-		t.Fatalf("merged feed does not conserve: %d + %d != %d", len(mgRecs), mgMissed, total)
-	}
+	simcheck.RequireConserved(t, "merged feed", uint64(len(mgRecs)), mgMissed, total)
 	// And the relay delivered exactly what it saw: its merged head is the
 	// producer's head (records it got plus losses it was told about).
 	if relay.MergedHead() != total {

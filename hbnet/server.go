@@ -42,8 +42,15 @@ func HeartbeatFeed(hb *heartbeat.Heartbeat) Feed {
 // producer — including in the other format — without dropping the
 // connection.
 func FileFeed(path string, poll time.Duration) Feed {
+	return FileFeedClock(path, poll, nil)
+}
+
+// FileFeedClock is FileFeed on an explicit clock: subscriber tails poll on
+// clk's time, so a simulated server relays a file at virtual speed. A nil
+// clk is the wall clock.
+func FileFeedClock(path string, poll time.Duration, clk heartbeat.Clock) Feed {
 	return func(ctx context.Context, since uint64) (observer.Stream, error) {
-		s, err := observer.FollowFileFrom(path, poll, since)
+		s, err := observer.FollowFileClock(path, poll, since, clk)
 		if err != nil {
 			return nil, fmt.Errorf("hbnet: open feed file: %w", err)
 		}

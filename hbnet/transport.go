@@ -1,0 +1,36 @@
+package hbnet
+
+import (
+	"context"
+	"net"
+
+	"repro/heartbeat"
+)
+
+// Dialer is the client-side transport seam: how a Client (and therefore a
+// Relay upstream) reaches a server. The default is the real network
+// (net.Dialer, which satisfies this interface); the deterministic
+// simulation harness (package simnet) injects an in-memory implementation
+// with a programmable fault schedule — partitions, link cuts, listener
+// outages — so the reconnect/resume machinery is exercised without a
+// socket in sight. The server side needs no counterpart seam: Serve
+// already accepts any net.Listener.
+type Dialer interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// WithDialer routes the client's dials (initial and every reconnect)
+// through d instead of the real network.
+func WithDialer(d Dialer) ClientOption {
+	return func(c *Client) { c.dialer = d }
+}
+
+// WithClientClock runs the client's time on clk: reconnect backoff waits
+// and the connection-survival measurement that paces immediately-dying
+// connections follow clk, so a virtual clock makes an outage window a
+// simulation event instead of a host sleep. A nil clk is the wall clock.
+// Socket deadlines (dial/handshake) remain real time: they bound host I/O,
+// which no virtual clock governs.
+func WithClientClock(clk heartbeat.Clock) ClientOption {
+	return func(c *Client) { c.clk = clk }
+}

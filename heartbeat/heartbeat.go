@@ -182,16 +182,19 @@ func New(window int, opts ...Option) (*Heartbeat, error) {
 	return h, nil
 }
 
-// flusher periodically merges pending shard records until Close.
+// flusher periodically merges pending shard records until Close, on the
+// heartbeat's clock (a real ticker for wall clocks, virtual-timer re-arms
+// for a WaitClock — see Ticker).
 func (h *Heartbeat) flusher(every time.Duration) {
 	defer close(h.flushDone)
-	t := time.NewTicker(every)
+	t := NewTicker(h.clock, every)
 	defer t.Stop()
 	for {
 		select {
 		case <-h.flushStop:
 			return
-		case <-t.C:
+		case <-t.C():
+			t.Next()
 			h.agg.flush()
 		}
 	}

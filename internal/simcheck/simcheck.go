@@ -1,0 +1,245 @@
+// Package simcheck holds the machine-checked form of the delivery
+// contract: the invariants every stream in the system promises —
+// exactly-once in-order delivery, losses surfaced as Missed through cursor
+// arithmetic (never silently), delivered + missed == head at every hop —
+// written once and shared by the live tests (real TCP, real files, real
+// child processes) and the simulated scenario matrix (package simnet). A
+// live test and a simulated one failing the same checker fail for the same
+// reason, which is the point: the simulation proves the same contract the
+// wall-clock tests observe.
+package simcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// Dense verifies that recs carry strictly increasing, gap-free sequence
+// numbers starting right after since — the exactly-once contract in the
+// no-loss case.
+func Dense(recs []heartbeat.Record, since uint64) error {
+	next := since + 1
+	for i, r := range recs {
+		if r.Seq != next {
+			return fmt.Errorf("record %d: seq %d, want %d (duplicate or gap)", i, r.Seq, next)
+		}
+		next++
+	}
+	return nil
+}
+
+// RequireDense is Dense as a test assertion.
+func RequireDense(tb testing.TB, recs []heartbeat.Record, since uint64) {
+	tb.Helper()
+	if err := Dense(recs, since); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// Conserved verifies the loss-accounting identity at one hop: everything
+// the producer published is either delivered or counted missed —
+// delivered + missed == head, nothing lost unaccounted, nothing invented.
+func Conserved(label string, delivered, missed, head uint64) error {
+	if delivered+missed != head {
+		return fmt.Errorf("%s does not conserve: delivered %d + missed %d = %d, want head %d",
+			label, delivered, missed, delivered+missed, head)
+	}
+	return nil
+}
+
+// RequireConserved is Conserved as a test assertion.
+func RequireConserved(tb testing.TB, label string, delivered, missed, head uint64) {
+	tb.Helper()
+	if err := Conserved(label, delivered, missed, head); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// Life is the accounting of one producer life as observed by a consumer:
+// what it delivered, what it was told was lost, and the head (newest
+// sequence number) the life reached from the consumer's point of view.
+// Delivered + Missed == Head within each life.
+type Life struct {
+	Delivered, Missed, Head uint64
+}
+
+// Tracker absorbs one consumer's batches and verifies the delivery
+// contract incrementally: sequence numbers strictly increase, every gap is
+// accounted by the batch's Missed exactly, and a sequence regression is
+// only legal as a producer-restart resynchronization (the stream reset its
+// cursor to zero and redelivered the new life), which closes the current
+// Life and opens the next. Any other shape — duplicates, unaccounted gaps,
+// over-reported losses — is a contract violation, returned by Absorb and
+// latched in Err.
+//
+// A Tracker is one consumer's view: feed it every batch of a single
+// Stream, in order.
+type Tracker struct {
+	label  string
+	cursor uint64
+	cur    Life
+	lives  []Life
+	err    error
+}
+
+// NewTracker creates a tracker for one stream positioned after sequence
+// number since (0 for a stream from the beginning).
+func NewTracker(label string, since uint64) *Tracker {
+	return &Tracker{label: label, cursor: since}
+}
+
+func (t *Tracker) fail(format string, args ...interface{}) error {
+	err := fmt.Errorf("%s: %s", t.label, fmt.Sprintf(format, args...))
+	if t.err == nil {
+		t.err = err
+	}
+	return err
+}
+
+// Absorb verifies one batch and folds it into the accounting. The first
+// violation is returned and latched; subsequent batches are still
+// absorbed best-effort so totals remain inspectable.
+func (t *Tracker) Absorb(b observer.Batch) error {
+	recs := b.Records
+	if len(recs) == 0 {
+		// A record-free batch can only report losses (every record that
+		// advanced the head was lapped before delivery).
+		t.cursor += b.Missed
+		t.cur.Missed += b.Missed
+		t.cur.Head = t.cursor
+		return nil
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			return t.fail("batch not strictly increasing: seq %d after %d (index %d)",
+				recs[i].Seq, recs[i-1].Seq, i)
+		}
+	}
+	first, last := recs[0].Seq, recs[len(recs)-1].Seq
+	n := uint64(len(recs))
+	switch {
+	case first > t.cursor && b.Missed == last-t.cursor-n:
+		// Continuation: the gap between the cursor and what arrived is
+		// accounted by Missed, exactly.
+	case b.Missed == last-n:
+		// Restart resynchronization: the stream reset its cursor to zero
+		// and the batch's loss accounting is exact relative to zero. This
+		// is how a sequence regression is legal — and it can also arrive
+		// with first > cursor, when the new life lapped past the old
+		// cursor before its first delivery. (A continuation whose Missed
+		// happens to equal last-n only coincides when cursor is 0, where
+		// the two readings are the same batch.) The harness-level
+		// CheckLives guard keeps a stream that wrongly re-reports from
+		// zero from hiding here.
+		t.lives = append(t.lives, t.cur)
+		t.cur = Life{}
+	case first > t.cursor:
+		return t.fail("missed %d records between cursor %d and head %d, batch reports Missed=%d",
+			last-t.cursor-n, t.cursor, last, b.Missed)
+	default:
+		return t.fail("seq regressed to %d at cursor %d without a restart-shaped resync (Missed=%d, want %d)",
+			first, t.cursor, b.Missed, last-n)
+	}
+	t.cursor = last
+	t.cur.Delivered += n
+	t.cur.Missed += b.Missed
+	t.cur.Head = t.cursor
+	return nil
+}
+
+// Err returns the first contract violation observed, if any.
+func (t *Tracker) Err() error { return t.err }
+
+// Cursor returns the newest sequence number absorbed (current life).
+func (t *Tracker) Cursor() uint64 { return t.cursor }
+
+// Lives returns the accounting of every producer life observed, completed
+// lives first, the in-progress one last. A run with no restarts has
+// exactly one.
+func (t *Tracker) Lives() []Life {
+	return append(append([]Life(nil), t.lives...), t.cur)
+}
+
+// Delivered returns total records delivered across all lives.
+func (t *Tracker) Delivered() uint64 {
+	n := t.cur.Delivered
+	for _, l := range t.lives {
+		n += l.Delivered
+	}
+	return n
+}
+
+// Missed returns total records reported lost across all lives.
+func (t *Tracker) Missed() uint64 {
+	n := t.cur.Missed
+	for _, l := range t.lives {
+		n += l.Missed
+	}
+	return n
+}
+
+// Heads returns the summed observed heads across all lives: the total
+// sequence space the consumer has accounted for. Delivered() + Missed()
+// == Heads() by construction; compare Heads against the producers' true
+// published heads to close the conservation argument end to end.
+func (t *Tracker) Heads() uint64 {
+	n := t.cur.Head
+	for _, l := range t.lives {
+		n += l.Head
+	}
+	return n
+}
+
+// CheckLives verifies the tracker saw exactly want producer lives (one
+// more than the number of restarts) — the guard that makes a duplicated
+// batch misread as a "restart" fail loudly instead of inflating totals.
+func (t *Tracker) CheckLives(want int) error {
+	if got := len(t.Lives()); got != want {
+		return t.fail("observed %d producer lives, want %d (lives: %+v)", got, want, t.Lives())
+	}
+	return nil
+}
+
+// CheckConserved verifies the end-to-end identity against the true
+// published total: every record any producer life published was either
+// delivered or counted missed.
+func (t *Tracker) CheckConserved(publishedTotal uint64) error {
+	if got := t.Delivered() + t.Missed(); got != publishedTotal {
+		return t.fail("delivered %d + missed %d = %d, want published total %d",
+			t.Delivered(), t.Missed(), got, publishedTotal)
+	}
+	return nil
+}
+
+// RollupAccount accumulates rollup-feed deliveries for the count
+// conservation check: the sum of Records and Missed over every emitted
+// window must equal the merged head the relay observed.
+type RollupAccount struct {
+	Records, Missed uint64
+	// EmissionsMissed counts whole windows lapped before delivery; exact
+	// conservation is only checkable when it stays zero.
+	EmissionsMissed uint64
+	Emissions       uint64
+}
+
+// AbsorbRollups folds one rollup delivery into the account.
+func (a *RollupAccount) AbsorbRollups(rs []observer.Rollup, emissionsMissed uint64) {
+	for _, r := range rs {
+		a.Records += r.Records
+		a.Missed += r.Missed
+	}
+	a.EmissionsMissed += emissionsMissed
+	a.Emissions++
+}
+
+// CheckConserved verifies rollup count conservation against the merged
+// head: downsampling must neither hide loss nor invent records.
+func (a *RollupAccount) CheckConserved(label string, head uint64) error {
+	if a.EmissionsMissed != 0 {
+		return fmt.Errorf("%s: %d rollup emissions lapped; conservation unverifiable", label, a.EmissionsMissed)
+	}
+	return Conserved(label, a.Records, a.Missed, head)
+}

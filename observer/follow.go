@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/hbfile"
+	"repro/heartbeat"
 )
 
 // FollowFile tails the heartbeat file at path — ring or append-only log,
@@ -32,10 +33,18 @@ func FollowFile(path string, poll time.Duration) (Stream, error) {
 // FollowFileFrom is FollowFile with the cursor pre-positioned after
 // sequence number since (see FileStreamFrom).
 func FollowFileFrom(path string, poll time.Duration, since uint64) (Stream, error) {
+	return FollowFileClock(path, poll, since, nil)
+}
+
+// FollowFileClock is FollowFileFrom on an explicit clock: poll waits (and
+// the recreation-detection idle ticks they pace) run on clk's time, so a
+// simulated consumer notices a delete/recreate at virtual speed. A nil clk
+// is the wall clock.
+func FollowFileClock(path string, poll time.Duration, since uint64, clk heartbeat.Clock) (Stream, error) {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
-	s := &followStream{path: path, poll: poll, cursor: since}
+	s := &followStream{path: path, poll: poll, cursor: since, clk: clk}
 	if err := s.open(); err != nil {
 		return nil, err
 	}
@@ -46,7 +55,8 @@ func FollowFileFrom(path string, poll time.Duration, since uint64) (Stream, erro
 type followStream struct {
 	path   string
 	poll   time.Duration
-	cursor uint64 // carried across reopens
+	cursor uint64          // carried across reopens
+	clk    heartbeat.Clock // nil = wall clock
 
 	fs     *fileStream // nil between a failed reopen and the next retry
 	closer io.Closer
@@ -63,7 +73,9 @@ func (s *followStream) open() error {
 			r.Close()
 			return serr
 		}
-		s.fs, s.closer, s.info = newRingFileStream(r, s.poll, s.cursor), r, info
+		fs := newRingFileStream(r, s.poll, s.cursor)
+		fs.clk = s.clk
+		s.fs, s.closer, s.info = fs, r, info
 		return nil
 	}
 	r, err := hbfile.OpenLog(s.path)
@@ -75,7 +87,9 @@ func (s *followStream) open() error {
 		r.Close()
 		return serr
 	}
-	s.fs, s.closer, s.info = newLogFileStream(r, s.poll, s.cursor), r, info
+	fs := newLogFileStream(r, s.poll, s.cursor)
+	fs.clk = s.clk
+	s.fs, s.closer, s.info = fs, r, info
 	return nil
 }
 
@@ -154,7 +168,7 @@ func (s *followStream) wait(ctx context.Context) error {
 	select {
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-time.After(s.poll):
+	case <-heartbeat.After(s.clk, s.poll):
 		return nil
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/heartbeat"
 )
 
 // DefaultHubInterval is the judgment cadence a Hub falls back to when
@@ -43,6 +45,7 @@ type Hub struct {
 	onStatus func(name string, st Status)
 	mkClass  func(name string) *Classifier
 	onError  func(name string, err error)
+	clk      heartbeat.Clock // nil = wall clock; paces Run's ticks and pumps
 
 	mu     sync.Mutex
 	apps   map[string]*hubApp
@@ -88,6 +91,14 @@ func WithHubOnError(f func(name string, err error)) HubOption {
 	return func(h *Hub) { h.onError = f }
 }
 
+// WithHubClock runs the hub on an explicit clock: Run's judgment ticks,
+// its pump re-poll bounds, and the default classifiers' notion of "now"
+// all follow clk — under a virtual clock (sim.Clock) the whole hub becomes
+// a deterministic simulation participant. A nil clk is the wall clock.
+func WithHubClock(clk heartbeat.Clock) HubOption {
+	return func(h *Hub) { h.clk = clk }
+}
+
 // NewHub creates a hub that judges every registered application at least
 // every interval (interval <= 0 selects DefaultHubInterval) and calls
 // onStatus — which may be nil — with each judgment.
@@ -125,6 +136,9 @@ func (h *Hub) Add(name string, stream Stream) error {
 	if cls == nil {
 		cls = &Classifier{}
 	}
+	if cls.Clock == nil {
+		cls.Clock = h.clk
+	}
 	if cls.Epoch.IsZero() {
 		cls.Epoch = cls.now()
 	}
@@ -145,7 +159,7 @@ func (h *Hub) AddSource(name string, src Source) error {
 	if src == nil {
 		return fmt.Errorf("observer: nil source for %q", name)
 	}
-	stream := StreamOf(src, h.interval/4)
+	stream := StreamOfClock(src, h.interval/4, h.clk)
 	if err := h.Add(name, stream); err != nil {
 		if c, ok := stream.(io.Closer); ok {
 			c.Close()
@@ -229,15 +243,16 @@ func (h *Hub) Run(ctx context.Context) {
 		h.mu.Unlock()
 		h.pumps.Wait() // streams are single-consumer: no pump may outlive Run
 	}()
-	ticker := time.NewTicker(h.interval)
-	defer ticker.Stop()
+	tick := heartbeat.NewTicker(h.clk, h.interval)
+	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case ev := <-h.events:
 			h.handleEvent(ev)
-		case <-ticker.C:
+		case <-tick.C():
+			tick.Next()
 			h.judgeAll(true)
 		}
 	}
@@ -267,7 +282,7 @@ func (h *Hub) startPumpLocked(a *hubApp) {
 			// shards with no flusher still publishes at least once per
 			// interval instead of sitting below the backlog threshold
 			// until a wake that may be a long time coming.
-			nctx, ncancel := context.WithTimeout(pctx, h.interval)
+			nctx, ncancel := heartbeat.ContextWithTimeout(pctx, h.clk, h.interval)
 			b, err := a.stream.Next(nctx)
 			ncancel()
 			if err == nil {
@@ -304,7 +319,7 @@ func (h *Hub) startPumpLocked(a *hubApp) {
 			}
 			// Pace retries against a persistently failing stream.
 			select {
-			case <-time.After(h.interval):
+			case <-heartbeat.After(h.clk, h.interval):
 			case <-pctx.Done():
 				return
 			}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"time"
+
+	"repro/heartbeat"
 )
 
 // Monitor watches one application and delivers a Status judgment every
@@ -26,6 +28,7 @@ type Monitor struct {
 	maxRecords int
 	onStatus   func(Status)
 	onError    func(error)
+	clk        heartbeat.Clock // nil = wall clock; paces Run's intervals
 }
 
 // MonitorOption configures NewMonitor.
@@ -56,6 +59,14 @@ func WithOnError(f func(error)) MonitorOption {
 // snapshot-based, returns an error in that case).
 func WithStream(st Stream) MonitorOption {
 	return func(m *Monitor) { m.stream = st }
+}
+
+// WithMonitorClock runs the monitor on an explicit clock: Run's judgment
+// intervals — and the classifier's notion of "now", unless it carries its
+// own Clock — follow clk, so a virtual clock drives the monitor as a
+// simulation event loop. A nil clk is the wall clock.
+func WithMonitorClock(clk heartbeat.Clock) MonitorOption {
+	return func(m *Monitor) { m.clk = clk }
 }
 
 // NewMonitor creates a Monitor that judges source every interval and calls
@@ -103,12 +114,15 @@ func (m *Monitor) Poll() (Status, error) {
 // a final status is delivered for the stream's tail. A stream Run derived
 // itself (no WithStream) is released when Run returns.
 func (m *Monitor) Run(ctx context.Context) {
+	if m.classifier.Clock == nil {
+		m.classifier.Clock = m.clk
+	}
 	if m.classifier.Epoch.IsZero() {
 		m.classifier.Epoch = m.classifier.now()
 	}
 	stream := m.stream
 	if stream == nil {
-		stream = StreamOf(m.source, m.interval)
+		stream = StreamOfClock(m.source, m.interval, m.clk)
 		if c, ok := stream.(io.Closer); ok {
 			defer c.Close()
 		}
@@ -131,8 +145,8 @@ func (m *Monitor) Run(ctx context.Context) {
 	}
 
 	for {
-		deadline := time.Now().Add(m.interval)
-		eof, err := CollectInto(ctx, stream, win, deadline)
+		deadline := clockNow(m.clk).Add(m.interval)
+		eof, err := CollectIntoClock(ctx, stream, win, deadline, m.clk)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -143,7 +157,7 @@ func (m *Monitor) Run(ctx context.Context) {
 			// Pace retries against a persistently failing source; no
 			// status is delivered for a failed interval (matching the
 			// snapshot-era behavior).
-			if !sleepUntil(ctx, deadline) {
+			if !heartbeat.SleepCtx(ctx, m.clk, deadline.Sub(clockNow(m.clk))) {
 				return
 			}
 			continue
@@ -152,20 +166,6 @@ func (m *Monitor) Run(ctx context.Context) {
 		if eof || ctx.Err() != nil {
 			return
 		}
-	}
-}
-
-// sleepUntil blocks until t or ctx cancellation; false means cancelled.
-func sleepUntil(ctx context.Context, t time.Time) bool {
-	d := time.Until(t)
-	if d <= 0 {
-		return ctx.Err() == nil
-	}
-	select {
-	case <-ctx.Done():
-		return false
-	case <-time.After(d):
-		return true
 	}
 }
 

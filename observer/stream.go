@@ -97,18 +97,26 @@ func DrainInto(s Stream, w *Window) (eof bool, err error) {
 // deadline-bounded collect loop shared by the wall-clock consumers
 // (Monitor.Run, scheduler.CoreScheduler.Run, hbmon -follow).
 func CollectInto(ctx context.Context, s Stream, w *Window, deadline time.Time) (eof bool, err error) {
-	dctx, cancel := context.WithDeadline(ctx, deadline)
+	return CollectIntoClock(ctx, s, w, deadline, nil)
+}
+
+// CollectIntoClock is CollectInto on an explicit clock: the deadline is
+// interpreted (and waited out) on clk's time, so a virtual clock makes the
+// collect interval a simulation event instead of a host sleep. A nil clk
+// (or any clock without scheduling) is the wall clock.
+func CollectIntoClock(ctx context.Context, s Stream, w *Window, deadline time.Time, clk heartbeat.Clock) (eof bool, err error) {
+	dctx, cancel := heartbeat.ContextWithTimeout(ctx, clk, deadline.Sub(clockNow(clk)))
 	defer cancel()
 	for {
 		b, nerr := s.Next(dctx)
 		if nerr == nil {
 			w.Absorb(b)
-			// Check the wall clock, not just dctx: a producer fast
-			// enough to have records pending on every Next would
-			// otherwise keep this loop absorbing forever (pending data
-			// wins over an expired context by the Stream contract) and
-			// starve the caller's judgment tick.
-			if !time.Now().Before(deadline) {
+			// Check the clock, not just dctx: a producer fast enough to
+			// have records pending on every Next would otherwise keep this
+			// loop absorbing forever (pending data wins over an expired
+			// context by the Stream contract) and starve the caller's
+			// judgment tick.
+			if !clockNow(clk).Before(deadline) {
 				return false, nil
 			}
 			continue
@@ -125,6 +133,9 @@ func CollectInto(ctx context.Context, s Stream, w *Window, deadline time.Time) (
 		}
 	}
 }
+
+// clockNow is heartbeat.Now under the package's local name.
+func clockNow(clk heartbeat.Clock) time.Time { return heartbeat.Now(clk) }
 
 // HeartbeatStream streams an in-process *heartbeat.Heartbeat: the
 // self-observation path of Figure 1(a), now push-based. A blocked Next
@@ -192,6 +203,15 @@ func FileStreamFrom(r *hbfile.Reader, poll time.Duration, since uint64) Stream {
 	return newRingFileStream(r, poll, since)
 }
 
+// FileStreamClock is FileStreamFrom on an explicit clock: poll waits run
+// on clk's time (virtual for a sim clock), so an idle tail is a
+// simulation event instead of a host sleep. A nil clk is the wall clock.
+func FileStreamClock(r *hbfile.Reader, poll time.Duration, since uint64, clk heartbeat.Clock) Stream {
+	s := newRingFileStream(r, poll, since)
+	s.clk = clk
+	return s
+}
+
 // newRingFileStream is the one place the ring-file cursor loop is wired
 // up (FileStreamFrom and followStream.open share it).
 func newRingFileStream(r *hbfile.Reader, poll time.Duration, since uint64) *fileStream {
@@ -215,6 +235,14 @@ func LogStreamFrom(r *hbfile.LogReader, poll time.Duration, since uint64) Stream
 	return newLogFileStream(r, poll, since)
 }
 
+// LogStreamClock is LogStreamFrom on an explicit clock (see
+// FileStreamClock).
+func LogStreamClock(r *hbfile.LogReader, poll time.Duration, since uint64, clk heartbeat.Clock) Stream {
+	s := newLogFileStream(r, poll, since)
+	s.clk = clk
+	return s
+}
+
 // newLogFileStream is newRingFileStream's append-only-log counterpart;
 // the max bound pages large backlogs in batches.
 func newLogFileStream(r *hbfile.LogReader, poll time.Duration, since uint64) *fileStream {
@@ -232,6 +260,7 @@ type fileStream struct {
 	poll   time.Duration
 	max    int
 	cursor uint64
+	clk    heartbeat.Clock // nil = wall clock; paces the idle-tick waits
 }
 
 func (s *fileStream) Next(ctx context.Context) (Batch, error) {
@@ -249,7 +278,7 @@ func (s *fileStream) Next(ctx context.Context) (Batch, error) {
 		select {
 		case <-ctx.Done():
 			return Batch{}, ctx.Err()
-		case <-time.After(s.poll):
+		case <-heartbeat.After(s.clk, s.poll):
 		}
 	}
 }
@@ -303,16 +332,23 @@ func (s *fileStream) step() (Batch, bool, error) {
 // preferred wherever they apply — StreamOf picks them automatically.
 // poll <= 0 selects DefaultPollInterval.
 func PollStream(src Source, poll time.Duration) Stream {
+	return PollStreamClock(src, poll, nil)
+}
+
+// PollStreamClock is PollStream on an explicit clock (see FileStreamClock);
+// a nil clk is the wall clock.
+func PollStreamClock(src Source, poll time.Duration, clk heartbeat.Clock) Stream {
 	if poll <= 0 {
 		poll = DefaultPollInterval
 	}
-	return &pollStream{src: src, poll: poll}
+	return &pollStream{src: src, poll: poll, clk: clk}
 }
 
 type pollStream struct {
 	src    Source
 	poll   time.Duration
 	cursor uint64
+	clk    heartbeat.Clock // nil = wall clock
 }
 
 func (s *pollStream) Next(ctx context.Context) (Batch, error) {
@@ -371,7 +407,7 @@ func (s *pollStream) Next(ctx context.Context) (Batch, error) {
 		select {
 		case <-ctx.Done():
 			return Batch{}, ctx.Err()
-		case <-time.After(s.poll):
+		case <-heartbeat.After(s.clk, s.poll):
 		}
 	}
 }
@@ -383,14 +419,23 @@ func (s *pollStream) Next(ctx context.Context) (Batch, error) {
 // selects DefaultPollInterval. This is the migration path for code holding
 // a Source from the pre-stream API.
 func StreamOf(src Source, poll time.Duration) Stream {
+	return StreamOfClock(src, poll, nil)
+}
+
+// StreamOfClock is StreamOf on an explicit clock: the derived stream's
+// poll waits run on clk, so the Source-compat path participates in
+// virtual time like the native streams (Hub.AddSource, Monitor.Run, and
+// scheduler.New thread their own clocks through here). A nil clk is the
+// wall clock.
+func StreamOfClock(src Source, poll time.Duration, clk heartbeat.Clock) Stream {
 	switch s := src.(type) {
 	case hbSource:
 		return HeartbeatStream(s.hb)
 	case fileSource:
-		return FileStream(s.r, poll)
+		return FileStreamClock(s.r, poll, 0, clk)
 	case logSource:
-		return LogStream(s.r, poll)
+		return LogStreamClock(s.r, poll, 0, clk)
 	default:
-		return PollStream(src, poll)
+		return PollStreamClock(src, poll, clk)
 	}
 }

@@ -67,7 +67,11 @@ func NewPartitioner(total, window int) (*Partitioner, error) {
 // (*sim.Proc).SetCores). The initial grant is applied immediately.
 // Add fails if the pool cannot hold one core per registered application.
 // The source is consumed as its natural stream (see observer.StreamOf);
-// AddStream registers a Stream directly.
+// AddStream registers a Stream directly. The partitioner is Step-driven —
+// Step drains every stream without blocking, so the derived stream's poll
+// pacing is never waited on and no clock threading is needed (callers on
+// a virtual clock call Step from their own clocked loop; contrast
+// CoreScheduler.Run, which waits and therefore takes WithClock).
 func (p *Partitioner) Add(name string, source observer.Source, set func(int) int, initial int) error {
 	if source == nil {
 		return fmt.Errorf("scheduler: nil source or actuator for %q", name)

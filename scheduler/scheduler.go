@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/control"
+	"repro/heartbeat"
 	"repro/observer"
 )
 
@@ -105,6 +106,7 @@ type CoreScheduler struct {
 	window     int // observation window in beats (0: source default)
 	win        *observer.Window
 	eof        bool
+	clk        heartbeat.Clock // nil = wall clock; paces Run's decision cadence
 }
 
 // Option configures New.
@@ -117,6 +119,12 @@ func WithWindow(n int) Option { return func(s *CoreScheduler) { s.window = n } }
 // WithStream has the scheduler consume the given stream instead of
 // deriving one from the Source passed to New (which may then be nil).
 func WithStream(st observer.Stream) Option { return func(s *CoreScheduler) { s.stream = st } }
+
+// WithClock runs the decision loop on an explicit clock: Run's intervals
+// follow clk (virtual for a sim.Clock), so a simulated scheduler decides
+// on the simulation's schedule instead of the host's. A nil clk is the
+// wall clock. Step is unaffected — it is already clock-free.
+func WithClock(clk heartbeat.Clock) Option { return func(s *CoreScheduler) { s.clk = clk } }
 
 // New creates a scheduler observing source. A nil machine or policy is an
 // error; source may only be nil when WithStream supplies the stream.
@@ -132,7 +140,7 @@ func New(source observer.Source, machine CoreMachine, policy Policy, opts ...Opt
 		if source == nil {
 			return nil, fmt.Errorf("scheduler: nil source, machine, or policy")
 		}
-		s.stream = observer.StreamOf(source, 0)
+		s.stream = observer.StreamOfClock(source, 0, s.clk)
 		s.ownsStream = true
 	}
 	s.win = observer.NewWindow(s.window)
@@ -213,7 +221,7 @@ func (s *CoreScheduler) Run(ctx context.Context, interval time.Duration, onSampl
 		if ctx.Err() != nil {
 			return
 		}
-		if err := s.collect(ctx, time.Now().Add(interval)); err != nil {
+		if err := s.collect(ctx, s.now().Add(interval)); err != nil {
 			if ctx.Err() != nil {
 				return
 			}
@@ -235,7 +243,7 @@ func (s *CoreScheduler) collect(ctx context.Context, deadline time.Time) error {
 	if s.eof {
 		// Nothing more will ever arrive; just keep the decision cadence.
 	} else {
-		eof, err := observer.CollectInto(ctx, s.stream, s.win, deadline)
+		eof, err := observer.CollectIntoClock(ctx, s.stream, s.win, deadline, s.clk)
 		if eof {
 			s.eof = true
 		}
@@ -248,11 +256,14 @@ func (s *CoreScheduler) collect(ctx context.Context, deadline time.Time) error {
 			streamErr = err
 		}
 	}
-	if d := time.Until(deadline); d > 0 {
+	if d := deadline.Sub(s.now()); d > 0 {
 		select {
 		case <-ctx.Done():
-		case <-time.After(d):
+		case <-heartbeat.After(s.clk, d):
 		}
 	}
 	return streamErr
 }
+
+// now reads the scheduler's clock, falling back to the wall clock.
+func (s *CoreScheduler) now() time.Time { return heartbeat.Now(s.clk) }

@@ -23,11 +23,16 @@ import (
 // one makes timestamps easy to read in dumps.
 var Epoch = time.Date(2009, time.August, 7, 0, 0, 0, 0, time.UTC)
 
-// Clock is a manually advanced clock. It implements heartbeat.Clock.
-// The zero value is invalid; use NewClock.
+// Clock is a manually advanced clock. It implements heartbeat.Clock — and
+// heartbeat.WaitClock: goroutines may wait on it through After (see
+// timer.go), and Advance fires their timers in deadline order as it sweeps
+// past them. The zero value is invalid; use NewClock.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Time
+	mu       sync.Mutex
+	now      time.Time
+	timers   timerHeap
+	timerSeq uint64
+	armed    chan struct{} // non-nil while awaitTimer waits for a registration
 }
 
 // NewClock returns a Clock reading start. A zero start uses Epoch.
@@ -45,14 +50,17 @@ func (c *Clock) Now() time.Time {
 	return c.now
 }
 
-// Advance moves the clock forward by d. Negative d panics: simulated time,
-// like real time, never runs backwards.
+// Advance moves the clock forward by d, firing every timer whose deadline
+// the sweep passes — each at its own deadline, in order. Negative d panics:
+// simulated time, like real time, never runs backwards.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic("sim: negative clock advance")
 	}
 	c.mu.Lock()
-	c.now = c.now.Add(d)
+	target := c.now.Add(d)
+	c.fireDueLocked(target)
+	c.now = target
 	c.mu.Unlock()
 }
 

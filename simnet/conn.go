@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/heartbeat"
+)
+
+// conn is one endpoint of an in-memory connection: a pair of directional
+// pipe buffers shared with its peer. Reads honor the link's latency on the
+// network's clock; writes never block (the buffer is unbounded — the
+// simulation models loss by fault injection and ring lapping, not by
+// kernel backpressure) but count against the link's byte trigger.
+type conn struct {
+	nw            *Network
+	link          *link
+	peer          *conn
+	local, remote addr
+	rd, wr        *pipeBuf
+
+	dlMu      sync.Mutex
+	rDeadline time.Time
+	closeOnce sync.Once
+	severOnce sync.Once
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error      { c.setReadDeadline(t); return nil }
+func (c *conn) SetReadDeadline(t time.Time) error  { c.setReadDeadline(t); return nil }
+func (c *conn) SetWriteDeadline(t time.Time) error { return nil } // writes never block
+
+func (c *conn) setReadDeadline(t time.Time) {
+	c.dlMu.Lock()
+	c.rDeadline = t
+	c.dlMu.Unlock()
+}
+
+func (c *conn) readDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.rDeadline
+}
+
+// timeoutError satisfies net.Error the way a socket deadline does.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "simnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+func (c *conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil // io.Reader allows zero-length reads; never block on one
+	}
+	for {
+		n, wait, notify, err := c.rd.tryRead(p, c.nw.clk)
+		if n > 0 || err != nil {
+			return n, err
+		}
+		// Nothing deliverable yet: wait for new data / close, for the
+		// latency front to pass (on the network's clock), or for the read
+		// deadline (real time, like a socket's).
+		var latency <-chan time.Time
+		if wait > 0 {
+			latency = heartbeat.After(c.nw.clk, wait)
+		}
+		var deadline <-chan time.Time
+		var dlTimer *time.Timer
+		if dl := c.readDeadline(); !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return 0, timeoutError{}
+			}
+			dlTimer = time.NewTimer(d)
+			deadline = dlTimer.C
+		}
+		select {
+		case <-notify:
+		case <-latency:
+		case <-deadline:
+			return 0, timeoutError{}
+		}
+		if dlTimer != nil {
+			dlTimer.Stop()
+		}
+	}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.nw.mu.Lock()
+	lat := c.link.latency
+	deliver := p
+	severAfter := false
+	if c.link.armed {
+		if int64(len(p)) > c.link.cutAfter {
+			deliver = p[:c.link.cutAfter]
+			c.link.armed = false
+			c.link.cutAfter = -1
+			severAfter = true
+		} else {
+			c.link.cutAfter -= int64(len(p))
+		}
+	}
+	c.nw.mu.Unlock()
+
+	ready := clockNow(c.nw.clk).Add(lat)
+	n, err := c.wr.write(deliver, ready)
+	if err != nil {
+		return n, err
+	}
+	if severAfter {
+		c.sever(errSevered)
+		return n, errSevered
+	}
+	return n, nil
+}
+
+// Close is the clean teardown: the peer drains what was already in flight
+// and then reads io.EOF; writes from either side fail from now on.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeClean()
+		c.rd.fail(net.ErrClosed)
+		c.unregister()
+	})
+	return nil
+}
+
+// sever is the fault-injected teardown: both directions fail immediately,
+// pending bytes are discarded — an abrupt connection reset.
+func (c *conn) sever(err error) {
+	c.severOnce.Do(func() {
+		c.rd.fail(err)
+		c.wr.fail(err)
+		c.unregister()
+	})
+}
+
+func (c *conn) unregister() {
+	c.nw.mu.Lock()
+	delete(c.link.conns, c)
+	delete(c.link.conns, c.peer)
+	c.nw.mu.Unlock()
+}
+
+// clockNow is heartbeat.Now under the package's local name.
+func clockNow(clk heartbeat.Clock) time.Time { return heartbeat.Now(clk) }
+
+// seg is one write's worth of bytes, deliverable once the clock reaches
+// ready.
+type seg struct {
+	data  []byte
+	ready time.Time
+}
+
+// pipeBuf is one direction of a connection.
+type pipeBuf struct {
+	mu     sync.Mutex
+	segs   []seg
+	closed bool  // clean close: drain, then EOF
+	err    error // sever: immediate failure, pending bytes discarded
+	notify chan struct{}
+}
+
+func newPipeBuf() *pipeBuf {
+	return &pipeBuf{notify: make(chan struct{})}
+}
+
+// tryRead delivers available bytes. When nothing is deliverable it returns
+// (0, wait, notify, nil): wait > 0 means the head segment becomes ready
+// after wait on the network's clock; notify fires on any state change.
+func (b *pipeBuf) tryRead(p []byte, clk heartbeat.Clock) (n int, wait time.Duration, notify <-chan struct{}, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return 0, 0, nil, b.err
+	}
+	if len(b.segs) > 0 {
+		now := clockNow(clk)
+		s := &b.segs[0]
+		if s.ready.After(now) {
+			return 0, s.ready.Sub(now), b.notify, nil
+		}
+		n = copy(p, s.data)
+		if n == len(s.data) {
+			b.segs[0] = seg{}
+			b.segs = b.segs[1:]
+		} else {
+			s.data = s.data[n:]
+		}
+		return n, 0, nil, nil
+	}
+	if b.closed {
+		return 0, 0, nil, io.EOF
+	}
+	return 0, 0, b.notify, nil
+}
+
+func (b *pipeBuf) write(p []byte, ready time.Time) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return 0, b.err
+	}
+	if b.closed {
+		return 0, net.ErrClosed
+	}
+	if len(p) > 0 {
+		b.segs = append(b.segs, seg{data: append([]byte(nil), p...), ready: ready})
+		b.wakeLocked()
+	}
+	return len(p), nil
+}
+
+func (b *pipeBuf) closeClean() {
+	b.mu.Lock()
+	if !b.closed && b.err == nil {
+		b.closed = true
+		b.wakeLocked()
+	}
+	b.mu.Unlock()
+}
+
+func (b *pipeBuf) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		b.segs = nil
+		b.wakeLocked()
+	}
+	b.mu.Unlock()
+}
+
+func (b *pipeBuf) wakeLocked() {
+	close(b.notify)
+	b.notify = make(chan struct{})
+}

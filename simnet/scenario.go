@@ -1,0 +1,1142 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hbfile"
+	"repro/hbnet"
+	"repro/heartbeat"
+	"repro/internal/simcheck"
+	"repro/observer"
+	"repro/sim"
+)
+
+// This file is the seeded scenario matrix: a generator that expands one
+// seed into a whole-stack configuration — topology, producer count, fault
+// schedule — and a runner that executes it under virtual time on the
+// in-memory network, checking the delivery contract with
+// internal/simcheck at every hop. Every scenario is reproducible from its
+// seed alone; a failing run reports the seed, and re-running it replays
+// the same generated configuration.
+
+// Topology selects which observation stack the scenario runs.
+type Topology int
+
+const (
+	// TopoDirect observes in-process heartbeats through subscriptions.
+	TopoDirect Topology = iota
+	// TopoFile observes heartbeat files through FollowFile tails.
+	TopoFile
+	// TopoRelayTree runs the full stack: producers → files → leaf relays
+	// → root relay → one consumer, over the in-memory network.
+	TopoRelayTree
+	topoCount
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoDirect:
+		return "direct"
+	case TopoFile:
+		return "file"
+	case TopoRelayTree:
+		return "relay-tree"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
+
+// EventKind is one fault (or consumer action) the schedule can inject.
+type EventKind int
+
+const (
+	// EvRestart kills and recreates producer P (same file variant).
+	EvRestart EventKind = iota
+	// EvRecreate is EvRestart with the file recreated in the other
+	// variant (ring ↔ log); on non-file topologies it acts like EvRestart.
+	EvRecreate
+	// EvLap makes producer P burst several ring capacities of beats at one
+	// instant, lapping consumers that poll.
+	EvLap
+	// EvSilence pauses producer P's beats for Arg nanoseconds.
+	EvSilence
+	// EvLinkBlip severs the link named by Link once (reconnect resumes).
+	EvLinkBlip
+	// EvDropBytes arms the Link's byte trigger: its connection is severed
+	// mid-stream after Arg more bytes.
+	EvDropBytes
+	// EvPartition partitions Link for Arg nanoseconds, then heals it.
+	EvPartition
+	// EvServerCrash closes server S (listener and connections die; relay
+	// histories survive) and restores it after Arg nanoseconds.
+	EvServerCrash
+	// EvListenerOutage takes server S's listener down for Arg nanoseconds
+	// and blips its links so clients must redial into the outage.
+	EvListenerOutage
+	// EvResume closes the consumer's stream and resumes from its cursor.
+	EvResume
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRestart:
+		return "restart"
+	case EvRecreate:
+		return "recreate"
+	case EvLap:
+		return "lap"
+	case EvSilence:
+		return "silence"
+	case EvLinkBlip:
+		return "link-blip"
+	case EvDropBytes:
+		return "drop-bytes"
+	case EvPartition:
+		return "partition"
+	case EvServerCrash:
+		return "server-crash"
+	case EvListenerOutage:
+		return "listener-outage"
+	case EvResume:
+		return "resume"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one scheduled fault at a virtual instant.
+type Event struct {
+	At       time.Duration // offset from scenario start, virtual
+	Kind     EventKind
+	Producer int           // EvRestart/EvRecreate/EvLap/EvSilence
+	Link     int           // EvLinkBlip/EvDropBytes/EvPartition: index into the scenario's links
+	Server   int           // EvServerCrash/EvListenerOutage: index into the scenario's servers
+	Arg      time.Duration // window length for windowed faults; byte count for EvDropBytes
+}
+
+// Scenario is one generated whole-stack configuration.
+type Scenario struct {
+	Seed      int64
+	Topology  Topology
+	Producers int
+	Leaves    int // relay-tree only
+	Duration  time.Duration
+	BeatEvery time.Duration
+	Poll      time.Duration
+	RingCap   int
+	Rollup    time.Duration
+	MaxLink   time.Duration // per-link latency is rng-drawn in [0, MaxLink]
+	Events    []Event
+}
+
+func (sc Scenario) String() string {
+	return fmt.Sprintf("seed=%d %s producers=%d leaves=%d dur=%v beat=%v poll=%v ring=%d events=%d",
+		sc.Seed, sc.Topology, sc.Producers, sc.Leaves, sc.Duration, sc.BeatEvery, sc.Poll, sc.RingCap, len(sc.Events))
+}
+
+// Generate expands seed into a scenario: N producers × producer faults
+// {restart, file-recreate, lap, silence} × network faults {link blip,
+// drop-at-byte, partition window, server crash, listener outage} ×
+// topology {direct, file, relay-tree}. The same seed always generates the
+// same scenario.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Seed:      seed,
+		Topology:  Topology(rng.Intn(int(topoCount))),
+		Producers: 1 + rng.Intn(3),
+		Duration:  5 * time.Second,
+		BeatEvery: time.Duration(10+rng.Intn(31)) * time.Millisecond,
+		Poll:      time.Duration(10+rng.Intn(16)) * time.Millisecond,
+		RingCap:   32 << rng.Intn(3), // 32, 64, 128
+		Rollup:    time.Duration(100+rng.Intn(151)) * time.Millisecond,
+	}
+	if sc.Topology == TopoRelayTree {
+		sc.Leaves = 1 + rng.Intn(2)
+		if sc.Producers < sc.Leaves {
+			sc.Producers = sc.Leaves
+		}
+		sc.MaxLink = time.Duration(rng.Intn(4)) * time.Millisecond
+	}
+
+	// Fault schedule: every scenario gets 1-2 producer faults; relay-tree
+	// scenarios add exactly one network fault. Faults land in the middle
+	// three-fifths of the run so there is always a clean lead-in (the
+	// consumer establishes its cursor) and a clean tail (delivery drains).
+	at := func() time.Duration {
+		return time.Duration(float64(sc.Duration) * (0.2 + 0.55*rng.Float64()))
+	}
+	window := func() time.Duration {
+		return time.Duration(float64(time.Second) * (0.3 + 0.9*rng.Float64()))
+	}
+	producerFaults := []EventKind{EvRestart, EvRecreate, EvLap, EvSilence}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		ev := Event{At: at(), Producer: rng.Intn(sc.Producers), Kind: producerFaults[rng.Intn(len(producerFaults))]}
+		if ev.Kind == EvSilence {
+			ev.Arg = window()
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	if sc.Topology == TopoRelayTree {
+		ev := Event{At: at()}
+		switch rng.Intn(5) {
+		case 0:
+			ev.Kind, ev.Link = EvLinkBlip, rng.Intn(sc.Leaves+1)
+		case 1:
+			ev.Kind, ev.Link = EvDropBytes, rng.Intn(sc.Leaves+1)
+			ev.Arg = time.Duration(64 + rng.Intn(4096)) // byte budget, not a duration
+		case 2:
+			ev.Kind, ev.Link = EvPartition, rng.Intn(sc.Leaves+1)
+			ev.Arg = window()
+		case 3:
+			ev.Kind, ev.Server = EvServerCrash, rng.Intn(sc.Leaves+1)
+			ev.Arg = window()
+		case 4:
+			ev.Kind, ev.Server = EvListenerOutage, rng.Intn(sc.Leaves+1)
+			ev.Arg = window()
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	// Half the scenarios exercise the consumer cursor-resume path.
+	if rng.Intn(2) == 0 {
+		sc.Events = append(sc.Events, Event{At: at(), Kind: EvResume})
+	}
+	return sc
+}
+
+// Stats summarizes one scenario run, for matrix-level coverage assertions.
+type Stats struct {
+	SimSeconds float64
+	Delivered  uint64
+	Missed     uint64
+	Lives      int
+	Restarts   int
+	Reconnects int
+	Resumed    bool
+}
+
+// Run executes the scenario and verifies the delivery contract. The
+// returned error, if any, describes the first violated invariant; callers
+// report the scenario's seed alongside it for exact replay.
+func (sc Scenario) Run(dir string) (Stats, error) {
+	switch sc.Topology {
+	case TopoRelayTree:
+		return sc.runRelayTree(dir)
+	default:
+		return sc.runLocal(dir)
+	}
+}
+
+// settleDeadline bounds the real time a scenario may spend draining after
+// its virtual duration elapses.
+const settleDeadline = 20 * time.Second
+
+// producer is one simulated application: an in-process heartbeat,
+// optionally sunk into a file, beating on the virtual clock and
+// restartable (new heartbeat, new file life) by the fault schedule.
+type producer struct {
+	clk     *sim.Clock
+	path    string // empty: in-process only (TopoDirect)
+	window  int
+	ringCap int
+	isLog   bool
+
+	mu       sync.Mutex
+	hb       *heartbeat.Heartbeat
+	paused   bool
+	silentTo time.Time
+	restarts int
+	heads    []uint64 // final head of each completed life
+}
+
+func newProducer(clk *sim.Clock, path string, ringCap int) (*producer, error) {
+	p := &producer{clk: clk, path: path, window: 20, ringCap: ringCap}
+	return p, p.start()
+}
+
+// start creates the current life. Callers hold p.mu or own p exclusively.
+func (p *producer) start() error {
+	opts := []heartbeat.Option{heartbeat.WithClock(p.clk), heartbeat.WithCapacity(p.ringCap)}
+	if p.path != "" {
+		var sink heartbeat.Sink
+		if p.isLog {
+			w, err := hbfile.CreateLog(p.path, p.window)
+			if err != nil {
+				return err
+			}
+			sink = w
+		} else {
+			w, err := hbfile.Create(p.path, p.window, p.ringCap)
+			if err != nil {
+				return err
+			}
+			sink = w
+		}
+		opts = append(opts, heartbeat.WithSink(sink))
+	}
+	hb, err := heartbeat.New(p.window, opts...)
+	if err != nil {
+		return err
+	}
+	p.hb = hb
+	return nil
+}
+
+// restart ends the current life and begins the next; flipVariant recreates
+// the file in the other format. The producer mutex serializes it against
+// the beat loop, so no beat lands between lives.
+func (p *producer) restart(flipVariant bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hb.Close()
+	p.heads = append(p.heads, p.hb.Count())
+	if p.path != "" {
+		os.Remove(p.path)
+		if flipVariant {
+			p.isLog = !p.isLog
+		}
+	}
+	p.restarts++
+	return p.start()
+}
+
+// beatLoop beats every interval on the virtual clock until stop.
+func (p *producer) beatLoop(ctx context.Context, every time.Duration) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.clk.After(every):
+		}
+		p.mu.Lock()
+		if !p.paused && p.clk.Now().After(p.silentTo) {
+			p.hb.Beat()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// burst emits n beats at one virtual instant — the lap fault.
+func (p *producer) burst(n int) {
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		p.hb.Beat()
+	}
+	p.mu.Unlock()
+}
+
+func (p *producer) silence(until time.Time) {
+	p.mu.Lock()
+	p.silentTo = until
+	p.mu.Unlock()
+}
+
+// head returns the current life's published head.
+func (p *producer) head() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hb.Count()
+}
+
+func (p *producer) lives() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts + 1
+}
+
+// visibleLifeHeads returns the published head of every life that a
+// consumer can observe at all — the nonzero ones, in order. A life that
+// published nothing is invisible: the stream's own cursor reset leaves no
+// trace when there is no record to deliver (and its file, if any, is
+// deleted by the next restart), so rotation accounting must skip it. An
+// all-empty history yields one synthetic zero head: the tracker always
+// reports at least its initial life.
+func (p *producer) visibleLifeHeads() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []uint64
+	for _, h := range p.heads {
+		if h > 0 {
+			out = append(out, h)
+		}
+	}
+	if h := p.hb.Count(); h > 0 {
+		out = append(out, h)
+	}
+	if len(out) == 0 {
+		out = []uint64{0}
+	}
+	return out
+}
+
+// totalPublished sums every life's head — the true published total.
+func (p *producer) totalPublished() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.hb.Count()
+	for _, h := range p.heads {
+		n += h
+	}
+	return n
+}
+
+// stream opens the consumer-side stream of the current life positioned
+// after since (TopoDirect) or a follow tail over the file (TopoFile).
+func (p *producer) stream(since uint64, poll time.Duration) (observer.Stream, error) {
+	if p.path == "" {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return observer.HeartbeatStreamFrom(p.hb, since), nil
+	}
+	return observer.FollowFileClock(p.path, poll, since, p.clk)
+}
+
+func (p *producer) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hb.Close()
+}
+
+// lockedTracker guards a simcheck.Tracker shared between the consumer
+// goroutine and the settle loop.
+type lockedTracker struct {
+	mu sync.Mutex
+	tr *simcheck.Tracker
+}
+
+func (l *lockedTracker) absorb(b observer.Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tr.Absorb(b)
+}
+
+func (l *lockedTracker) with(f func(tr *simcheck.Tracker)) {
+	l.mu.Lock()
+	f(l.tr)
+	l.mu.Unlock()
+}
+
+// runLocal runs the direct and file topologies: one consumer stream (and
+// one tracker) per producer, faults injected on the virtual schedule, and
+// per-producer conservation checked at the end.
+func (sc Scenario) runLocal(dir string) (Stats, error) {
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x5eed))
+	clk := sim.NewClock(time.Time{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go clk.AutoAdvance(ctx, 0)
+
+	producers := make([]*producer, sc.Producers)
+	trackers := make([]*lockedTracker, sc.Producers)
+	resumes := make([]chan struct{}, sc.Producers)
+	var consumerErr sync.Map // producer index -> error
+	for i := range producers {
+		path := ""
+		if sc.Topology == TopoFile {
+			path = filepath.Join(dir, fmt.Sprintf("p%d.hb", i))
+		}
+		p, err := newProducer(clk, path, sc.RingCap)
+		if err != nil {
+			return Stats{}, err
+		}
+		defer p.close()
+		producers[i] = p
+		trackers[i] = &lockedTracker{tr: simcheck.NewTracker(fmt.Sprintf("producer %d", i), 0)}
+		resumes[i] = make(chan struct{}, 4)
+	}
+
+	var wg sync.WaitGroup
+	for i := range producers {
+		wg.Add(1)
+		go func(p *producer) { defer wg.Done(); p.beatLoop(ctx, sc.BeatEvery) }(producers[i])
+	}
+
+	// One consumer loop per producer: absorb batches, reattach on EOF (a
+	// direct producer restart closes its stream), resume from the cursor
+	// when the schedule says so. The resume request is a sticky flag, not
+	// just a context cancellation: by the Stream drain contract a Next
+	// with pending data returns it even under a cancelled context, so a
+	// signal that lands while data is flowing must survive until the loop
+	// can act on it.
+	for i := range producers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, tr := producers[i], trackers[i]
+			var resumePending atomic.Bool
+			stream, err := p.stream(0, sc.Poll)
+			if err != nil {
+				consumerErr.Store(i, err)
+				return
+			}
+			defer closeStream(&stream)
+			// reattach reopens the stream from the tracker's cursor —
+			// the shared tail of the EOF (direct restart) and
+			// cursor-resume paths; either way the reopened stream must
+			// deliver no duplicate and no unaccounted gap.
+			reattach := func() {
+				closeStream(&stream)
+				var cursor uint64
+				tr.with(func(t *simcheck.Tracker) { cursor = t.Cursor() })
+				for ctx.Err() == nil {
+					ns, rerr := p.stream(cursor, sc.Poll)
+					if rerr == nil {
+						stream = ns
+						return
+					}
+					time.Sleep(200 * time.Microsecond) // producer mid-restart: retry
+				}
+			}
+			for ctx.Err() == nil {
+				segCtx, segCancel := context.WithCancel(ctx)
+				stop := make(chan struct{})
+				go func() {
+					select {
+					case <-resumes[i]:
+						resumePending.Store(true)
+						segCancel()
+					case <-stop:
+					}
+				}()
+				b, err := stream.Next(segCtx)
+				close(stop)
+				segCancel()
+				if err == nil {
+					if aerr := tr.absorb(b); aerr != nil {
+						consumerErr.Store(i, aerr)
+						return
+					}
+					if resumePending.Swap(false) {
+						reattach()
+					}
+					continue
+				}
+				switch {
+				case errors.Is(err, io.EOF), segCtx.Err() != nil && ctx.Err() == nil:
+					resumePending.Store(false)
+					reattach()
+				case ctx.Err() != nil:
+					return
+				default:
+					consumerErr.Store(i, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// The fault scheduler: sleep to each event's virtual time, apply it.
+	stats := Stats{}
+	events := append([]Event(nil), sc.Events...)
+	start := clk.Now()
+	for _, ev := range sortedEvents(events) {
+		if !sleepUntilVirtual(ctx, clk, start.Add(ev.At)) {
+			break
+		}
+		if handled, err := sc.applyProducerFault(producers, rng, clk, ev); err != nil {
+			return stats, err
+		} else if handled {
+			continue
+		}
+		if ev.Kind == EvResume {
+			stats.Resumed = true
+			for i := range resumes {
+				resumes[i] <- struct{}{}
+			}
+		}
+	}
+	sleepUntilVirtual(ctx, clk, start.Add(sc.Duration))
+
+	// Settle: stop beating (pause everything), then wait — in real time,
+	// while virtual time keeps racing — until every consumer has drained
+	// its producer's final life.
+	for _, p := range producers {
+		p.mu.Lock()
+		p.paused = true
+		p.mu.Unlock()
+	}
+	deadline := time.Now().Add(settleDeadline)
+	stable := 0
+	for {
+		done := true
+		for i, p := range producers {
+			// A final life that published nothing is fully drained by
+			// definition (there is nothing to deliver, and no record will
+			// ever arrive to advance the tracker into it); otherwise the
+			// tracker must reach the life's head. Require the condition to
+			// hold across a few samples — virtual time races on between
+			// them, so a pending rotation at a numerically-equal cursor
+			// still gets its polls in before the verdict runs.
+			if head := p.head(); head != 0 {
+				var cursor uint64
+				trackers[i].with(func(t *simcheck.Tracker) { cursor = t.Cursor() })
+				if cursor != head {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			stable++
+		} else {
+			stable = 0
+		}
+		if hasErr(&consumerErr) || stable >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return stats, settleFailure(producers, trackers)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// Verdict.
+	if err := firstErr(&consumerErr); err != nil {
+		return stats, err
+	}
+	stats.SimSeconds = clk.Elapsed(start).Seconds()
+	for i, p := range producers {
+		var err error
+		trackers[i].with(func(t *simcheck.Tracker) {
+			stats.Delivered += t.Delivered()
+			stats.Missed += t.Missed()
+			stats.Lives += len(t.Lives())
+			stats.Restarts += p.lives() - 1
+			if e := t.Err(); e != nil {
+				err = e
+				return
+			}
+			// The tracker can only observe lives that published anything
+			// (empty lives leave no trace — see visibleLifeHeads), and
+			// two back-to-back restarts can additionally hide a nonzero
+			// middle life entirely (its file is deleted before the tail's
+			// next stat). So the observed lives must form an
+			// order-preserving sub-sequence of the true visible lives,
+			// each observed head within its matched true head — more
+			// observed lives than true ones, or a head no true life can
+			// contain, means invented records. A no-restart run (exactly
+			// one true life) still pins the count exactly and conserves
+			// in full.
+			trueHeads := p.visibleLifeHeads()
+			lives := t.Lives()
+			if len(lives) > len(trueHeads) {
+				err = fmt.Errorf("producer %d: observed %d lives, only %d published (%+v vs heads %v)",
+					i, len(lives), len(trueHeads), lives, trueHeads)
+				return
+			}
+			ti := 0
+			for li, l := range lives {
+				for ti < len(trueHeads) && trueHeads[ti] < l.Head {
+					ti++
+				}
+				if ti >= len(trueHeads) {
+					err = fmt.Errorf("producer %d observed life %d: head %d fits no published life (lives %+v vs heads %v)",
+						i, li, l.Head, lives, trueHeads)
+					return
+				}
+				ti++
+			}
+			if p.lives() == 1 {
+				if e := t.CheckConserved(p.totalPublished()); e != nil {
+					err = e
+					return
+				}
+			}
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// runRelayTree runs the full stack: producers write files, leaf relays
+// tail them and publish merged feeds on leaf servers, a root relay dials
+// every leaf, and one consumer holds a raw and a rollup subscription to
+// the root — all over the in-memory network under virtual time.
+func (sc Scenario) runRelayTree(dir string) (Stats, error) {
+	clk := sim.NewClock(time.Time{})
+	nw := New(clk)
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x5eed))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go clk.AutoAdvance(ctx, 0)
+
+	// Producers, assigned round-robin to leaves.
+	producers := make([]*producer, sc.Producers)
+	for i := range producers {
+		p, err := newProducer(clk, filepath.Join(dir, fmt.Sprintf("p%d.hb", i)), sc.RingCap)
+		if err != nil {
+			return Stats{}, err
+		}
+		defer p.close()
+		producers[i] = p
+	}
+	var wg sync.WaitGroup
+	for i := range producers {
+		wg.Add(1)
+		go func(p *producer) { defer wg.Done(); p.beatLoop(ctx, sc.BeatEvery) }(producers[i])
+	}
+
+	// Leaf tier: one relay + server per leaf. Retention is ample so the
+	// only Missed in the system comes from producer-file laps.
+	type node struct {
+		relay *hbnet.Relay
+		srv   *hbnet.Server
+		addr  string
+		mu    sync.Mutex
+	}
+	newServerOn := func(n *node) error {
+		srv := hbnet.NewServer(hbnet.WithHandshakeTimeout(2 * time.Second))
+		var err error
+		if n.relay != nil {
+			err = n.relay.PublishOn(srv, "merged", "rollup")
+		}
+		if err != nil {
+			return err
+		}
+		ln, err := nw.Listen(n.addr)
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		n.mu.Lock()
+		n.srv = srv
+		n.mu.Unlock()
+		return nil
+	}
+
+	leaves := make([]*node, sc.Leaves)
+	for li := range leaves {
+		relay := hbnet.NewRelay(
+			hbnet.WithRelayClock(clk),
+			hbnet.WithRollupInterval(sc.Rollup),
+			hbnet.WithMergedRetain(1<<17),
+		)
+		for pi, p := range producers {
+			if pi%sc.Leaves != li {
+				continue
+			}
+			if err := relay.AddFileUpstream(fmt.Sprintf("app%d", pi), p.path, sc.Poll); err != nil {
+				return Stats{}, err
+			}
+		}
+		n := &node{relay: relay, addr: fmt.Sprintf("leaf%d", li)}
+		if err := newServerOn(n); err != nil {
+			return Stats{}, err
+		}
+		leaves[li] = n
+		go relay.Run(ctx)
+		defer relay.Close()
+		defer func(n *node) { n.mu.Lock(); n.srv.Close(); n.mu.Unlock() }(n)
+	}
+
+	// Root tier.
+	root := hbnet.NewRelay(
+		hbnet.WithRelayClock(clk),
+		hbnet.WithRollupInterval(sc.Rollup),
+		hbnet.WithMergedRetain(1<<17),
+	)
+	var rootUpstreams []*hbnet.Client
+	for li, leaf := range leaves {
+		nw.SetLatency("root", leaf.addr, time.Duration(rng.Int63n(int64(sc.MaxLink+1))))
+		c, err := root.DialUpstream(fmt.Sprintf("leaf%d", li), leaf.addr, "merged",
+			hbnet.WithDialer(nw.Host("root")),
+			hbnet.WithClientClock(clk),
+			hbnet.WithReconnectBackoff(20*time.Millisecond, 500*time.Millisecond))
+		if err != nil {
+			return Stats{}, err
+		}
+		rootUpstreams = append(rootUpstreams, c)
+	}
+	rootNode := &node{relay: root, addr: "root"}
+	if err := newServerOn(rootNode); err != nil {
+		return Stats{}, err
+	}
+	go root.Run(ctx)
+	defer root.Close()
+	defer func() { rootNode.mu.Lock(); rootNode.srv.Close(); rootNode.mu.Unlock() }()
+	servers := append([]*node{rootNode}, leaves...)
+
+	// The consumer: a raw subscription and a rollup subscription to the
+	// root, each over the simulated network.
+	nw.SetLatency("mon", "root", time.Duration(rng.Int63n(int64(sc.MaxLink+1))))
+	dialOpts := func() []hbnet.ClientOption {
+		return []hbnet.ClientOption{
+			hbnet.WithDialer(nw.Host("mon")),
+			hbnet.WithClientClock(clk),
+			hbnet.WithReconnectBackoff(20*time.Millisecond, 500*time.Millisecond),
+		}
+	}
+	tracker := &lockedTracker{tr: simcheck.NewTracker("relay consumer", 0)}
+	var (
+		consumerMu  sync.Mutex
+		consumerErr error
+		// reconnects/wireMissed accumulate the counters of every retired
+		// raw client; curClient is the live one, so readers (the resume
+		// forwarder, the verdict) always see the whole history as
+		// retired + live.
+		reconnects   int
+		wireMissed   uint64
+		curClient    *hbnet.Client
+		resumed      bool
+		rollups      simcheck.RollupAccount
+		rollupMu     sync.Mutex
+		resumeSignal = make(chan struct{}, 4)
+	)
+	setErr := func(err error) {
+		consumerMu.Lock()
+		if consumerErr == nil {
+			consumerErr = err
+		}
+		consumerMu.Unlock()
+	}
+	// consumerWire reads the accumulated wire-level accounting, live
+	// client included.
+	consumerWire := func() (rec int, missed uint64) {
+		consumerMu.Lock()
+		defer consumerMu.Unlock()
+		return reconnects + curClient.Reconnects(), wireMissed + curClient.Missed()
+	}
+
+	raw, err := hbnet.Dial("root", "merged", dialOpts()...)
+	if err != nil {
+		return Stats{}, err
+	}
+	curClient = raw
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := raw
+		defer func() { client.Close() }()
+		for ctx.Err() == nil {
+			b, err := client.Next(ctx)
+			if err == nil {
+				if aerr := tracker.absorb(b); aerr != nil {
+					setErr(aerr)
+					return
+				}
+				continue
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, io.EOF) {
+				// The consumer closed its own client for a cursor-resume:
+				// redial from the delivered cursor. Anything else ending
+				// the stream is a scenario failure.
+				consumerMu.Lock()
+				wasResume := resumed
+				reconnects += client.Reconnects()
+				wireMissed += client.Missed()
+				consumerMu.Unlock()
+				if !wasResume {
+					setErr(fmt.Errorf("raw subscription ended unexpectedly"))
+					return
+				}
+				cursor := client.Cursor()
+				client.Close()
+				for ctx.Err() == nil {
+					nc, derr := hbnet.DialFrom("root", "merged", cursor, dialOpts()...)
+					if derr == nil {
+						consumerMu.Lock()
+						client, curClient = nc, nc
+						consumerMu.Unlock()
+						break
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+				continue
+			}
+			setErr(fmt.Errorf("raw subscription: %w", err))
+			return
+		}
+	}()
+	wg.Add(1)
+	go func() { // forward resume requests by closing the live client
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-resumeSignal:
+				consumerMu.Lock()
+				resumed = true
+				c := curClient
+				consumerMu.Unlock()
+				c.Close()
+			}
+		}
+	}()
+
+	rollupC, err := hbnet.DialRollup("root", "rollup", dialOpts()...)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer rollupC.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			rb, err := rollupC.NextRollups(ctx)
+			if err != nil {
+				if ctx.Err() == nil && !errors.Is(err, io.EOF) {
+					setErr(fmt.Errorf("rollup subscription: %w", err))
+				}
+				return
+			}
+			rollupMu.Lock()
+			rollups.AbsorbRollups(rb.Rollups, rb.Missed)
+			rollupMu.Unlock()
+		}
+	}()
+
+	// The fault scheduler.
+	stats := Stats{}
+	linkName := func(i int) (a, b string) {
+		if i == 0 {
+			return "mon", "root"
+		}
+		return "root", leaves[i-1].addr
+	}
+	start := clk.Now()
+schedule:
+	for _, ev := range sortedEvents(append([]Event(nil), sc.Events...)) {
+		if !sleepUntilVirtual(ctx, clk, start.Add(ev.At)) {
+			break
+		}
+		if handled, err := sc.applyProducerFault(producers, rng, clk, ev); err != nil {
+			return stats, err
+		} else if handled {
+			continue
+		}
+		switch ev.Kind {
+		case EvResume:
+			stats.Resumed = true
+			resumeSignal <- struct{}{}
+		case EvLinkBlip:
+			a, b := linkName(ev.Link)
+			nw.CutLink(a, b)
+		case EvDropBytes:
+			a, b := linkName(ev.Link)
+			nw.DropAfterBytes(a, b, int64(ev.Arg))
+		case EvPartition:
+			a, b := linkName(ev.Link)
+			nw.Partition(a, b)
+			if !sleepUntilVirtual(ctx, clk, clk.Now().Add(ev.Arg)) {
+				break schedule
+			}
+			nw.Heal(a, b)
+		case EvServerCrash:
+			n := servers[ev.Server]
+			n.mu.Lock()
+			n.srv.Close()
+			n.mu.Unlock()
+			if !sleepUntilVirtual(ctx, clk, clk.Now().Add(ev.Arg)) {
+				break schedule
+			}
+			if err := newServerOn(n); err != nil {
+				return stats, fmt.Errorf("restore server %s: %w", n.addr, err)
+			}
+		case EvListenerOutage:
+			n := servers[ev.Server]
+			nw.SetListenerDown(n.addr, true)
+			// Blip the links into the downed listener so clients must
+			// redial into the outage and back off until it lifts.
+			if n == rootNode {
+				nw.CutLink("mon", "root")
+			} else {
+				nw.CutLink("root", n.addr)
+			}
+			if !sleepUntilVirtual(ctx, clk, clk.Now().Add(ev.Arg)) {
+				break schedule
+			}
+			nw.SetListenerDown(n.addr, false)
+		}
+	}
+	sleepUntilVirtual(ctx, clk, start.Add(sc.Duration))
+
+	// Settle: pause producers, then wait until the pipeline drains and
+	// every hop agrees — consumer == root head == Σ leaf heads, rollups
+	// conserve — and the totals are stable while virtual time races on.
+	for _, p := range producers {
+		p.mu.Lock()
+		p.paused = true
+		p.mu.Unlock()
+	}
+	deadline := time.Now().Add(settleDeadline)
+	var lastTotal uint64
+	stable := 0
+	for {
+		consumerMu.Lock()
+		errNow := consumerErr
+		consumerMu.Unlock()
+		if errNow != nil {
+			break
+		}
+		var consumerTotal uint64
+		tracker.with(func(t *simcheck.Tracker) { consumerTotal = t.Delivered() + t.Missed() })
+		rootHead := root.MergedHead()
+		var leafSum uint64
+		for _, leaf := range leaves {
+			leafSum += leaf.relay.MergedHead()
+		}
+		rollupMu.Lock()
+		rollupTotal := rollups.Records + rollups.Missed
+		rollupMu.Unlock()
+		if consumerTotal == rootHead && rootHead == leafSum && rollupTotal == rootHead && consumerTotal > 0 {
+			if consumerTotal == lastTotal {
+				stable++
+				if stable >= 5 {
+					break
+				}
+			} else {
+				stable = 0
+			}
+			lastTotal = consumerTotal
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			return stats, fmt.Errorf("relay settle timed out: consumer=%d rootHead=%d leafSum=%d rollupTotal=%d",
+				consumerTotal, rootHead, leafSum, rollupTotal)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Verdict.
+	consumerMu.Lock()
+	errNow := consumerErr
+	consumerMu.Unlock()
+	if errNow != nil {
+		return stats, errNow
+	}
+	stats.SimSeconds = clk.Elapsed(start).Seconds()
+	var verdict error
+	tracker.with(func(t *simcheck.Tracker) {
+		stats.Delivered = t.Delivered()
+		stats.Missed = t.Missed()
+		stats.Lives = len(t.Lives())
+		if e := t.Err(); e != nil {
+			verdict = e
+			return
+		}
+		// Relay histories survive every injected fault, so the consumer
+		// must observe exactly one hop-local sequence space.
+		if e := t.CheckLives(1); e != nil {
+			verdict = e
+			return
+		}
+		if e := t.CheckConserved(root.MergedHead()); e != nil {
+			verdict = e
+			return
+		}
+	})
+	if verdict != nil {
+		return stats, verdict
+	}
+	rollupMu.Lock()
+	verdict = rollups.CheckConserved("rollups", root.MergedHead())
+	rollupMu.Unlock()
+	if verdict != nil {
+		return stats, verdict
+	}
+	for _, p := range producers {
+		stats.Restarts += p.lives() - 1
+	}
+	for _, c := range rootUpstreams {
+		stats.Reconnects += c.Reconnects()
+	}
+	// Wire-accounting parity: the client's own Missed tally (across every
+	// retired client plus the live one) must agree with what the tracker
+	// summed out of the delivered batches — the two independent ledgers of
+	// the same loss.
+	conRec, conMissed := consumerWire()
+	stats.Reconnects += conRec
+	if conMissed != stats.Missed {
+		return stats, fmt.Errorf("wire accounting disagrees with tracker: client missed %d, tracker missed %d",
+			conMissed, stats.Missed)
+	}
+	return stats, nil
+}
+
+// applyProducerFault applies the producer-fault arms of the schedule —
+// the one switch both topology runners share, so the direct/file and
+// relay-tree runs cannot drift apart in fault semantics. It reports
+// whether it handled the event (network faults are the relay runner's
+// own).
+func (sc Scenario) applyProducerFault(producers []*producer, rng *rand.Rand, clk *sim.Clock, ev Event) (bool, error) {
+	switch ev.Kind {
+	case EvRestart, EvRecreate:
+		if err := producers[ev.Producer].restart(ev.Kind == EvRecreate); err != nil {
+			return true, fmt.Errorf("restart producer %d: %w", ev.Producer, err)
+		}
+	case EvLap:
+		producers[ev.Producer].burst(3*sc.RingCap + rng.Intn(sc.RingCap))
+	case EvSilence:
+		producers[ev.Producer].silence(clk.Now().Add(ev.Arg))
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func sortedEvents(events []Event) []Event {
+	for i := 1; i < len(events); i++ { // insertion sort: schedules are tiny
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	return events
+}
+
+// sleepUntilVirtual blocks until the virtual clock reaches t (or ctx
+// ends); false means cancelled.
+func sleepUntilVirtual(ctx context.Context, clk *sim.Clock, t time.Time) bool {
+	for {
+		d := t.Sub(clk.Now())
+		if d <= 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-clk.After(d):
+		}
+	}
+}
+
+func closeStream(s *observer.Stream) {
+	if c, ok := (*s).(io.Closer); ok && c != nil {
+		c.Close()
+	}
+}
+
+func hasErr(m *sync.Map) bool {
+	found := false
+	m.Range(func(_, _ interface{}) bool { found = true; return false })
+	return found
+}
+
+func firstErr(m *sync.Map) error {
+	var err error
+	m.Range(func(_, v interface{}) bool { err = v.(error); return false })
+	return err
+}
+
+func settleFailure(producers []*producer, trackers []*lockedTracker) error {
+	parts := ""
+	for i, p := range producers {
+		var cursor uint64
+		trackers[i].with(func(t *simcheck.Tracker) { cursor = t.Cursor() })
+		parts += fmt.Sprintf(" p%d[cursor=%d head=%d]", i, cursor, p.head())
+	}
+	return fmt.Errorf("settle timed out:%s", parts)
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/control"
 	"repro/heartbeat"
+	"repro/internal/simcheck"
 	"repro/observer"
 	"repro/scheduler"
 )
@@ -99,26 +100,24 @@ func TestStreamFanoutNoLossNoDupAcrossResubscribe(t *testing.T) {
 		hb.Flush()
 	}()
 
-	// Consumer 3: the raw subscriber asserting exactly-once delivery, with
-	// one resubscribe (Close + SubscribeFrom at the saved cursor) halfway.
+	// Consumer 3: the raw subscriber asserting exactly-once delivery —
+	// through the shared simcheck contract checker, the same code the
+	// simulated scenario matrix runs — with one resubscribe (Close +
+	// SubscribeFrom at the saved cursor) halfway. The ring covers the full
+	// run, so any batch reporting a gap (or a duplicate) is a violation.
 	sub := hb.Subscribe(ctx)
 	defer func() { sub.Close() }()
-	var (
-		next         = uint64(1)
-		resubscribed bool
-	)
-	for next <= beats {
+	tracker := simcheck.NewTracker("raw subscriber", 0)
+	var resubscribed bool
+	for tracker.Cursor() < beats {
 		recs, err := sub.Next(ctx)
 		if err != nil {
-			t.Fatalf("consumed %d records, then: %v", next-1, err)
+			t.Fatalf("consumed %d records, then: %v", tracker.Delivered(), err)
 		}
-		for _, r := range recs {
-			if r.Seq != next {
-				t.Fatalf("expected seq %d, got %d (lost or duplicated)", next, r.Seq)
-			}
-			next++
+		if err := tracker.Absorb(observer.Batch{Records: recs}); err != nil {
+			t.Fatal(err)
 		}
-		if !resubscribed && next > beats/2 {
+		if !resubscribed && tracker.Cursor() > beats/2 {
 			cur := sub.Cursor()
 			sub.Close()
 			sub = hb.SubscribeFrom(ctx, cur)
@@ -130,6 +129,12 @@ func TestStreamFanoutNoLossNoDupAcrossResubscribe(t *testing.T) {
 	}
 	if sub.Missed() != 0 {
 		t.Fatalf("subscriber missed %d records", sub.Missed())
+	}
+	if err := tracker.CheckLives(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracker.CheckConserved(beats); err != nil {
+		t.Fatal(err)
 	}
 
 	<-producerDone
