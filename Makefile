@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build build-extras test race net-loopback sim-matrix fuzz-short docs bench-short bench bench-compare bench-net bench-relay
+.PHONY: ci vet build build-extras test race net-loopback sim-matrix fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm benchgate
 
-ci: vet build build-extras race net-loopback sim-matrix fuzz-short docs bench-short bench-compare bench-net bench-relay
+ci: vet build build-extras race net-loopback sim-matrix fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm benchgate
 
 vet:
 	$(GO) vet ./...
@@ -102,5 +102,24 @@ bench-net:
 # BENCH_relay.json next to the other trajectories.
 bench-relay:
 	$(GO) test -run '^$$' -bench 'BenchmarkRelay' -benchmem \
-		-benchtime=200ms -json ./hbnet > BENCH_relay.json
+		-benchtime=1s -json ./hbnet > BENCH_relay.json
 	$(call show-bench,BENCH_relay.json)
+
+# The shared-memory transport against loopback TCP: the same record
+# batches through both, plus the idle-tick cost of each, recorded in
+# BENCH_shm.json. The shm rows are the paper's shared-memory registry
+# claim in numbers — observation without crossing the kernel.
+bench-shm:
+	$(GO) test -run '^$$' -bench 'BenchmarkShmVsTCP' -benchmem \
+		-benchtime=1s -json ./hbshm > BENCH_shm.json
+	$(call show-bench,BENCH_shm.json)
+
+# Gate the recorded benchmarks: fan-in-32 must stay within 20% of the
+# committed baseline (tools/benchgate/baseline.json), and the shared-memory
+# transport must stay faster than loopback TCP. Run after bench-relay and
+# bench-shm have refreshed the JSON captures.
+benchgate:
+	$(GO) run ./tools/benchgate -file BENCH_relay.json -bench Relay/fanin-32 \
+		-metric records/s -baseline tools/benchgate/baseline.json -tolerance 0.20
+	$(GO) run ./tools/benchgate -file BENCH_shm.json -metric records/s \
+		-faster ShmVsTCP/shm/stream,ShmVsTCP/tcp/stream

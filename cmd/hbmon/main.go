@@ -8,6 +8,7 @@
 //
 //	hbmon -file app.hb [-interval 500ms] [-window N] [-count N] [-follow]
 //	hbmon -file app.hb -listen :9999 [-app NAME]     # relay the file over TCP
+//	hbmon -shm /dev/shm/app.shm [-listen :9999]      # watch a shared-memory region
 //	hbmon -connect HOST:9999 [-app NAME]             # watch a remote feed
 //	hbmon -connect HOST:9999 -rollup [-app NAME]     # watch a rollup feed
 //	hbmon -relay -listen :9999 \
@@ -19,6 +20,14 @@
 // read), reports how many new beats arrived, and flags records lost to
 // ring overwrite. The tail survives the file being deleted and recreated
 // by a restarted producer (the reader reopens on inode change).
+//
+// With -shm, hbmon watches a shared-memory heartbeat region (hbshm)
+// instead of a file: the same incremental tail as -follow, but an idle
+// tick is a single atomic load from the mapping — no syscalls at all.
+// Combined with -listen, hbmon exports the region as an hbnet feed, which
+// is the paper's local/global split end to end: the application publishes
+// into shared memory at store cost, and one monitor bridges it onto the
+// network for everyone else.
 //
 // With -listen, hbmon additionally serves the file as an hbnet feed so
 // observers on other machines can subscribe to it — the relay case: the
@@ -55,6 +64,7 @@ import (
 
 	"repro/hbfile"
 	"repro/hbnet"
+	"repro/hbshm"
 	"repro/observer"
 )
 
@@ -70,8 +80,9 @@ func (m *multiFlag) Set(v string) error {
 
 func main() {
 	path := flag.String("file", "", "heartbeat ring or log file to watch")
+	shm := flag.String("shm", "", "shared-memory heartbeat region to watch (hbshm)")
 	connect := flag.String("connect", "", "watch a remote hbnet feed at this address instead of a file")
-	listen := flag.String("listen", "", "serve an hbnet feed on this address (with -file: relay the file; with -relay: serve the merged and rollup feeds)")
+	listen := flag.String("listen", "", "serve an hbnet feed on this address (with -file/-shm: relay it; with -relay: serve the merged and rollup feeds)")
 	app := flag.String("app", "app", "feed name to serve (-listen) or subscribe to (-connect)")
 	interval := flag.Duration("interval", 500*time.Millisecond, "reporting interval")
 	window := flag.Int("window", 0, "rate window in beats (0 = file default)")
@@ -91,13 +102,19 @@ func main() {
 		runRelay(*listen, upstreams, upstreamFiles, *mergedFeed, *rollupFeed, *rollupInterval, *interval)
 		return
 	}
-	if (*path == "") == (*connect == "") {
-		fmt.Fprintln(os.Stderr, "hbmon: exactly one of -file or -connect is required")
+	sources := 0
+	for _, set := range []bool{*path != "", *shm != "", *connect != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "hbmon: exactly one of -file, -shm, or -connect is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *listen != "" && *path == "" {
-		fmt.Fprintln(os.Stderr, "hbmon: -listen relays a file; it requires -file (or -relay)")
+	if *listen != "" && *connect != "" {
+		fmt.Fprintln(os.Stderr, "hbmon: -listen relays a local source; it requires -file or -shm (or -relay)")
 		os.Exit(2)
 	}
 
@@ -126,6 +143,22 @@ func main() {
 		return
 	}
 
+	if *shm != "" {
+		r, err := hbshm.Open(*shm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("watching shared-memory region %s (window %d, capacity %d)\n", *shm, r.Window(), r.Capacity())
+		if *listen != "" {
+			serveFeed(*listen, *app, shmFeed(*shm, *interval/10))
+		}
+		s := hbshm.StreamFrom(r, *interval/10, 0, nil)
+		defer s.Close()
+		runFollow(s, classifier, *interval, *count)
+		return
+	}
+
 	// Accept either file variant: the bounded ring or the append-only log.
 	var (
 		source      observer.Source
@@ -151,28 +184,9 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv := hbnet.NewServer()
 		// Each subscriber opens its own reader of the file, so the relay
 		// and the local report never share a cursor.
-		if err := srv.Publish(*app, hbnet.FileFeed(*path, *interval/10)); err != nil {
-			fmt.Fprintln(os.Stderr, "hbmon:", err)
-			os.Exit(1)
-		}
-		// Bind synchronously so a bad address fails the command outright;
-		// once serving, a relay failure only warns — the local monitor
-		// keeps reporting.
-		l, err := net.Listen("tcp", *listen)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hbmon:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		go func() {
-			if err := srv.Serve(l); err != nil {
-				fmt.Fprintln(os.Stderr, "hbmon: relay stopped:", err)
-			}
-		}()
-		fmt.Printf("serving feed %q on %s\n", *app, l.Addr())
+		serveFeed(*listen, *app, hbnet.FileFeed(*path, *interval/10))
 	}
 
 	if *follow {
@@ -205,6 +219,42 @@ func main() {
 		}
 		report(classifier.Classify(snap), -1, 0)
 		time.Sleep(*interval)
+	}
+}
+
+// serveFeed exports a local source as an hbnet feed alongside the local
+// report. Binding synchronously makes a bad address fail the command
+// outright; once serving, a relay failure only warns — the local monitor
+// keeps reporting.
+func serveFeed(listen, app string, feed hbnet.Feed) {
+	srv := hbnet.NewServer()
+	if err := srv.Publish(app, feed); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbmon:", err)
+		os.Exit(1)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			fmt.Fprintln(os.Stderr, "hbmon: relay stopped:", err)
+		}
+	}()
+	fmt.Printf("serving feed %q on %s\n", app, l.Addr())
+}
+
+// shmFeed adapts a shared-memory region to an hbnet feed: each subscriber
+// maps its own reader, so remote cursors never interfere with each other
+// or with the local report (parity with hbnet.FileFeed).
+func shmFeed(path string, poll time.Duration) hbnet.Feed {
+	return func(ctx context.Context, since uint64) (observer.Stream, error) {
+		r, err := hbshm.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return hbshm.StreamFrom(r, poll, since, nil), nil
 	}
 }
 

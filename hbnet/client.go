@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,20 @@ func WithOnReconnect(f func(cursor uint64)) ClientOption {
 	return func(c *Client) { c.onReconnect = f }
 }
 
+// WithReconnectJitterSeed seeds the client's backoff jitter (the default
+// seed is process-unique per client). Every backoff wait is drawn
+// uniformly from (0, backoff] — full jitter — so a fleet of clients that
+// lost the same server at the same instant spreads its redials across the
+// whole backoff window instead of stampeding back in lockstep. A fixed
+// seed makes a test's wait sequence reproducible.
+func WithReconnectJitterSeed(seed int64) ClientOption {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// jitterSeq varies the default jitter seeds of clients created in the same
+// nanosecond — the stampede case the jitter exists for.
+var jitterSeq atomic.Int64
+
 // Client is a remote heartbeat subscription: the consuming half of an
 // hbnet connection. It satisfies observer.Stream (and io.Closer), so it
 // plugs into everything the local streams plug into — observer.Monitor,
@@ -84,6 +99,16 @@ type Client struct {
 	onReconnect func(uint64)
 	dialer      Dialer          // nil = real network
 	clk         heartbeat.Clock // nil = wall clock; paces backoff waits
+	rng         *rand.Rand      // backoff jitter; used only by the reader goroutine
+
+	// recFree recycles decoded record slices (Recycle): consumers that are
+	// done with a batch before the next Next — the Relay merge pump — make
+	// the whole read path allocation-free. A bounded free list, not a
+	// sync.Pool: the GC empties pools every cycle, and under load that
+	// turns every multi-megabyte catch-up batch into a fresh allocation
+	// plus a zeroing pass — exactly the cost recycling exists to remove.
+	recMu   sync.Mutex
+	recFree [][]heartbeat.Record
 
 	// kind is the frame type this subscription expects: frameBatch for raw
 	// record feeds (Dial), frameRollup for rollup feeds (DialRollup).
@@ -171,6 +196,9 @@ func dial(addr, feed string, since uint64, kind byte, opts []ClientOption) (*Cli
 	for _, o := range opts {
 		o(c)
 	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32))
+	}
 	c.wireCursor.Store(since)
 	c.delivered.Store(since)
 	conn, err := c.dialOnce()
@@ -203,7 +231,9 @@ func (c *Client) dialOnce() (net.Conn, error) {
 		return nil, fmt.Errorf("hbnet: dial %s: %w", c.addr, err)
 	}
 	if c.dialTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.dialTimeout))
+		// On the client's clock, not the wall's: under a virtual clock the
+		// handshake deadline is part of the simulation.
+		conn.SetDeadline(heartbeat.Now(c.clk).Add(c.dialTimeout))
 	}
 	since := c.wireCursor.Load()
 	if err := writeFrame(conn, appendHello(nil, c.feed, since)); err != nil {
@@ -282,7 +312,7 @@ func (c *Client) readLoop(conn net.Conn) {
 				failBackoff = c.backoffMax
 			}
 			select {
-			case <-heartbeat.After(c.clk, failBackoff):
+			case <-heartbeat.After(c.clk, c.jitter(failBackoff)):
 			case <-c.ctx.Done():
 				c.termErr = io.EOF
 				return
@@ -310,17 +340,27 @@ func (c *Client) readLoop(conn net.Conn) {
 // readConn forwards batches from one connection. nil means clean EOF; any
 // other return is the broken-connection (or terminal server) error.
 func (c *Client) readConn(conn net.Conn) error {
+	var rbuf []byte // reused frame buffer; every decode path copies out of it
 	for {
-		ftype, body, err := readFrame(conn)
+		ftype, body, next, err := readFrameReuse(conn, rbuf)
 		if err != nil {
 			return fmt.Errorf("hbnet: read: %w", err)
 		}
+		rbuf = next
 		switch ftype {
 		case frameBatch:
 			if c.kind != frameBatch {
 				return fmt.Errorf("%w: feed %q streams raw records — subscribe with Dial, not DialRollup", ErrRejected, c.feed)
 			}
-			b, cursor, err := decodeBatch(body)
+			var recs []heartbeat.Record
+			c.recMu.Lock()
+			if n := len(c.recFree); n > 0 {
+				recs = c.recFree[n-1]
+				c.recFree[n-1] = nil
+				c.recFree = c.recFree[:n-1]
+			}
+			c.recMu.Unlock()
+			b, cursor, err := decodeBatchInto(body, recs)
 			if err != nil {
 				// A frame that parses wrongly means the stream framing is
 				// gone; resync by reconnecting from the last good cursor.
@@ -390,12 +430,22 @@ func (c *Client) redial() (net.Conn, error) {
 		select {
 		case <-c.ctx.Done():
 			return nil, err
-		case <-heartbeat.After(c.clk, backoff):
+		case <-heartbeat.After(c.clk, c.jitter(backoff)):
 		}
 		if backoff *= 2; backoff > c.backoffMax {
 			backoff = c.backoffMax
 		}
 	}
+}
+
+// jitter draws a full-jitter wait, uniform in (0, d]: the nominal capped
+// exponential backoff bounds the wait, the draw desynchronizes it. Only
+// the reader goroutine draws, so the unsynchronized rng is safe.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d // too short to meaningfully spread; keep pacing exact
+	}
+	return time.Duration(c.rng.Int63n(int64(d))) + 1
 }
 
 // now reads the client's clock, falling back to the wall clock.
@@ -497,6 +547,34 @@ func (c *Client) Close() error {
 		c.mu.Unlock()
 	})
 	return nil
+}
+
+// BatchRecycler is implemented by streams whose delivered batches can be
+// handed back for reuse once the consumer is done with them. The Relay's
+// merge pump recycles every batch it absorbs, which at high fan-in is what
+// keeps merging allocation-free; consumers that retain a batch's records
+// simply never call it.
+type BatchRecycler interface {
+	Recycle(observer.Batch)
+}
+
+// Recycle returns a delivered batch's record slice to the client's decode
+// pool (BatchRecycler). Only call it when the consumer is completely done
+// with the batch: the records' storage is reused by a later decode.
+func (c *Client) Recycle(b observer.Batch) {
+	if cap(b.Records) == 0 {
+		return
+	}
+	c.recMu.Lock()
+	// Keep enough slices to cover the delivery channel's depth plus the
+	// batch being decoded and the one being consumed: the reader can run
+	// that far ahead of the consumer, and a bound below it would make the
+	// reader allocate fresh slices while full-grown recycled ones are
+	// dropped here.
+	if len(c.recFree) < cap(c.batches)+2 {
+		c.recFree = append(c.recFree, b.Records[:0])
+	}
+	c.recMu.Unlock()
 }
 
 // Cursor returns the newest sequence number Next has delivered — the

@@ -1,0 +1,82 @@
+package hbnet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the encode-once fan-out machinery: at high fan-out every
+// subscriber of a feed used to re-run appendBatch over the same records —
+// N subscribers, N encodes, N scratch buffers of identical bytes. A
+// frameBuf is one encoded, length-prefixed batch frame shared by every
+// subscriber positioned at the same cursor; the replay ring encodes it
+// once (frameSince) and the server writes the identical bytes to each
+// connection.
+
+// frameBuf is a pooled, reference-counted encoded frame. The encoding
+// cache (replayRing) holds one reference and each subscriber writing the
+// frame holds its own, so a slow subscriber disconnecting mid-write — or
+// the cache moving on to a newer frame — can never return the buffer to
+// the pool while another subscriber's Write is still reading it.
+type frameBuf struct {
+	data []byte
+	refs atomic.Int32
+}
+
+// framePool is a bounded free list, not a sync.Pool: the GC empties pools
+// every cycle, and a relay under load cycles GC fast enough that pooled
+// catch-up frames (megabytes each) would be reallocated — and zeroed —
+// over and over. The cap bounds retained storage; a frame released into a
+// full list is simply dropped for the GC.
+var framePool = struct {
+	mu   sync.Mutex
+	free []*frameBuf
+}{}
+
+const maxPooledFrames = 16
+
+// newFrameBuf returns an empty buffer holding one reference.
+func newFrameBuf() *frameBuf {
+	framePool.mu.Lock()
+	var fb *frameBuf
+	if n := len(framePool.free); n > 0 {
+		fb = framePool.free[n-1]
+		framePool.free[n-1] = nil
+		framePool.free = framePool.free[:n-1]
+	}
+	framePool.mu.Unlock()
+	if fb == nil {
+		fb = new(frameBuf)
+	}
+	fb.data = fb.data[:0]
+	fb.refs.Store(1)
+	return fb
+}
+
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+// release drops one reference; the last one returns the buffer (and its
+// storage) to the pool.
+func (fb *frameBuf) release() {
+	if n := fb.refs.Add(-1); n == 0 {
+		framePool.mu.Lock()
+		if len(framePool.free) < maxPooledFrames {
+			framePool.free = append(framePool.free, fb)
+		}
+		framePool.mu.Unlock()
+	} else if n < 0 {
+		panic("hbnet: frameBuf released more often than retained")
+	}
+}
+
+// frameStream is the zero-copy fast path of a feed's stream: NextFrame
+// returns the next delivery as an encoded, ref-counted batch frame whose
+// bytes are shared with every other subscriber at the same cursor. The
+// caller owns one reference and must release it after writing. It follows
+// Next's blocking and error contract (io.EOF at stream end, ctx errors on
+// cancellation). Streams whose encodes cannot be shared simply don't
+// implement it; the server falls back to Next + appendBatch.
+type frameStream interface {
+	NextFrame(ctx context.Context) (*frameBuf, error)
+}

@@ -2,6 +2,7 @@ package hbnet
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -78,16 +79,46 @@ type replayRing struct {
 	recs   []heartbeat.Record // ring storage, strictly increasing Seq
 	start  int
 	n      int
-	head   uint64 // newest assigned seq, counting gap (missed) seqs
+	head uint64 // newest assigned seq, counting gap (missed) seqs
+	// notify wakes blocked subscribers; nil while nobody waits. Lazy on
+	// purpose: an append only pays for a channel when a subscriber is
+	// actually parked, so the saturated fan-in steady state — subscribers
+	// always behind, never waiting — closes and recreates nothing.
 	notify chan struct{}
 	closed bool
+
+	// Encode-once fan-out cache (guarded by mu): the encoded frame of the
+	// last frameSince read, keyed by the cursor it was read from. In the
+	// fan-out steady state every subscriber sits at the same cursor, so N
+	// subscribers share one encode and one buffer instead of paying N.
+	// Invalidated (its reference released) by every append.
+	fbuf *frameBuf
+	fkey uint64 // the `since` the cached frame was encoded for
+	fcur uint64 // the cursor the cached frame advances to
 }
 
 func newReplayRing(capacity int) *replayRing {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &replayRing{recs: make([]heartbeat.Record, capacity), notify: make(chan struct{})}
+	return &replayRing{recs: make([]heartbeat.Record, capacity)}
+}
+
+// wakeLocked wakes parked subscribers, if any. Callers hold r.mu.
+func (r *replayRing) wakeLocked() {
+	if r.notify != nil {
+		close(r.notify)
+		r.notify = nil
+	}
+}
+
+// waitChanLocked returns the channel a subscriber with nothing to read
+// parks on, creating it on first need. Callers hold r.mu.
+func (r *replayRing) waitChanLocked() <-chan struct{} {
+	if r.notify == nil {
+		r.notify = make(chan struct{})
+	}
+	return r.notify
 }
 
 // append re-sequences recs into the ring. missed widens the sequence space
@@ -112,8 +143,11 @@ func (r *replayRing) append(recs []heartbeat.Record, missed uint64, producer int
 			r.start = (r.start + 1) % len(r.recs)
 		}
 	}
-	close(r.notify)
-	r.notify = make(chan struct{})
+	if r.fbuf != nil {
+		r.fbuf.release()
+		r.fbuf = nil
+	}
+	r.wakeLocked()
 	r.mu.Unlock()
 }
 
@@ -122,8 +156,7 @@ func (r *replayRing) close() {
 	r.mu.Lock()
 	if !r.closed {
 		r.closed = true
-		close(r.notify)
-		r.notify = make(chan struct{})
+		r.wakeLocked()
 	}
 	r.mu.Unlock()
 }
@@ -136,11 +169,13 @@ func (r *replayRing) close() {
 func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, cur uint64, notify <-chan struct{}, closed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	notify, closed = r.notify, r.closed
+	closed = r.closed
 	if r.head <= since {
 		// Idle — or a foreign cursor from a previous relay life (head <
 		// since): return head either way so the caller resynchronizes.
-		return nil, r.head, notify, closed
+		// Only this branch can leave the caller waiting, so only it pays
+		// for a wait channel.
+		return nil, r.head, r.waitChanLocked(), closed
 	}
 	// First retained index with Seq > since (records are Seq-ordered).
 	i := sort.Search(r.n, func(i int) bool {
@@ -163,6 +198,64 @@ func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, c
 		cur = r.head
 	}
 	return out, cur, notify, closed
+}
+
+// frameSince is readSince's zero-copy counterpart: the same read, returned
+// as an encoded batch frame built directly from ring storage — no record
+// slice is materialized, and the encode happens at most once per (cursor,
+// head) because the result is cached until the next append. The returned
+// frame carries one reference owned by the caller; release it after
+// writing. A nil frame means nothing newer than since exists — cur then
+// reports head so the caller can resynchronize (cur < since) or wait on
+// notify (cur == since).
+//
+// Frame size needs no guard here: take <= maxRelayBatch and a worst-case
+// record encodes to ~35 bytes, keeping every frame far inside
+// maxFramePayload.
+func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64, notify <-chan struct{}, closed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	closed = r.closed
+	if r.head <= since {
+		return nil, r.head, r.waitChanLocked(), closed
+	}
+	if r.fbuf != nil && r.fkey == since {
+		r.fbuf.retain()
+		return r.fbuf, r.fcur, notify, closed
+	}
+	i := sort.Search(r.n, func(i int) bool {
+		return r.recs[(r.start+i)%len(r.recs)].Seq > since
+	})
+	take := r.n - i
+	truncated := take > max
+	if truncated {
+		take = max
+		cur = r.recs[(r.start+i+take-1)%len(r.recs)].Seq
+	} else {
+		cur = r.head // trailing gap seqs are accounted in the same read
+	}
+	var b observer.Batch
+	b.Count = cur
+	if d := cur - since; d > uint64(take) {
+		b.Missed = d - uint64(take)
+	}
+	fb = newFrameBuf()
+	buf := append(fb.data, 0, 0, 0, 0)
+	buf = appendBatchMeta(buf, b, cur, take)
+	var prevSeq uint64
+	var prevNanos int64
+	for k := 0; k < take; k++ {
+		buf = appendRecordDelta(buf, r.recs[(r.start+i+k)%len(r.recs)], &prevSeq, &prevNanos)
+	}
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	fb.data = buf
+	// The cache takes its own reference; the caller keeps the original.
+	fb.retain()
+	if r.fbuf != nil {
+		r.fbuf.release()
+	}
+	r.fbuf, r.fkey, r.fcur = fb, since, cur
+	return fb, cur, notify, closed
 }
 
 // replayStream is one subscriber's cursor over a replayRing; it satisfies
@@ -201,6 +294,34 @@ func (s *replayStream) Next(ctx context.Context) (observer.Batch, error) {
 		select {
 		case <-ctx.Done():
 			return observer.Batch{}, ctx.Err()
+		case <-notify:
+		}
+	}
+}
+
+// NextFrame is the server's zero-copy fast path over the ring: the same
+// replay-resync-loss semantics as Next, delivered as a pre-encoded frame
+// shared with every other subscriber at the same cursor (frameStream).
+func (s *replayStream) NextFrame(ctx context.Context) (*frameBuf, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		fb, cur, notify, closed := s.ring.frameSince(s.cursor, maxRelayBatch)
+		if cur < s.cursor {
+			s.cursor = 0 // previous relay life: resynchronize (see Next)
+			continue
+		}
+		if fb != nil {
+			s.cursor = cur
+			return fb, nil
+		}
+		if closed {
+			return nil, io.EOF
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		case <-notify:
 		}
 	}
@@ -481,6 +602,7 @@ type relayUpstream struct {
 	app     string
 	id      int32
 	stream  observer.Stream
+	rec     BatchRecycler // stream's recycler, when it has one
 	cancel  context.CancelFunc
 	pumping bool
 	eof     bool
@@ -536,6 +658,7 @@ func (r *Relay) AddUpstream(app string, stream observer.Stream) error {
 		return fmt.Errorf("hbnet: duplicate upstream %q", app)
 	}
 	up := &relayUpstream{app: app, id: int32(len(r.order)), stream: stream}
+	up.rec, _ = stream.(BatchRecycler)
 	r.ups[app] = up
 	r.order = append(r.order, app)
 	r.ds.Track(app) // silent upstreams still roll up, as silence
@@ -734,11 +857,98 @@ func (r *Relay) handleEvent(ev relayEvent) {
 }
 
 // absorbLocked merges one upstream batch: into the replay ring (re-
-// sequenced, loss-widened) and into the app's rollup window. Callers hold
-// r.mu.
+// sequenced, loss-widened) and into the app's rollup window. Both copy the
+// record values out, so the batch's slice can go straight back to the
+// upstream's decode pool — at high fan-in that recycling is what keeps the
+// merge path allocation-free. Callers hold r.mu.
 func (r *Relay) absorbLocked(up *relayUpstream, b observer.Batch) {
 	r.merged.append(b.Records, b.Missed, up.id)
 	r.ds.Absorb(up.app, b)
+	if up.rec != nil {
+		up.rec.Recycle(b)
+	}
+}
+
+// pollTimeout is a reusable deadline context for the pump's bounded Next
+// waits: one context and one timer per pump instead of one of each per
+// batch (heartbeat.ContextWithTimeout in the hot loop is a measurable
+// allocation rate at high fan-in). arm begins a new wait; a fired deadline
+// reports context.DeadlineExceeded until the next arm; parent cancellation
+// is terminal. Single-consumer, like the pump loop that owns it: arm and
+// disarm never overlap a live wait.
+type pollTimeout struct {
+	parent context.Context
+	timer  *time.Timer
+
+	mu    sync.Mutex
+	done  chan struct{}
+	err   error
+	armed bool
+}
+
+func newPollTimeout(parent context.Context) *pollTimeout {
+	p := &pollTimeout{parent: parent, done: make(chan struct{})}
+	go func() {
+		<-parent.Done()
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = parent.Err()
+			close(p.done)
+		}
+		p.mu.Unlock()
+	}()
+	return p
+}
+
+func (p *pollTimeout) fire() {
+	p.mu.Lock()
+	if p.armed && p.err == nil {
+		p.armed = false
+		p.err = context.DeadlineExceeded
+		close(p.done)
+	}
+	p.mu.Unlock()
+}
+
+// arm begins a new wait of d, clearing a previous wait's expiry. A stale
+// timer firing across the arm can only expire the new wait early — a
+// spurious timeout the pump already treats as an idle re-poll.
+func (p *pollTimeout) arm(d time.Duration) {
+	p.mu.Lock()
+	if p.err == context.DeadlineExceeded {
+		p.err = nil
+		p.done = make(chan struct{})
+	}
+	p.armed = p.err == nil
+	p.mu.Unlock()
+	if p.timer == nil {
+		p.timer = time.AfterFunc(d, p.fire)
+	} else {
+		p.timer.Reset(d)
+	}
+}
+
+// disarm ends the current wait without expiring it.
+func (p *pollTimeout) disarm() {
+	p.timer.Stop()
+	p.mu.Lock()
+	p.armed = false
+	p.mu.Unlock()
+}
+
+func (p *pollTimeout) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (p *pollTimeout) Value(key any) any           { return p.parent.Value(key) }
+
+func (p *pollTimeout) Done() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+func (p *pollTimeout) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 // startPumpLocked starts the goroutine that blocks in the upstream's Next
@@ -758,13 +968,28 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 			r.mu.Unlock()
 			r.pumps.Done()
 		}()
+		// Wall-clock (and coarse-clock) relays poll through one reusable
+		// timeout context; virtual WaitClocks need ContextWithTimeout's
+		// clock-driven expiry and never care about allocation rates.
+		var pt *pollTimeout
+		if _, isWait := r.clk.(heartbeat.WaitClock); !isWait {
+			pt = newPollTimeout(pctx)
+		}
 		for {
 			// Bound each wait by the rollup interval: re-entering Next is
 			// itself a read for poll-based upstreams, so a low-rate
 			// in-process upstream still publishes at least once per window.
-			nctx, ncancel := heartbeat.ContextWithTimeout(pctx, r.clk, r.rollupEvery)
-			b, err := up.stream.Next(nctx)
-			ncancel()
+			var b observer.Batch
+			var err error
+			if pt != nil {
+				pt.arm(r.rollupEvery)
+				b, err = up.stream.Next(pt)
+				pt.disarm()
+			} else {
+				nctx, ncancel := heartbeat.ContextWithTimeout(pctx, r.clk, r.rollupEvery)
+				b, err = up.stream.Next(nctx)
+				ncancel()
+			}
 			if err == nil {
 				select {
 				case r.events <- relayEvent{up: up, batch: b}:

@@ -82,6 +82,14 @@ func WithServerOnError(f func(error)) ServerOption {
 	return func(s *Server) { s.onError = f }
 }
 
+// WithServerClock computes the handshake and write deadlines on clk
+// (default: the wall clock). Under a virtual clock — with connections that
+// honor deadlines on the same clock, as simnet's do — simulated scenarios
+// drive the server's timeout paths deterministically instead of never.
+func WithServerClock(clk heartbeat.Clock) ServerOption {
+	return func(s *Server) { s.clk = clk }
+}
+
 // Server fans named heartbeat feeds out to TCP subscribers. Publish feeds,
 // then drive it with Serve (or ListenAndServe); subscribers dial in with
 // Dial naming the feed they want. A server with many published feeds is
@@ -94,6 +102,7 @@ type Server struct {
 	writeTimeout     time.Duration
 	handshakeTimeout time.Duration
 	onError          func(error)
+	clk              heartbeat.Clock // nil = wall clock; deadline arithmetic
 
 	mu        sync.Mutex
 	feeds     map[string]feedEntry
@@ -270,7 +279,7 @@ func (s *Server) Close() error {
 // serveConn runs one subscriber: handshake, replay-then-live-push, done.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	if s.handshakeTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout))
+		conn.SetReadDeadline(heartbeat.Now(s.clk).Add(s.handshakeTimeout))
 	}
 	ftype, body, err := readFrame(conn)
 	if err != nil {
@@ -316,8 +325,17 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 	defer cancel()
 	defer unwatch()
 
+	if fs, ok := stream.(frameStream); ok {
+		return s.serveFrames(ctx, conn, name, fs)
+	}
+
 	cursor := since
 	buf := make([]byte, 0, 4096)
+	// The encode loop never retains records past appendBatch, so streams
+	// that can reuse their record storage (BatchRecycler) get each batch
+	// back as soon as its bytes are framed — the server side of the same
+	// recycling contract the Relay pump uses on its upstream clients.
+	rec, _ := stream.(BatchRecycler)
 	for {
 		b, err := stream.Next(ctx)
 		switch {
@@ -331,14 +349,38 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 			s.writeTimed(conn, appendError(nil, err.Error(), false))
 			return fmt.Errorf("feed %q: %w", name, err)
 		}
+		if len(b.Records) <= maxRecordsPerFrame {
+			// The steady-state push: one reused buffer, one Write, no
+			// per-batch allocation (the length prefix is encoded in place).
+			cursor = advanceCursor(cursor, b)
+			buf = appendBatch(append(buf[:0], 0, 0, 0, 0), b, cursor)
+			if len(buf)-4 > maxFramePayload {
+				// Cannot happen with the record cap; guard it with a
+				// visible, permanent error rather than a silent livelock.
+				s.writeTimed(conn, appendError(nil, errFrameTooLarge.Error(), true))
+				return fmt.Errorf("feed %q: %w", name, errFrameTooLarge)
+			}
+			binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+			if rec != nil {
+				rec.Recycle(b)
+			}
+			if err := s.writeRaw(conn, buf); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("writing batch: %w", err)
+			}
+			continue
+		}
 		// A huge replay (a subscriber dialing from 0 against a very large
-		// retained history arrives as ONE batch) must not exceed the
-		// frame cap — aborting would make the client redial from the
-		// same cursor and rebuild the same batch forever. Split the
-		// records across frames instead; the cursor advances per chunk,
-		// so even a disconnect mid-split resumes exactly.
+		// retained history arrives as ONE batch) must not exceed the frame
+		// cap — aborting would make the client redial from the same cursor
+		// and rebuild the same batch forever. Split the records across
+		// frames and flush them in one vectored write; the cursor advances
+		// per chunk, so even a disconnect mid-split resumes exactly.
+		var group net.Buffers
 		recs := b.Records
-		for first := true; ; first = false {
+		for first := true; len(recs) > 0; first = false {
 			chunk := b
 			chunk.Records = recs
 			if len(recs) > maxRecordsPerFrame {
@@ -349,26 +391,53 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) error {
 				chunk.Missed = 0 // lapped records are reported once
 			}
 			cursor = advanceCursor(cursor, chunk)
-			// Encode the length prefix in place so the steady-state push
-			// is one reused buffer and one Write — no per-batch
-			// allocation.
-			buf = appendBatch(append(buf[:0], 0, 0, 0, 0), chunk, cursor)
-			if len(buf)-4 > maxFramePayload {
-				// Cannot happen with the record cap; guard it with a
-				// visible, permanent error rather than a silent livelock.
+			cb := appendBatch(make([]byte, 4, 4+len(chunk.Records)*8), chunk, cursor)
+			if len(cb)-4 > maxFramePayload {
 				s.writeTimed(conn, appendError(nil, errFrameTooLarge.Error(), true))
 				return fmt.Errorf("feed %q: %w", name, errFrameTooLarge)
 			}
-			binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
-			if err := s.writeRaw(conn, buf); err != nil {
-				if ctx.Err() != nil {
-					return nil
-				}
-				return fmt.Errorf("writing batch: %w", err)
+			binary.BigEndian.PutUint32(cb, uint32(len(cb)-4))
+			group = append(group, cb)
+		}
+		if rec != nil {
+			rec.Recycle(b)
+		}
+		if err := s.writeBuffers(conn, &group); err != nil {
+			if ctx.Err() != nil {
+				return nil
 			}
-			if len(recs) == 0 {
-				break
+			return fmt.Errorf("writing batch: %w", err)
+		}
+	}
+}
+
+// serveFrames is serveConn's push loop on the encode-once fast path: the
+// stream hands each delivery over as a pre-encoded, ref-counted frame
+// shared with every other subscriber at the same cursor, and the server
+// writes the identical bytes to each connection — no per-connection
+// encode, no per-connection buffer. The stream advances its own cursor
+// (the frame embeds it), so resume semantics are unchanged.
+func (s *Server) serveFrames(ctx context.Context, conn net.Conn, name string, stream frameStream) error {
+	for {
+		fb, err := stream.NextFrame(ctx)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			s.writeTimed(conn, []byte{frameEOF})
+			return nil
+		case ctx.Err() != nil:
+			return nil // subscriber went away or server closed: not a failure
+		default:
+			s.writeTimed(conn, appendError(nil, err.Error(), false))
+			return fmt.Errorf("feed %q: %w", name, err)
+		}
+		werr := s.writeRaw(conn, fb.data)
+		fb.release()
+		if werr != nil {
+			if ctx.Err() != nil {
+				return nil
 			}
+			return fmt.Errorf("writing batch: %w", werr)
 		}
 	}
 }
@@ -447,15 +516,28 @@ func (s *Server) serveRollup(ctx context.Context, conn net.Conn, name string, fe
 
 // advanceCursor computes the resume cursor after delivering b. For real
 // sequence numbers (every built-in stream) the newest record's Seq is
-// exact — including when it regressed below the cursor, which means the
-// underlying stream resynchronized to a restarted producer's new seq
-// space and the wire cursor must follow it down (a synthetic cursor left
-// above the new head would make the next resume resync again and replay
-// everything already delivered). Foreign zero-Seq streams fall back to
-// counting delivered and lapped records.
+// exact for everything up to that record — including when it regressed
+// below the cursor, which means the underlying stream resynchronized to a
+// restarted producer's new seq space and the wire cursor must follow it
+// down (a synthetic cursor left above the new head would make the next
+// resume resync again and replay everything already delivered). What the
+// last Seq does NOT cover is Missed that trails it: a batch may account
+// for more stream positions than the cursor-to-last-Seq span (a ring that
+// lapped between its newest retained record and its head), and a cursor
+// left at the last Seq would make the next read re-report that loss.
+// Advance past the excess. Foreign zero-Seq streams fall back to counting
+// delivered and lapped records.
 func advanceCursor(cursor uint64, b observer.Batch) uint64 {
 	if n := len(b.Records); n > 0 && b.Records[n-1].Seq > 0 {
-		return b.Records[n-1].Seq
+		last := b.Records[n-1].Seq
+		if last < cursor {
+			return last // resync-down: the new seq space's head is exact
+		}
+		span := last - cursor
+		if accounted := uint64(n) + b.Missed; accounted > span {
+			return last + (accounted - span) // trailing Missed
+		}
+		return last
 	}
 	return cursor + uint64(len(b.Records)) + b.Missed
 }
@@ -464,7 +546,7 @@ func advanceCursor(cursor uint64, b observer.Batch) uint64 {
 // timeout (the rare handshake/shutdown frames; batches use writeRaw).
 func (s *Server) writeTimed(conn net.Conn, payload []byte) error {
 	if s.writeTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		conn.SetWriteDeadline(heartbeat.Now(s.clk).Add(s.writeTimeout))
 	}
 	err := writeFrame(conn, payload)
 	if s.writeTimeout > 0 {
@@ -476,9 +558,22 @@ func (s *Server) writeTimed(conn net.Conn, payload []byte) error {
 // writeRaw writes an already-framed buffer under the write timeout.
 func (s *Server) writeRaw(conn net.Conn, framed []byte) error {
 	if s.writeTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		conn.SetWriteDeadline(heartbeat.Now(s.clk).Add(s.writeTimeout))
 	}
 	_, err := conn.Write(framed)
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// writeBuffers writes a group of already-framed buffers under the write
+// timeout in one vectored write (writev, on platforms that batch it).
+func (s *Server) writeBuffers(conn net.Conn, group *net.Buffers) error {
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(heartbeat.Now(s.clk).Add(s.writeTimeout))
+	}
+	_, err := group.WriteTo(conn)
 	if s.writeTimeout > 0 {
 		conn.SetWriteDeadline(time.Time{})
 	}

@@ -25,12 +25,14 @@ func WithDialer(d Dialer) ClientOption {
 	return func(c *Client) { c.dialer = d }
 }
 
-// WithClientClock runs the client's time on clk: reconnect backoff waits
-// and the connection-survival measurement that paces immediately-dying
-// connections follow clk, so a virtual clock makes an outage window a
+// WithClientClock runs the client's time on clk: reconnect backoff waits,
+// the connection-survival measurement that paces immediately-dying
+// connections, and the dial/handshake deadline all follow clk, so a
+// virtual clock makes an outage window — and a hung handshake — a
 // simulation event instead of a host sleep. A nil clk is the wall clock.
-// Socket deadlines (dial/handshake) remain real time: they bound host I/O,
-// which no virtual clock governs.
+// Deadlines computed on a virtual clock only bound connections whose
+// transport evaluates them on the same clock (simnet does; a kernel
+// socket checks them against real time).
 func WithClientClock(clk heartbeat.Clock) ClientOption {
 	return func(c *Client) { c.clk = clk }
 }

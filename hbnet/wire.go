@@ -67,22 +67,35 @@ func writeFrame(w io.Writer, payload []byte) error {
 // readFrame reads one frame and returns its type and body (payload minus
 // the type byte). The returned body aliases a fresh allocation.
 func readFrame(r io.Reader) (ftype byte, body []byte, err error) {
+	ftype, body, _, err = readFrameReuse(r, nil)
+	return ftype, body, err
+}
+
+// readFrameReuse is readFrame reading into buf's storage (grown as
+// needed); it returns the possibly-grown buffer for the caller to pass
+// back in. The returned body aliases that buffer and is valid only until
+// the next call — every decode path copies what it keeps, so a
+// steady-state reader (Client.readConn) pays zero allocation per frame.
+func readFrameReuse(r io.Reader, buf []byte) (ftype byte, body, next []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return 0, nil, fmt.Errorf("hbnet: empty frame")
+		return 0, nil, buf, fmt.Errorf("hbnet: empty frame")
 	}
 	if n > maxFramePayload {
-		return 0, nil, errFrameTooLarge
+		return 0, nil, buf, errFrameTooLarge
 	}
-	payload := make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("hbnet: short frame: %w", err)
+		return 0, nil, buf, fmt.Errorf("hbnet: short frame: %w", err)
 	}
-	return payload[0], payload[1:], nil
+	return payload[0], payload[1:], buf, nil
 }
 
 // appendHello encodes the subscriber handshake.
@@ -162,6 +175,21 @@ const batchFlagTargetSet = 1 << 0
 // streams compress to a couple of bytes per record while still encoding
 // foreign streams with zero or non-monotone sequence numbers faithfully.
 func appendBatch(dst []byte, b observer.Batch, cursor uint64) []byte {
+	dst = appendBatchMeta(dst, b, cursor, len(b.Records))
+	var prevSeq uint64
+	var prevNanos int64
+	for _, r := range b.Records {
+		dst = appendRecordDelta(dst, r, &prevSeq, &prevNanos)
+	}
+	return dst
+}
+
+// appendBatchMeta encodes a batch frame's fixed fields and the record
+// count; the caller appends exactly nrecords records with
+// appendRecordDelta. Split out so the replay ring's encode-once fan-out
+// (frameSince) shares the exact wire format with appendBatch instead of
+// duplicating it.
+func appendBatchMeta(dst []byte, b observer.Batch, cursor uint64, nrecords int) []byte {
 	dst = append(dst, frameBatch)
 	dst = binary.AppendUvarint(dst, cursor)
 	dst = binary.AppendUvarint(dst, b.Count)
@@ -176,21 +204,30 @@ func appendBatch(dst []byte, b observer.Batch, cursor uint64) []byte {
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.TargetMin))
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.TargetMax))
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(b.Records)))
-	var prevSeq uint64
-	var prevNanos int64
-	for _, r := range b.Records {
-		dst = binary.AppendVarint(dst, int64(r.Seq-prevSeq))
-		nanos := r.Time.UnixNano()
-		dst = binary.AppendVarint(dst, nanos-prevNanos)
-		dst = binary.AppendVarint(dst, r.Tag)
-		dst = binary.AppendVarint(dst, int64(r.Producer))
-		prevSeq, prevNanos = r.Seq, nanos
-	}
+	return binary.AppendUvarint(dst, uint64(nrecords))
+}
+
+// appendRecordDelta encodes one record as deltas from its predecessor,
+// threading the predecessor state through prevSeq/prevNanos.
+func appendRecordDelta(dst []byte, r heartbeat.Record, prevSeq *uint64, prevNanos *int64) []byte {
+	dst = binary.AppendVarint(dst, int64(r.Seq-*prevSeq))
+	nanos := r.Time.UnixNano()
+	dst = binary.AppendVarint(dst, nanos-*prevNanos)
+	dst = binary.AppendVarint(dst, r.Tag)
+	dst = binary.AppendVarint(dst, int64(r.Producer))
+	*prevSeq, *prevNanos = r.Seq, nanos
 	return dst
 }
 
 func decodeBatch(body []byte) (b observer.Batch, cursor uint64, err error) {
+	return decodeBatchInto(body, nil)
+}
+
+// decodeBatchInto is decodeBatch appending into recs (which may be nil or
+// a recycled slice): with a pooled slice the steady-state decode path
+// allocates nothing, which is what Client.Recycle buys the Relay's merge
+// pump. The returned batch's Records alias recs's storage.
+func decodeBatchInto(body []byte, recs []heartbeat.Record) (b observer.Batch, cursor uint64, err error) {
 	d := decoder{buf: body}
 	cursor = d.uvarint()
 	b.Count = d.uvarint()
@@ -209,7 +246,11 @@ func decodeBatch(body []byte) (b observer.Batch, cursor uint64, err error) {
 		return observer.Batch{}, 0, fmt.Errorf("hbnet: batch claims %d records in %d bytes", n, len(body))
 	}
 	if n > 0 && d.err == nil {
-		b.Records = make([]heartbeat.Record, 0, n)
+		if cap(recs) > 0 {
+			b.Records = recs[:0]
+		} else {
+			b.Records = make([]heartbeat.Record, 0, n)
+		}
 		var prevSeq uint64
 		var prevNanos int64
 		for i := uint64(0); i < n; i++ {

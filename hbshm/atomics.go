@@ -1,0 +1,24 @@
+package hbshm
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic views over the mapped region. Every mutable word in the layout is
+// 8-byte aligned (the mapping is page-aligned and all offsets are
+// multiples of 8), which is what makes addressing mapped bytes as atomics
+// sound — the same trick the in-process store plays with ordinary struct
+// fields, relocated into memory two processes share.
+
+func wordU64(mem []byte, off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&mem[off]))
+}
+
+func wordI64(mem []byte, off int) *atomic.Int64 {
+	return (*atomic.Int64)(unsafe.Pointer(&mem[off]))
+}
+
+func wordI32(mem []byte, off int) *atomic.Int32 {
+	return (*atomic.Int32)(unsafe.Pointer(&mem[off]))
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package hbshm
+
+import (
+	"fmt"
+	"os"
+)
+
+// The shared-memory ring needs mmap; platforms without a unix mmap get a
+// clean error instead of a build failure, so the rest of the module still
+// compiles and the caller can fall back to the file ring (hbfile).
+func mmapFile(f *os.File, size int, writable bool) ([]byte, error) {
+	return nil, fmt.Errorf("hbshm: shared-memory mapping not supported on this platform")
+}
+
+func munmap(mem []byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package hbshm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f's first size bytes shared; writable selects the
+// protection. The mapping is shared (MAP_SHARED) in both cases — that is
+// the whole point: stores by the writing process are the loads of every
+// observer.
+func mmapFile(f *os.File, size int, writable bool) ([]byte, error) {
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size, prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("hbshm: mmap: %w", err)
+	}
+	return mem, nil
+}
+
+func munmap(mem []byte) error {
+	if mem == nil {
+		return nil
+	}
+	return syscall.Munmap(mem)
+}

@@ -1,0 +1,187 @@
+package hbshm
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/heartbeat"
+)
+
+// Writer publishes heartbeats into a shared-memory ring for external
+// observers. It implements heartbeat.Sink, heartbeat.BatchSink, and
+// heartbeat.TargetSink, so it is normally attached with
+// heartbeat.WithSink — exactly like the file ring's writer, with each
+// record costing stores into mapped memory instead of a write(2). A
+// region has exactly one writing process; within that process Writer is
+// safe for concurrent use.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	mem      []byte
+	capacity uint64
+	mask     uint64 // capacity - 1, for slot addressing
+	cursor   uint64 // highest sequence number published
+	closed   bool
+}
+
+var _ heartbeat.TargetSink = (*Writer)(nil)
+var _ heartbeat.BatchSink = (*Writer)(nil)
+
+// Create creates (or truncates) a shared-memory heartbeat region at path
+// retaining capacity records (rounded up to a power of two) and
+// advertising the application's default window. Put path on a memory
+// filesystem (/dev/shm on Linux) to keep the ring purely in memory; any
+// mmap-able filesystem works.
+func Create(path string, window, capacity int) (*Writer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("hbshm: invalid window %d", window)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("hbshm: invalid capacity %d", capacity)
+	}
+	capacity = nextPow2(capacity)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hbshm: create: %w", err)
+	}
+	size := regionSize(capacity)
+	// Size the file before mapping so observers never fault on a short
+	// region, then write the static header through the mapping itself.
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hbshm: truncate: %w", err)
+	}
+	mem, err := mmapFile(f, size, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	copy(mem[offMagic:], Magic)
+	byteOrder.PutUint32(mem[offVersion:], Version)
+	byteOrder.PutUint32(mem[offRecordSize:], RecordSize)
+	byteOrder.PutUint64(mem[offCapacity:], uint64(capacity))
+	byteOrder.PutUint64(mem[offWindow:], uint64(window))
+	return &Writer{f: f, mem: mem, capacity: uint64(capacity), mask: uint64(capacity) - 1}, nil
+}
+
+// WriteRecord publishes one heartbeat record (heartbeat.Sink). Records may
+// arrive out of sequence order when multiple goroutines beat concurrently;
+// the head only ever moves forward.
+func (w *Writer) WriteRecord(r heartbeat.Record) error {
+	if r.Seq == 0 {
+		return fmt.Errorf("hbshm: record with zero sequence number")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbshm: writer closed")
+	}
+	w.writeSlotLocked(r)
+	if r.Seq > w.cursor {
+		w.cursor = r.Seq
+		wordU64(w.mem, offHead).Store(r.Seq)
+	}
+	return nil
+}
+
+// WriteRecords publishes an ordered batch of records (heartbeat.BatchSink):
+// the lock is taken and the head advanced once for the whole batch.
+func (w *Writer) WriteRecords(recs []heartbeat.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, r := range recs {
+		if r.Seq == 0 {
+			return fmt.Errorf("hbshm: record with zero sequence number")
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbshm: writer closed")
+	}
+	cursor := w.cursor
+	for _, r := range recs {
+		w.writeSlotLocked(r)
+		if r.Seq > cursor {
+			cursor = r.Seq
+		}
+	}
+	if cursor > w.cursor {
+		w.cursor = cursor
+		// Head is stored after the batch's slots (mirroring the file
+		// ring's cursor), so a head an observer loads only ever promises
+		// records that were already published — and, dually, a slot that
+		// fails to validate under a head covering it is permanently gone.
+		wordU64(w.mem, offHead).Store(cursor)
+	}
+	return nil
+}
+
+// writeSlotLocked performs one seqlock slot write: zero the sequence word
+// (readers of the old record now see it mid-write), store the fields,
+// publish the new sequence number last. A reader that loads seq, copies
+// fields, and re-loads the same seq can never observe a torn record.
+//
+// Only the two sequence-word stores are atomic. The field stores between
+// them are plain: the bracketing atomics order them (neither the compiler
+// nor the CPU moves a store across a sequentially-consistent one), and a
+// sequentially-consistent store is an XCHG on amd64 — paying that per
+// field would triple the per-record publish cost for ordering the seqlock
+// already provides. Readers still load the fields atomically, which is
+// what the validating re-load's ordering needs on weaker architectures.
+func (w *Writer) writeSlotLocked(r heartbeat.Record) {
+	off := slotOff(r.Seq, w.mask)
+	wordU64(w.mem, off+recOffSeq).Store(0)
+	byteOrder.PutUint64(w.mem[off+recOffTime:], uint64(r.Time.UnixNano()))
+	byteOrder.PutUint64(w.mem[off+recOffTag:], uint64(r.Tag))
+	byteOrder.PutUint32(w.mem[off+recOffProducer:], uint32(r.Producer))
+	wordU64(w.mem, off+recOffSeq).Store(r.Seq)
+}
+
+// WriteTarget publishes the target heart-rate range (heartbeat.TargetSink).
+// Readers validate against the version word: odd means mid-update.
+func (w *Writer) WriteTarget(min, max float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("hbshm: writer closed")
+	}
+	ver := wordU64(w.mem, offTargetVer)
+	ver.Add(1) // odd: update in progress
+	wordU64(w.mem, offTargetMin).Store(math.Float64bits(min))
+	wordU64(w.mem, offTargetMax).Store(math.Float64bits(max))
+	ver.Add(1) // even: stable
+	return nil
+}
+
+// Cursor returns the highest sequence number published so far.
+func (w *Writer) Cursor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursor
+}
+
+// Close marks the region ended — observers drain what is published and
+// then see stream end — and unmaps it. The file is left in place for
+// late observers (remove it separately when the history should vanish).
+// Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	// The closed flag is stored after the final head, so an observer that
+	// sees it and then re-reads head is guaranteed the final cursor.
+	wordU64(w.mem, offClosed).Store(1)
+	err := munmap(w.mem)
+	w.mem = nil
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

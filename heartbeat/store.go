@@ -31,7 +31,10 @@ type store interface {
 	// that is still mid-write so the next readSince retries it, whereas
 	// overwritten (or skipped) records are passed over for good — the
 	// caller detects that loss as cursor-since exceeding len(records).
-	readSince(since uint64) ([]Record, uint64)
+	// buf, when its capacity suffices, becomes the backing storage of the
+	// returned slice (pass nil for a fresh allocation) — the reuse hook
+	// that keeps a hot subscriber's poll loop allocation-free.
+	readSince(since uint64, buf []Record) ([]Record, uint64)
 }
 
 // lockfreeStore is a ring of seqlock-validated slots. Producers claim a slot
@@ -104,7 +107,7 @@ func (s *lockfreeStore) read(seq uint64) (Record, bool) {
 	return Record{}, false
 }
 
-func (s *lockfreeStore) readSince(since uint64) ([]Record, uint64) {
+func (s *lockfreeStore) readSince(since uint64, buf []Record) ([]Record, uint64) {
 	cur := s.next.Load()
 	if cur <= since {
 		return nil, cur
@@ -113,7 +116,10 @@ func (s *lockfreeStore) readSince(since uint64) ([]Record, uint64) {
 	if cur-since > uint64(len(s.slots)) {
 		from = cur - uint64(len(s.slots)) + 1
 	}
-	out := make([]Record, 0, cur-from+1)
+	out := buf[:0]
+	if uint64(cap(out)) < cur-from+1 {
+		out = make([]Record, 0, cur-from+1)
+	}
 	for seq := from; seq <= cur; seq++ {
 		r, ok := s.read(seq)
 		if ok {
@@ -190,7 +196,7 @@ func (s *lockedStore) skip(n uint64) {
 
 func (s *lockedStore) capacity() int { return s.buf.Cap() }
 
-func (s *lockedStore) readSince(since uint64) ([]Record, uint64) {
+func (s *lockedStore) readSince(since uint64, buf []Record) ([]Record, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.buf.Total()
@@ -202,7 +208,10 @@ func (s *lockedStore) readSince(since uint64) ([]Record, uint64) {
 		n = uint64(s.buf.Cap())
 	}
 	recs := s.buf.Last(int(n))
-	out := make([]Record, 0, len(recs))
+	out := buf[:0]
+	if cap(out) < len(recs) {
+		out = make([]Record, 0, len(recs))
+	}
 	for _, r := range recs {
 		// Skipped positions read back as zero Records; they were
 		// discarded on arrival and count as lost, like an overwrite.

@@ -92,11 +92,20 @@ func (s *subscribers) close() {
 // consumers that must not miss records size WithCapacity to cover their
 // maximum read lag. Subscription tracks that loss as Missed.
 func (h *Heartbeat) ReadSince(since uint64) ([]Record, uint64) {
+	return h.ReadSinceInto(since, nil)
+}
+
+// ReadSinceInto is ReadSince reusing buf as the returned slice's backing
+// storage when its capacity suffices (nil buf allocates, exactly like
+// ReadSince). A poller that hands each delivered batch back — the hbnet
+// server's per-subscriber stream does, via its recycler — reads the
+// history with no per-poll allocation at all.
+func (h *Heartbeat) ReadSinceInto(since uint64, buf []Record) ([]Record, uint64) {
 	if h.agg.active() && h.agg.mu.TryLock() {
 		h.agg.mergeLocked()
 		h.agg.mu.Unlock()
 	}
-	return h.store.readSince(since)
+	return h.store.readSince(since, buf)
 }
 
 // Subscription is a cursor over the global heartbeat history that delivers
@@ -150,18 +159,25 @@ func (h *Heartbeat) SubscribeFrom(ctx context.Context, since uint64) *Subscripti
 // ErrClosed once the Heartbeat — or this Subscription — is closed and
 // fully drained.
 func (s *Subscription) Next(ctx context.Context) ([]Record, error) {
+	return s.NextInto(ctx, nil)
+}
+
+// NextInto is Next decoding into buf when its capacity suffices (nil buf
+// allocates, exactly like Next). Pair it with a consumer that returns each
+// delivered slice once done — see ReadSinceInto.
+func (s *Subscription) NextInto(ctx context.Context, buf []Record) ([]Record, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	for {
-		if recs, ok := s.Poll(); ok {
+		if recs, ok := s.PollInto(buf); ok {
 			return recs, nil
 		}
 		if s.h.subs.closed.Load() || s.isClosed() {
 			// Re-check after observing closed: Close publishes the final
 			// flush before setting the flag, but a record can land
 			// between our Poll and the flag load.
-			if recs, ok := s.Poll(); ok {
+			if recs, ok := s.PollInto(buf); ok {
 				return recs, nil
 			}
 			return nil, ErrClosed
@@ -191,7 +207,13 @@ func (s *Subscription) isClosed() bool {
 // records may be empty if the window was overwritten — and (nil, false)
 // when the cursor is already current.
 func (s *Subscription) Poll() ([]Record, bool) {
-	recs, cur := s.h.ReadSince(s.cursor)
+	return s.PollInto(nil)
+}
+
+// PollInto is Poll decoding into buf when its capacity suffices (nil buf
+// allocates, exactly like Poll); see ReadSinceInto.
+func (s *Subscription) PollInto(buf []Record) ([]Record, bool) {
+	recs, cur := s.h.ReadSinceInto(s.cursor, buf)
 	if cur < s.cursor {
 		// The history's head is behind the cursor: this subscription was
 		// resumed (SubscribeFrom) with a cursor from a previous life of
@@ -202,7 +224,7 @@ func (s *Subscription) Poll() ([]Record, bool) {
 		// the two lives are unknowable, so they are not counted as
 		// Missed.
 		s.cursor = 0
-		recs, cur = s.h.ReadSince(0)
+		recs, cur = s.h.ReadSinceInto(0, buf)
 	}
 	if cur <= s.cursor {
 		return nil, false

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync"
 	"time"
 
 	"repro/hbfile"
@@ -160,10 +161,22 @@ type heartbeatStream struct {
 	hb         *heartbeat.Heartbeat
 	sub        *heartbeat.Subscription
 	lastMissed uint64
+
+	// free is the recycled record slice (Recycle): a consumer that hands
+	// each batch back once done — the hbnet server does, after encoding —
+	// makes the poll loop reuse one backing array instead of allocating
+	// per delivery. Guarded by freeMu: Next is single-consumer, but
+	// Recycle may be called from the goroutine that drained the batch.
+	freeMu sync.Mutex
+	free   []heartbeat.Record
 }
 
 func (s *heartbeatStream) Next(ctx context.Context) (Batch, error) {
-	recs, err := s.sub.Next(ctx)
+	s.freeMu.Lock()
+	buf := s.free
+	s.free = nil
+	s.freeMu.Unlock()
+	recs, err := s.sub.NextInto(ctx, buf)
 	if err != nil {
 		if errors.Is(err, heartbeat.ErrClosed) {
 			return Batch{}, io.EOF
@@ -176,6 +189,20 @@ func (s *heartbeatStream) Next(ctx context.Context) (Batch, error) {
 	b.Missed = m - s.lastMissed
 	s.lastMissed = m
 	return b, nil
+}
+
+// Recycle hands a delivered batch's record slice back for reuse by the
+// next Next (the BatchRecycler hook). Only call it when the batch's
+// records are completely consumed — the next delivery overwrites them.
+func (s *heartbeatStream) Recycle(b Batch) {
+	if cap(b.Records) == 0 {
+		return
+	}
+	s.freeMu.Lock()
+	if s.free == nil {
+		s.free = b.Records[:0]
+	}
+	s.freeMu.Unlock()
 }
 
 // Close releases the underlying subscription. The Stream interface does

@@ -11,9 +11,13 @@ import (
 
 // conn is one endpoint of an in-memory connection: a pair of directional
 // pipe buffers shared with its peer. Reads honor the link's latency on the
-// network's clock; writes never block (the buffer is unbounded — the
-// simulation models loss by fault injection and ring lapping, not by
-// kernel backpressure) but count against the link's byte trigger.
+// network's clock; writes block only when the link carries a write limit
+// (SetWriteLimit) and the peer has stopped draining — kernel-style
+// backpressure, which is what lets a scenario drive a server's write
+// timeout — and count against the link's byte trigger. Deadlines, read and
+// write, are evaluated on the network's clock: a virtual-clock simulation
+// times out at the simulated instant, deterministically, exactly like the
+// latency front.
 type conn struct {
 	nw            *Network
 	link          *link
@@ -23,6 +27,7 @@ type conn struct {
 
 	dlMu      sync.Mutex
 	rDeadline time.Time
+	wDeadline time.Time
 	closeOnce sync.Once
 	severOnce sync.Once
 }
@@ -30,20 +35,37 @@ type conn struct {
 func (c *conn) LocalAddr() net.Addr  { return c.local }
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
 
-func (c *conn) SetDeadline(t time.Time) error      { c.setReadDeadline(t); return nil }
-func (c *conn) SetReadDeadline(t time.Time) error  { c.setReadDeadline(t); return nil }
-func (c *conn) SetWriteDeadline(t time.Time) error { return nil } // writes never block
+func (c *conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rDeadline, c.wDeadline = t, t
+	c.dlMu.Unlock()
+	return nil
+}
 
-func (c *conn) setReadDeadline(t time.Time) {
+func (c *conn) SetReadDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.rDeadline = t
 	c.dlMu.Unlock()
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.wDeadline = t
+	c.dlMu.Unlock()
+	return nil
 }
 
 func (c *conn) readDeadline() time.Time {
 	c.dlMu.Lock()
 	defer c.dlMu.Unlock()
 	return c.rDeadline
+}
+
+func (c *conn) writeDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.wDeadline
 }
 
 // timeoutError satisfies net.Error the way a socket deadline does.
@@ -63,30 +85,25 @@ func (c *conn) Read(p []byte) (int, error) {
 			return n, err
 		}
 		// Nothing deliverable yet: wait for new data / close, for the
-		// latency front to pass (on the network's clock), or for the read
-		// deadline (real time, like a socket's).
+		// latency front to pass, or for the read deadline — all on the
+		// network's clock, so a virtual simulation times out virtually.
 		var latency <-chan time.Time
 		if wait > 0 {
 			latency = heartbeat.After(c.nw.clk, wait)
 		}
 		var deadline <-chan time.Time
-		var dlTimer *time.Timer
 		if dl := c.readDeadline(); !dl.IsZero() {
-			d := time.Until(dl)
+			d := dl.Sub(clockNow(c.nw.clk))
 			if d <= 0 {
 				return 0, timeoutError{}
 			}
-			dlTimer = time.NewTimer(d)
-			deadline = dlTimer.C
+			deadline = heartbeat.After(c.nw.clk, d)
 		}
 		select {
 		case <-notify:
 		case <-latency:
 		case <-deadline:
 			return 0, timeoutError{}
-		}
-		if dlTimer != nil {
-			dlTimer.Stop()
 		}
 	}
 }
@@ -95,6 +112,38 @@ func (c *conn) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	// Backpressure: while the link carries a write limit and the peer has
+	// not drained below it, block — honoring the write deadline on the
+	// network's clock, the way a full kernel socket buffer does.
+	for {
+		c.nw.mu.Lock()
+		limit := c.link.wlimit
+		c.nw.mu.Unlock()
+		if limit <= 0 {
+			break
+		}
+		full, notify, err := c.wr.overLimit(limit)
+		if err != nil {
+			return 0, err
+		}
+		if !full {
+			break
+		}
+		var deadline <-chan time.Time
+		if dl := c.writeDeadline(); !dl.IsZero() {
+			d := dl.Sub(clockNow(c.nw.clk))
+			if d <= 0 {
+				return 0, timeoutError{}
+			}
+			deadline = heartbeat.After(c.nw.clk, d)
+		}
+		select {
+		case <-notify:
+		case <-deadline:
+			return 0, timeoutError{}
+		}
+	}
+
 	c.nw.mu.Lock()
 	lat := c.link.latency
 	deliver := p
@@ -165,6 +214,7 @@ type seg struct {
 type pipeBuf struct {
 	mu     sync.Mutex
 	segs   []seg
+	size   int   // pending bytes across segs
 	closed bool  // clean close: drain, then EOF
 	err    error // sever: immediate failure, pending bytes discarded
 	notify chan struct{}
@@ -196,6 +246,9 @@ func (b *pipeBuf) tryRead(p []byte, clk heartbeat.Clock) (n int, wait time.Durat
 		} else {
 			s.data = s.data[n:]
 		}
+		b.size -= n
+		// The drain may unblock a writer waiting on the buffer limit.
+		b.wakeLocked()
 		return n, 0, nil, nil
 	}
 	if b.closed {
@@ -215,9 +268,28 @@ func (b *pipeBuf) write(p []byte, ready time.Time) (int, error) {
 	}
 	if len(p) > 0 {
 		b.segs = append(b.segs, seg{data: append([]byte(nil), p...), ready: ready})
+		b.size += len(p)
 		b.wakeLocked()
 	}
 	return len(p), nil
+}
+
+// overLimit reports whether the buffer holds at least limit pending bytes;
+// when it does, notify fires on any state change (a drain, a close, a
+// sever) so a blocked writer can recheck.
+func (b *pipeBuf) overLimit(limit int) (full bool, notify <-chan struct{}, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return false, nil, b.err
+	}
+	if b.closed {
+		return false, nil, net.ErrClosed
+	}
+	if b.size >= limit {
+		return true, b.notify, nil
+	}
+	return false, nil, nil
 }
 
 func (b *pipeBuf) closeClean() {
@@ -234,6 +306,7 @@ func (b *pipeBuf) fail(err error) {
 	if b.err == nil {
 		b.err = err
 		b.segs = nil
+		b.size = 0
 		b.wakeLocked()
 	}
 	b.mu.Unlock()

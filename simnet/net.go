@@ -64,6 +64,7 @@ func keyFor(a, b string) linkKey {
 type link struct {
 	partitioned bool
 	latency     time.Duration
+	wlimit      int   // > 0: per-direction pending-byte bound; writers past it block
 	cutAfter    int64 // >= 0: sever the conn that writes past this many more bytes, then disarm
 	armed       bool
 	conns       map[*conn]struct{}
@@ -128,6 +129,18 @@ func (n *Network) DropAfterBytes(a, b string, nbytes int64) {
 	l := n.linkFor(a, b)
 	l.cutAfter = nbytes
 	l.armed = true
+	n.mu.Unlock()
+}
+
+// SetWriteLimit bounds the pending (undelivered) bytes of each direction
+// of the link between a and b; 0, the default, is unbounded. A writer past
+// the bound blocks until the reader drains — the way a full kernel socket
+// buffer backpressures a sender — honoring its write deadline on the
+// network's clock. This is how a scenario makes a stalled subscriber
+// deterministically trip a server's write timeout.
+func (n *Network) SetWriteLimit(a, b string, bytes int) {
+	n.mu.Lock()
+	n.linkFor(a, b).wlimit = bytes
 	n.mu.Unlock()
 }
 

@@ -83,6 +83,11 @@ const (
 	EvListenerOutage
 	// EvResume closes the consumer's stream and resumes from its cursor.
 	EvResume
+	// EvSlowConsumer stalls the consumer for Arg while its link carries a
+	// small write limit, so the root server's writes backpressure, its
+	// write timeout fires on the virtual clock, and the subscriber is
+	// disconnected mid-stream and must reconnect from its cursor.
+	EvSlowConsumer
 )
 
 func (k EventKind) String() string {
@@ -107,6 +112,8 @@ func (k EventKind) String() string {
 		return "listener-outage"
 	case EvResume:
 		return "resume"
+	case EvSlowConsumer:
+		return "slow-consumer"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -143,9 +150,9 @@ func (sc Scenario) String() string {
 
 // Generate expands seed into a scenario: N producers × producer faults
 // {restart, file-recreate, lap, silence} × network faults {link blip,
-// drop-at-byte, partition window, server crash, listener outage} ×
-// topology {direct, file, relay-tree}. The same seed always generates the
-// same scenario.
+// drop-at-byte, partition window, server crash, listener outage,
+// slow consumer} × topology {direct, file, relay-tree}. The same seed
+// always generates the same scenario.
 func Generate(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := Scenario{
@@ -186,7 +193,7 @@ func Generate(seed int64) Scenario {
 	}
 	if sc.Topology == TopoRelayTree {
 		ev := Event{At: at()}
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0:
 			ev.Kind, ev.Link = EvLinkBlip, rng.Intn(sc.Leaves+1)
 		case 1:
@@ -201,6 +208,11 @@ func Generate(seed int64) Scenario {
 		case 4:
 			ev.Kind, ev.Server = EvListenerOutage, rng.Intn(sc.Leaves+1)
 			ev.Arg = window()
+		case 5:
+			// The stall must outlast the server's write timeout, so the
+			// blocked write actually fires it instead of merely bending.
+			ev.Kind = EvSlowConsumer
+			ev.Arg = serverWriteTimeout + window()
 		}
 		sc.Events = append(sc.Events, ev)
 	}
@@ -237,6 +249,12 @@ func (sc Scenario) Run(dir string) (Stats, error) {
 // settleDeadline bounds the real time a scenario may spend draining after
 // its virtual duration elapses.
 const settleDeadline = 20 * time.Second
+
+// serverWriteTimeout is the write timeout every simulated relay server
+// runs with, on the virtual clock: long enough that only a deliberately
+// stalled consumer (EvSlowConsumer) trips it, short enough that the stall
+// window can outlast it.
+const serverWriteTimeout = time.Second
 
 // producer is one simulated application: an in-process heartbeat,
 // optionally sunk into a file, beating on the virtual clock and
@@ -694,7 +712,13 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 		mu    sync.Mutex
 	}
 	newServerOn := func(n *node) error {
-		srv := hbnet.NewServer(hbnet.WithHandshakeTimeout(2 * time.Second))
+		// The servers run their deadline arithmetic on the virtual clock
+		// (simnet conns evaluate deadlines on the same clock), so the write
+		// timeout is a simulation event the slow-consumer fault can trip.
+		srv := hbnet.NewServer(
+			hbnet.WithHandshakeTimeout(2*time.Second),
+			hbnet.WithServerClock(clk),
+			hbnet.WithWriteTimeout(serverWriteTimeout))
 		var err error
 		if n.relay != nil {
 			err = n.relay.PublishOn(srv, "merged", "rollup")
@@ -790,6 +814,7 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 		rollups      simcheck.RollupAccount
 		rollupMu     sync.Mutex
 		resumeSignal = make(chan struct{}, 4)
+		stallSignal  = make(chan time.Duration, 1)
 	)
 	setErr := func(err error) {
 		consumerMu.Lock()
@@ -817,6 +842,15 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 		client := raw
 		defer func() { client.Close() }()
 		for ctx.Err() == nil {
+			select {
+			case d := <-stallSignal:
+				// The slow-consumer fault: stop draining for d of virtual
+				// time. The link's write limit fills, the server's write
+				// blocks, and its virtual-clock write timeout disconnects
+				// this subscriber — the reconnect below resumes it.
+				sleepUntilVirtual(ctx, clk, clk.Now().Add(d))
+			default:
+			}
 			b, err := client.Next(ctx)
 			if err == nil {
 				if aerr := tracker.absorb(b); aerr != nil {
@@ -959,6 +993,17 @@ schedule:
 				break schedule
 			}
 			nw.SetListenerDown(n.addr, false)
+		case EvSlowConsumer:
+			// Bound the consumer link's socket buffer, then stall the
+			// consumer past the server's write timeout. The limit lifts
+			// when the window ends; the resumed consumer drains whatever
+			// is pending, notices the disconnect, and reconnects.
+			nw.SetWriteLimit("mon", "root", 512)
+			stallSignal <- ev.Arg
+			if !sleepUntilVirtual(ctx, clk, clk.Now().Add(ev.Arg)) {
+				break schedule
+			}
+			nw.SetWriteLimit("mon", "root", 0)
 		}
 	}
 	sleepUntilVirtual(ctx, clk, start.Add(sc.Duration))

@@ -1,0 +1,208 @@
+// Command benchgate turns the recorded benchmark captures into pass/fail
+// CI signal, so a performance regression fails `make ci` the same way a
+// broken test does instead of waiting for a human to eyeball the JSON.
+//
+// Two checks, both over `go test -json` captures of benchmark runs:
+//
+//	benchgate -file BENCH_relay.json -bench Relay/fanin-32 -metric records/s \
+//	    -baseline tools/benchgate/baseline.json -tolerance 0.20
+//
+// asserts the named benchmark's metric is within tolerance of the value
+// recorded for it in the committed baseline file (a regression beyond the
+// tolerance fails; a faster run passes — improvements are recorded by
+// refreshing the baseline, deliberately, in review).
+//
+//	benchgate -file BENCH_shm.json -metric records/s \
+//	    -faster ShmVsTCP/shm/stream,ShmVsTCP/tcp/stream
+//
+// asserts the first benchmark's metric beats the second's in the same
+// capture — the relative claim (shared memory outruns loopback TCP) that
+// must hold on any machine, however fast the machine is.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	file := flag.String("file", "", "go test -json benchmark capture to check")
+	bench := flag.String("bench", "", "benchmark name to gate (Benchmark prefix and -N cpu suffix optional)")
+	metric := flag.String("metric", "records/s", "metric to compare")
+	baselinePath := flag.String("baseline", "", "JSON file of {bench: {metric: value}} baselines")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression vs the baseline")
+	faster := flag.String("faster", "", "A,B: assert benchmark A's metric >= benchmark B's in the same capture")
+	flag.Parse()
+
+	if *file == "" {
+		fatalf("benchgate: -file is required")
+	}
+	results, err := parseCapture(*file)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+
+	switch {
+	case *faster != "":
+		a, b, ok := strings.Cut(*faster, ",")
+		if !ok {
+			fatalf("benchgate: -faster wants A,B")
+		}
+		av := lookup(results, a, *metric)
+		bv := lookup(results, b, *metric)
+		if av < bv {
+			fatalf("benchgate: %s %s = %.0f is below %s = %.0f — the faster-than claim no longer holds",
+				a, *metric, av, b, bv)
+		}
+		fmt.Printf("benchgate: %s %s %.0f >= %s %.0f ok (%.2fx)\n", a, *metric, av, b, bv, av/bv)
+	case *baselinePath != "":
+		if *bench == "" {
+			fatalf("benchgate: -baseline needs -bench")
+		}
+		base, err := readBaseline(*baselinePath, *bench, *metric)
+		if err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		got := lookup(results, *bench, *metric)
+		floor := base * (1 - *tolerance)
+		if got < floor {
+			fatalf("benchgate: %s %s = %.0f regressed more than %.0f%% below the recorded baseline %.0f (floor %.0f)",
+				*bench, *metric, got, *tolerance*100, base, floor)
+		}
+		fmt.Printf("benchgate: %s %s %.0f within %.0f%% of baseline %.0f ok\n",
+			*bench, *metric, got, *tolerance*100, base)
+	default:
+		fatalf("benchgate: nothing to check: pass -baseline or -faster")
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// result is one benchmark's reported metrics, keyed by unit ("ns/op",
+// "records/s", ...).
+type result map[string]float64
+
+// benchLine matches a benchmark result line reassembled from the capture:
+// name, iterations, then value-unit pairs. The name is kept verbatim —
+// a trailing -N may be a GOMAXPROCS suffix or part of the sub-benchmark
+// name (fanin-32), so lookup() resolves that ambiguity, not the parser.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// valueUnit matches one "123.4 unit" pair within the measurements tail.
+var valueUnit = regexp.MustCompile(`([0-9.eE+]+)\s+([^\s]+)`)
+
+// parseCapture reads a `go test -json` capture and returns the metrics of
+// every benchmark result line in it. test2json may split a physical line
+// across Output events, so all output is concatenated before scanning.
+func parseCapture(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the capture
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make(map[string]result)
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := make(result)
+		for _, vu := range valueUnit.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(vu[1], 64)
+			if err != nil {
+				continue
+			}
+			r[vu[2]] = v
+		}
+		results[m[1]] = r
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return results, nil
+}
+
+// cpuSuffix is the -N GOMAXPROCS suffix go test appends on multi-proc runs.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// lookup finds a benchmark's metric, accepting the name with or without
+// the Benchmark prefix and with or without a GOMAXPROCS -N suffix.
+func lookup(results map[string]result, bench, metric string) float64 {
+	name := bench
+	if !strings.HasPrefix(name, "Benchmark") {
+		name = "Benchmark" + name
+	}
+	r, ok := results[name]
+	if !ok {
+		// Not an exact key: accept a single capture entry that is the
+		// requested name plus a GOMAXPROCS suffix.
+		for k, v := range results {
+			if cpuSuffix.ReplaceAllString(k, "") == name {
+				if ok {
+					fatalf("benchgate: benchmark %q is ambiguous in capture", bench)
+				}
+				r, ok = v, true
+			}
+		}
+	}
+	if !ok {
+		var known []string
+		for k := range results {
+			known = append(known, k)
+		}
+		fatalf("benchgate: benchmark %q not in capture (have %s)", bench, strings.Join(known, ", "))
+	}
+	v, ok := r[metric]
+	if !ok {
+		fatalf("benchgate: benchmark %q has no %q metric", bench, metric)
+	}
+	return v
+}
+
+// readBaseline loads the committed {bench: {metric: value}} baseline file.
+func readBaseline(path, bench, metric string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base map[string]map[string]float64
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	m, ok := base[bench]
+	if !ok {
+		return 0, fmt.Errorf("%s: no baseline for %q", path, bench)
+	}
+	v, ok := m[metric]
+	if !ok {
+		return 0, fmt.Errorf("%s: baseline for %q has no %q", path, bench, metric)
+	}
+	return v, nil
+}
