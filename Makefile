@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build build-extras test race net-loopback sim-matrix fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm benchgate
+.PHONY: ci vet build build-extras test race net-loopback sim-matrix drain-scenario fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
-ci: vet build build-extras race net-loopback sim-matrix fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm benchgate
+ci: vet build build-extras race net-loopback sim-matrix drain-scenario fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,14 @@ sim-matrix:
 			| awk '{printf "%s", $$0}' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
 			| grep -E 'matrix:|SIMNET_SEED' || true; \
 		exit $$status
+
+# The balancer's tests in isolation, race-checked: the drain/reclaim
+# scenario arc also runs inside sim-matrix (EvNodeDrain scenarios, with
+# the matrix gate asserting the arc was exercised), but this shard keeps
+# a balance-layer failure attributable — hysteresis edges, lock-free
+# swaps under -race, and the end-to-end updater drain all in one place.
+drain-scenario:
+	$(GO) test -race ./balance ./internal/simcheck
 
 # Short go-fuzz passes over the hbnet wire codec: the decoders face bytes
 # from the network, so they must never panic and must decode accepted
@@ -114,12 +122,33 @@ bench-shm:
 		-benchtime=1s -json ./hbshm > BENCH_shm.json
 	$(call show-bench,BENCH_shm.json)
 
+# The balancer's routing hot path: lock-free copy-on-write Pick vs the
+# RWMutex baseline at 1/4/8 goroutines, Pick throughput during concurrent
+# weight swaps, and the measured remap fraction of a node removal,
+# recorded in BENCH_balance.json next to the other trajectories.
+bench-balance:
+	$(GO) test -run '^$$' -bench 'BenchmarkPick|BenchmarkRemap' -benchmem \
+		-benchtime=200ms -json ./balance > BENCH_balance.json
+	$(call show-bench,BENCH_balance.json)
+
 # Gate the recorded benchmarks: fan-in-32 must stay within 20% of the
-# committed baseline (tools/benchgate/baseline.json), and the shared-memory
-# transport must stay faster than loopback TCP. Run after bench-relay and
-# bench-shm have refreshed the JSON captures.
+# committed baseline (tools/benchgate/baseline.json), the shared-memory
+# transport must stay faster than loopback TCP, and the balancer's
+# lock-free read path must beat the RWMutex baseline under contention,
+# allocate nothing, and keep a single-node removal's remap fraction under
+# the minimal-disruption ceiling (simcheck.RemapBound of a 1/8 share).
+# Run after bench-relay, bench-shm, and bench-balance have refreshed the
+# JSON captures.
 benchgate:
 	$(GO) run ./tools/benchgate -file BENCH_relay.json -bench Relay/fanin-32 \
 		-metric records/s -baseline tools/benchgate/baseline.json -tolerance 0.20
 	$(GO) run ./tools/benchgate -file BENCH_shm.json -metric records/s \
 		-faster ShmVsTCP/shm/stream,ShmVsTCP/tcp/stream
+	$(GO) run ./tools/benchgate -file BENCH_balance.json -metric picks/s \
+		-faster Pick/cow/p8,Pick/rwmutex/p8
+	$(GO) run ./tools/benchgate -file BENCH_balance.json -bench Pick/cow/p8 \
+		-metric allocs/op -atmost 0
+	$(GO) run ./tools/benchgate -file BENCH_balance.json -bench Remap \
+		-metric remapfrac -atmost 0.2175
+	$(GO) run ./tools/benchgate -file BENCH_balance.json -bench Pick/cow/p8 \
+		-metric picks/s -baseline tools/benchgate/baseline.json -tolerance 0.25

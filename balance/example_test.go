@@ -1,0 +1,52 @@
+package balance_test
+
+import (
+	"fmt"
+
+	"repro/balance"
+	"repro/observer"
+)
+
+// Example walks the closing of the loop: three nodes observed through
+// rollup windows, one flatlines and drains, traffic reshuffles minimally,
+// and recovery reclaims the exact keys the node held before.
+func Example() {
+	table := balance.New(balance.WithBuckets(1024))
+	updater := balance.NewUpdater(table, balance.DefaultPolicy(),
+		balance.WithOnSwap(func(s balance.Swap) {
+			fmt.Printf("swap %s %.2f->%.2f moved %4.1f%% of keys (expected ≈%4.1f%%)\n",
+				s.Node, s.Old, s.New, 100*s.Frac(), 100*s.Share)
+		}))
+
+	live := func(app string) observer.Rollup { return observer.Rollup{App: app, Records: 10} }
+	silent := func(app string) observer.Rollup { return observer.Rollup{App: app} }
+
+	// Three healthy windows admit three nodes.
+	updater.Absorb(live("a"), live("b"), live("c"))
+	where, _ := table.PickString("user-1234")
+	fmt.Println("user-1234 ->", where)
+
+	// Node c flatlines: one silent window holds (hysteresis), the second
+	// drains it — and only c's share of the key space moves.
+	updater.Absorb(silent("c"))
+	updater.Absorb(silent("c"))
+
+	// Two live windows confirm recovery; the ramp then reclaims weight
+	// until c holds exactly the buckets it held before.
+	for i := 0; i < 5; i++ {
+		updater.Absorb(live("c"))
+	}
+	where, _ = table.PickString("user-1234")
+	fmt.Println("user-1234 ->", where)
+
+	// Output:
+	// swap a 0.00->1.00 moved 100.0% of keys (expected ≈100.0%)
+	// swap b 0.00->1.00 moved 52.8% of keys (expected ≈50.0%)
+	// swap c 0.00->1.00 moved 33.9% of keys (expected ≈33.3%)
+	// user-1234 -> b
+	// swap c 1.00->0.00 moved 33.9% of keys (expected ≈33.3%)
+	// swap c 0.00->0.25 moved 11.6% of keys (expected ≈11.1%)
+	// swap c 0.25->0.50 moved  9.7% of keys (expected ≈10.0%)
+	// swap c 0.50->1.00 moved 12.6% of keys (expected ≈16.7%)
+	// user-1234 -> b
+}

@@ -1,0 +1,269 @@
+package balance
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func eightNodes(t *testing.T) *Table {
+	t.Helper()
+	tb := New()
+	for i := 0; i < 8; i++ {
+		tb.Set(fmt.Sprintf("node%d", i), 1)
+	}
+	return tb
+}
+
+// pickMap snapshots the owner of a fixed key population.
+func pickMap(tb *Table, keys int) map[uint64]string {
+	m := make(map[uint64]string, keys)
+	for k := 0; k < keys; k++ {
+		n, ok := tb.Pick(uint64(k))
+		if ok {
+			m[uint64(k)] = n
+		} else {
+			m[uint64(k)] = ""
+		}
+	}
+	return m
+}
+
+func TestPickEmptyTable(t *testing.T) {
+	tb := New()
+	if n, ok := tb.Pick(42); ok || n != "" {
+		t.Fatalf("empty table picked %q", n)
+	}
+	tb.Set("a", 0)
+	if _, ok := tb.Pick(42); ok {
+		t.Fatalf("all-drained table still picked a node")
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	tb := eightNodes(t)
+	counts := make(map[string]int)
+	const keys = 1 << 16
+	for k := 0; k < keys; k++ {
+		n, ok := tb.Pick(uint64(k))
+		if !ok {
+			t.Fatalf("no node for key %d", k)
+		}
+		counts[n]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 nodes own keys: %v", len(counts), counts)
+	}
+	for n, c := range counts {
+		frac := float64(c) / keys
+		// Key share tracks bucket share; with 1024 buckets the per-node
+		// share is 1/8 ± a few percent.
+		if frac < 0.08 || frac > 0.17 {
+			t.Errorf("%s owns %.3f of keys, want ≈0.125", n, frac)
+		}
+	}
+}
+
+func TestRemoveRemapsMinimally(t *testing.T) {
+	tb := eightNodes(t)
+	const keys = 1 << 14
+	before := pickMap(tb, keys)
+
+	sw := tb.Remove("node3")
+	if sw.Old != 1 || sw.New != 0 {
+		t.Fatalf("swap weights = %v -> %v, want 1 -> 0", sw.Old, sw.New)
+	}
+	wantShare := 1.0 / 8
+	if math.Abs(sw.Share-wantShare) > 1e-9 {
+		t.Fatalf("swap share = %v, want %v", sw.Share, wantShare)
+	}
+
+	after := pickMap(tb, keys)
+	moved := 0
+	for k, was := range before {
+		now := after[k]
+		if was == now {
+			continue
+		}
+		moved++
+		// Minimal disruption: only keys the removed node owned may move.
+		if was != "node3" {
+			t.Fatalf("key %d moved %s -> %s though node3 was removed", k, was, now)
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 1.5*wantShare {
+		t.Errorf("removing 1 of 8 nodes remapped %.3f of keys, want ≤ %.3f", frac, 1.5*wantShare)
+	}
+	if frac < 0.05 {
+		t.Errorf("removing 1 of 8 nodes remapped only %.3f of keys — suspiciously low", frac)
+	}
+	// The swap's own accounting should agree with the measured movement.
+	if math.Abs(sw.Frac()-frac) > 0.02 {
+		t.Errorf("swap reports frac %.3f, measured %.3f", sw.Frac(), frac)
+	}
+}
+
+func TestWeightChangeMovesOnlyChangedNode(t *testing.T) {
+	tb := eightNodes(t)
+	const keys = 1 << 14
+	before := pickMap(tb, keys)
+
+	tb.Set("node5", 0.5)
+	mid := pickMap(tb, keys)
+	for k, was := range before {
+		if now := mid[k]; was != now && was != "node5" {
+			t.Fatalf("key %d moved %s -> %s on node5's weight change", k, was, now)
+		}
+	}
+
+	tb.Set("node5", 1)
+	after := pickMap(tb, keys)
+	for k, was := range mid {
+		if now := after[k]; was != now && now != "node5" {
+			t.Fatalf("key %d moved %s -> %s on node5's weight restore", k, was, now)
+		}
+	}
+}
+
+func TestReclaimRestoresIdenticalMapping(t *testing.T) {
+	tb := eightNodes(t)
+	const keys = 1 << 14
+	before := pickMap(tb, keys)
+
+	drain := tb.Set("node2", 0)
+	if drain.Remapped == 0 {
+		t.Fatalf("draining node2 moved nothing")
+	}
+	restore := tb.Set("node2", 1)
+	if restore.Remapped != drain.Remapped {
+		t.Errorf("restore moved %d buckets, drain moved %d — want identical", restore.Remapped, drain.Remapped)
+	}
+	after := pickMap(tb, keys)
+	for k, was := range before {
+		if now := after[k]; was != now {
+			t.Fatalf("key %d maps to %s after reclaim, was %s — reclaim must restore the exact assignment", k, now, was)
+		}
+	}
+}
+
+func TestRemoveThenReaddRestoresMapping(t *testing.T) {
+	tb := eightNodes(t)
+	const keys = 1 << 13
+	before := pickMap(tb, keys)
+	tb.Remove("node6")
+	tb.Set("node6", 1)
+	after := pickMap(tb, keys)
+	for k, was := range before {
+		if now := after[k]; was != now {
+			t.Fatalf("key %d maps to %s after remove+re-add, was %s", k, now, was)
+		}
+	}
+}
+
+func TestPickZeroAlloc(t *testing.T) {
+	tb := eightNodes(t)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := tb.Pick(12345); !ok {
+			t.Fatal("pick failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Pick allocates %v/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, ok := tb.PickString("/api/v1/things/42"); !ok {
+			t.Fatal("pick failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PickString allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestPickStringStable(t *testing.T) {
+	tb := eightNodes(t)
+	n1, _ := tb.PickString("session-abcdef")
+	tb.Set("other", 0.3) // unrelated membership change
+	n2, _ := tb.PickString("session-abcdef")
+	if n1 != n2 && n2 != "other" {
+		t.Fatalf("key moved %s -> %s on an unrelated node's admission", n1, n2)
+	}
+}
+
+func TestSwapShareAccounting(t *testing.T) {
+	tb := New()
+	sw := tb.Set("only", 1)
+	if sw.Share != 1 {
+		t.Errorf("first node's share = %v, want 1 (the whole key space)", sw.Share)
+	}
+	if sw.Frac() != 1 {
+		t.Errorf("first node's frac = %v, want 1", sw.Frac())
+	}
+	tb.Set("second", 1)
+	sw = tb.Set("second", 0.5)
+	// |Δ| / max(before=2, after=1.5) = 0.5/2.
+	if math.Abs(sw.Share-0.25) > 1e-9 {
+		t.Errorf("share = %v, want 0.25", sw.Share)
+	}
+}
+
+// TestConcurrentPickDuringSwaps is the -race stress for the COW contract:
+// readers hammer Pick while a writer churns weights and membership; every
+// pick must return a name that was a member at some point in the churn
+// set, and the race detector must stay silent.
+func TestConcurrentPickDuringSwaps(t *testing.T) {
+	tb := New(WithBuckets(256))
+	names := []string{"a", "b", "c", "d", "e"}
+	valid := map[string]bool{"": true}
+	for _, n := range names {
+		tb.Set(n, 1)
+		valid[n] = true
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			k := seed
+			for !stop.Load() {
+				k += 0x9E3779B97F4A7C15
+				n, ok := tb.Pick(k)
+				if ok && !valid[n] {
+					select {
+					case errs <- n:
+					default:
+					}
+					return
+				}
+			}
+		}(uint64(g))
+	}
+
+	for round := 0; round < 2000; round++ {
+		n := names[round%len(names)]
+		switch round % 4 {
+		case 0:
+			tb.Set(n, 0) // drain
+		case 1:
+			tb.Set(n, 1) // reclaim
+		case 2:
+			tb.Set(n, 0.5)
+		case 3:
+			tb.Remove(n)
+			tb.Set(n, 1)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case n := <-errs:
+		t.Fatalf("Pick returned %q, never a member", n)
+	default:
+	}
+}

@@ -1,0 +1,167 @@
+package balance
+
+import (
+	"repro/observer"
+)
+
+// Policy maps one node's observed heartbeat evidence — rollup windows and
+// classifier judgments — to a routing weight in [0,1], with hysteresis on
+// both edges so evidence from a single window never flaps the table.
+//
+// The rules, per node:
+//
+//   - A live window (any records, or losses proving the producer
+//     published) targets full weight, clamped by the classifier cap
+//     (SlowCap while the classifier judges the node Slow/Erratic) and by
+//     the observed/expected rate ratio when ExpectedRate is set.
+//   - A silent window (no records AND no losses — the producer published
+//     nothing at all) holds the current weight; only DrainAfter
+//     consecutive silent windows drain the node to weight 0.
+//   - A Flatlined or Dead classifier judgment drains immediately — the
+//     classifier has already applied its own grace period.
+//   - A drained node reclaims only after ReclaimAfter consecutive live
+//     windows, re-entering at ReclaimStart and doubling each further live
+//     window until it reaches its target — recovered nodes take traffic
+//     back gradually, and a producer flapping faster than the ramp never
+//     reaches full weight.
+//   - Weight moves smaller than MinDelta are suppressed (except moves to
+//     or from 0, which always apply): jitter in observed rate does not
+//     churn the table.
+//
+// Deliberately absent: per-window loss ratios do NOT degrade weight. A
+// window's Missed counts records the *observer's view* lost (a lapped
+// ring, a reconnect gap) — evidence the producer is alive, not that it is
+// unhealthy. Draining on loss would zero exactly the node that just
+// recovered from a restart.
+type Policy struct {
+	// DrainAfter is how many consecutive silent windows drain a node.
+	// Values below 1 mean the default, 2 — one bad window never drains.
+	DrainAfter int
+	// ReclaimAfter is how many consecutive live windows a drained node
+	// must show before reclaiming weight. Values below 1 mean the
+	// default, 2.
+	ReclaimAfter int
+	// ReclaimStart is the weight a node reclaims at (then doubles per
+	// live window). 0 means the default, 0.25.
+	ReclaimStart float64
+	// MinDelta suppresses weight moves smaller than this, except to or
+	// from 0. Zero means no suppression; DefaultPolicy sets 0.1.
+	MinDelta float64
+	// SlowCap is the weight ceiling while the classifier judges a node
+	// Slow or Erratic. 0 means the default, 0.5.
+	SlowCap float64
+	// ExpectedRate, when positive, degrades a live node's target weight
+	// by observed/expected rate when it beats slower than expected. Zero
+	// disables rate-based degradation (the default): learned or assumed
+	// rate expectations are easily poisoned by catch-up bursts.
+	ExpectedRate float64
+}
+
+// DefaultPolicy returns the policy the examples and tools run:
+// drain after 2 silent windows, reclaim after 2 live ones at 0.25
+// doubling, 0.1 minimum delta, 0.5 slow cap, no rate expectation.
+func DefaultPolicy() Policy {
+	return Policy{DrainAfter: 2, ReclaimAfter: 2, ReclaimStart: 0.25, MinDelta: 0.1, SlowCap: 0.5}
+}
+
+// normalized fills zero values with their documented defaults (MinDelta
+// and ExpectedRate stay as given: zero is meaningful for both).
+func (p Policy) normalized() Policy {
+	if p.DrainAfter < 1 {
+		p.DrainAfter = 2
+	}
+	if p.ReclaimAfter < 1 {
+		p.ReclaimAfter = 2
+	}
+	if p.ReclaimStart <= 0 {
+		p.ReclaimStart = 0.25
+	}
+	if p.SlowCap <= 0 {
+		p.SlowCap = 0.5
+	}
+	return p
+}
+
+// nodeState is the per-node hysteresis accumulator the policy judges
+// against.
+type nodeState struct {
+	weight  float64 // weight currently applied to the table
+	cap     float64 // classifier ceiling (SlowCap while Slow/Erratic)
+	silent  int     // consecutive silent windows
+	good    int     // consecutive live windows
+	ramp    float64 // current reclaim ramp value, 0 when not ramping
+	drained bool    // weight hit 0 by drain; reclaim path applies
+}
+
+func newNodeState() *nodeState { return &nodeState{cap: 1} }
+
+// judge folds one rollup window into the node's state and returns the
+// weight the table should now hold for it. p must be normalized.
+func (p Policy) judge(st *nodeState, r observer.Rollup) float64 {
+	if r.Silent() {
+		st.good = 0
+		st.silent++
+		if st.silent >= p.DrainAfter || st.weight == 0 {
+			st.drained = true
+			st.ramp = 0
+			return 0
+		}
+		return st.weight // hysteresis: one bad window holds, never flaps
+	}
+
+	// Live window: records delivered, or losses proving publication.
+	st.silent = 0
+	st.good++
+	target := 1.0
+	if p.ExpectedRate > 0 {
+		if or := r.ObservedRate(); or > 0 && or < p.ExpectedRate {
+			target = or / p.ExpectedRate
+		}
+	}
+	if target > st.cap {
+		target = st.cap
+	}
+	if !st.drained {
+		st.ramp = 0
+		return target
+	}
+	// Reclaiming from a drain: confirm first, then ramp back.
+	if st.good < p.ReclaimAfter {
+		return st.weight
+	}
+	if st.ramp == 0 {
+		st.ramp = p.ReclaimStart
+	} else {
+		st.ramp *= 2
+	}
+	if st.ramp >= target {
+		st.drained, st.ramp = false, 0
+		return target
+	}
+	return st.ramp
+}
+
+// judgeStatus folds one classifier judgment into the node's state and
+// returns the weight the table should now hold. Flatlined/Dead drain
+// immediately; Slow/Erratic set (and Healthy/Fast clear) the SlowCap
+// ceiling — upward moves stay owned by the rollup path, so a Healthy
+// judgment right after a drain does not skip the reclaim ramp.
+func (p Policy) judgeStatus(st *nodeState, s observer.Status) float64 {
+	switch s.Health {
+	case observer.Flatlined, observer.Dead:
+		st.good = 0
+		if st.silent < p.DrainAfter {
+			st.silent = p.DrainAfter
+		}
+		st.drained, st.ramp = true, 0
+		return 0
+	case observer.Slow, observer.Erratic:
+		st.cap = p.SlowCap
+		if !st.drained && st.weight > st.cap {
+			return st.cap
+		}
+	case observer.Healthy, observer.Fast:
+		st.cap = 1
+	}
+	return st.weight
+}

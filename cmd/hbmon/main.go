@@ -11,6 +11,7 @@
 //	hbmon -shm /dev/shm/app.shm [-listen :9999]      # watch a shared-memory region
 //	hbmon -connect HOST:9999 [-app NAME]             # watch a remote feed
 //	hbmon -connect HOST:9999 -rollup [-app NAME]     # watch a rollup feed
+//	hbmon -connect HOST:9999 -rollup -balance        # ...and print routing swaps
 //	hbmon -relay -listen :9999 \
 //	      -upstream a=host1:9999/app -upstream-file b=/var/run/b.hb
 //
@@ -50,7 +51,13 @@
 // can watch thousands of producers through one connection. Each rollup
 // interval, the relay prints one line per app: records, rate, and
 // losses. With -connect -rollup, hbmon subscribes to such a rollup feed
-// and prints the same lines from the consumer side.
+// and prints the same lines from the consumer side, each carrying the
+// health weight a balance.Policy derives from the window evidence — the
+// admission weight a load balancer watching this feed would give the
+// app. Adding -balance drives a full balance.Updater from the feed and
+// additionally prints every routing-table swap (drains, reclaim ramps)
+// as it happens: the actuation layer's view of the fleet, from nothing
+// but heartbeats.
 package main
 
 import (
@@ -62,6 +69,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/balance"
 	"repro/hbfile"
 	"repro/hbnet"
 	"repro/hbshm"
@@ -89,6 +97,7 @@ func main() {
 	count := flag.Int("count", 0, "stop after this many reports (0 = forever)")
 	follow := flag.Bool("follow", false, "tail the file incrementally instead of re-reading the window each poll")
 	rollup := flag.Bool("rollup", false, "with -connect: the feed is a rollup feed; print per-app rollup lines")
+	balanceSwaps := flag.Bool("balance", false, "with -connect -rollup: drive a balance.Updater from the feed and print routing-table swaps")
 	relay := flag.Bool("relay", false, "run as a fan-in relay node (requires -listen and at least one -upstream/-upstream-file)")
 	var upstreams, upstreamFiles multiFlag
 	flag.Var(&upstreams, "upstream", "relay upstream, NAME=ADDR/FEED (repeatable)")
@@ -129,7 +138,7 @@ func main() {
 			}
 			defer c.Close()
 			fmt.Printf("watching remote rollup feed %q at %s\n", *app, *connect)
-			runRollups(c, *count)
+			runRollups(c, *count, *balanceSwaps)
 			return
 		}
 		c, err := hbnet.Dial(*connect, *app)
@@ -298,7 +307,7 @@ func runRelay(listen string, upstreams, upstreamFiles []string, mergedFeed, roll
 		}),
 		hbnet.WithRelayOnRollup(func(rs []observer.Rollup) {
 			for _, r := range rs {
-				reportRollup(r)
+				reportRollup(r, -1)
 			}
 		}),
 	)
@@ -354,8 +363,19 @@ func runRelay(listen string, upstreams, upstreamFiles []string, mergedFeed, roll
 
 // runRollups prints rollups from a remote rollup feed; count bounds the
 // printed report lines (one line per app per window), matching what
-// -count means in the other modes.
-func runRollups(c *hbnet.Client, count int) {
+// -count means in the other modes. Every line carries the health weight
+// a balance.Policy assigns from the window evidence; with printSwaps,
+// the backing balance.Updater also reports each routing-table swap it
+// publishes — the decisions a balancer fed by this monitor would make.
+func runRollups(c *hbnet.Client, count int, printSwaps bool) {
+	var opts []balance.UpdaterOption
+	if printSwaps {
+		opts = append(opts, balance.WithOnSwap(func(s balance.Swap) {
+			fmt.Printf("%s  balance: %s %.2f -> %.2f, remapped %.1f%% of keys (weight share %.1f%%)\n",
+				time.Now().Format("15:04:05.000"), s.Node, s.Old, s.New, 100*s.Frac(), 100*s.Share)
+		}))
+	}
+	updater := balance.NewUpdater(balance.New(), balance.DefaultPolicy(), opts...)
 	printed := 0
 	for count == 0 || printed < count {
 		rb, err := c.NextRollups(context.Background())
@@ -366,8 +386,9 @@ func runRollups(c *hbnet.Client, count int) {
 		if rb.Missed > 0 {
 			fmt.Printf("(%d rollup windows lost to a long disconnect)\n", rb.Missed)
 		}
+		updater.Absorb(rb.Rollups...)
 		for _, r := range rb.Rollups {
-			reportRollup(r)
+			reportRollup(r, updater.Weight(r.App))
 			if printed++; count != 0 && printed >= count {
 				break
 			}
@@ -375,8 +396,9 @@ func runRollups(c *hbnet.Client, count int) {
 	}
 }
 
-// reportRollup prints one per-app downsampled window.
-func reportRollup(r observer.Rollup) {
+// reportRollup prints one per-app downsampled window; weight < 0 omits
+// the health-weight column (relay mode, which judges nothing).
+func reportRollup(r observer.Rollup, weight float64) {
 	rate := "rate  n/a"
 	if r.RateOK {
 		rate = fmt.Sprintf("rate %7.2f beats/s", r.Rate.PerSec)
@@ -386,6 +408,9 @@ func reportRollup(r observer.Rollup) {
 	if r.Records > 0 {
 		line += fmt.Sprintf("  iv [%s %s %s]", r.MinInterval.Round(time.Microsecond),
 			r.MeanInterval.Round(time.Microsecond), r.MaxInterval.Round(time.Microsecond))
+	}
+	if weight >= 0 {
+		line += fmt.Sprintf("  weight %.2f", weight)
 	}
 	if r.Missed > 0 {
 		line += fmt.Sprintf("  (missed %d)", r.Missed)

@@ -1,0 +1,79 @@
+package hbnet
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// Consume opens the feed positioned after emission since and delivers
+// every batch to fn, in order, until ctx ends, the feed ends, or fn
+// returns an error. A clean feed end (io.EOF) returns nil; cancellation
+// returns ctx's error; fn's error is returned as-is. The programmatic
+// counterpart of the subscription loop every rollup consumer was writing
+// by hand — an Updater's Run, hbmon's -balance mode, and the simnet
+// balancer all sit on it.
+func (f RollupFeed) Consume(ctx context.Context, since uint64, fn func(RollupBatch) error) error {
+	s, err := f(ctx, since)
+	if err != nil {
+		return err
+	}
+	if c, ok := s.(io.Closer); ok {
+		defer c.Close()
+	}
+	for {
+		b, err := s.Next(ctx)
+		// Honor the non-blocking drain contract: data delivered alongside
+		// an error is still data.
+		if len(b.Rollups) > 0 || b.Missed > 0 {
+			if ferr := fn(b); ferr != nil {
+				return ferr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// clientRollupStream adapts a rollup Client to the RollupStream interface
+// (Client.Next serves raw feeds; rollup subscriptions read NextRollups).
+type clientRollupStream struct{ c *Client }
+
+func (s clientRollupStream) Next(ctx context.Context) (RollupBatch, error) {
+	return s.c.NextRollups(ctx)
+}
+
+func (s clientRollupStream) Close() error { return s.c.Close() }
+
+// DialRollupFeed adapts a remote rollup feed into a RollupFeed: each open
+// dials addr and subscribes to feed after the presented cursor, with the
+// client's usual cursor-resume reconnect underneath. It lets everything
+// written against a local Relay.RollupFeed() — an Updater, a Consume
+// loop — consume a relay across the network unchanged.
+func DialRollupFeed(addr, feed string, opts ...ClientOption) RollupFeed {
+	return func(ctx context.Context, since uint64) (RollupStream, error) {
+		c, err := DialRollupFrom(addr, feed, since, opts...)
+		if err != nil {
+			return nil, err
+		}
+		stop := context.AfterFunc(ctx, func() { c.Close() })
+		return ctxRollupStream{clientRollupStream{c}, stop}, nil
+	}
+}
+
+// ctxRollupStream tears the dialed client down when the opening context
+// ends, so a cancelled Consume does not leak the connection behind a
+// blocked Next.
+type ctxRollupStream struct {
+	clientRollupStream
+	stop func() bool
+}
+
+func (s ctxRollupStream) Close() error {
+	s.stop()
+	return s.clientRollupStream.Close()
+}

@@ -214,6 +214,28 @@ func (t *Tracker) CheckConserved(publishedTotal uint64) error {
 	return nil
 }
 
+// RemapBound returns the invariant ceiling on a routing-table swap's
+// measured remap fraction, given the swap's weight share (the changed
+// weight over the larger of the total weight before and after). A
+// weighted-rendezvous table's expected remap fraction IS the share; the
+// 1.5× factor absorbs finite-bucket variance and the additive term keeps
+// tiny shares (a reclaim ramp step among many nodes) from flagging on a
+// handful of buckets.
+func RemapBound(share float64) float64 { return 1.5*share + 0.03 }
+
+// CheckRemap verifies the minimal-disruption invariant for one observed
+// table swap: the fraction of the key space that actually moved must stay
+// within RemapBound of the weight share that moved. This is the balancer
+// counterpart of Conserved — rebalancing must never reshuffle keys it had
+// no reason to touch.
+func CheckRemap(label string, frac, share float64) error {
+	if bound := RemapBound(share); frac > bound {
+		return fmt.Errorf("%s: swap remapped %.3f of the key space for a weight share of %.3f (bound %.3f) — disruption not minimal",
+			label, frac, share, bound)
+	}
+	return nil
+}
+
 // RollupAccount accumulates rollup-feed deliveries for the count
 // conservation check: the sum of Records and Missed over every emitted
 // window must equal the merged head the relay observed.

@@ -204,3 +204,23 @@ func TestRollupAccount(t *testing.T) {
 		t.Fatal("lapped emissions must make conservation unverifiable")
 	}
 }
+
+func TestCheckRemap(t *testing.T) {
+	// A remove-1-of-8 swap: share 1/8, measured fraction right at
+	// expectation passes; double the expectation fails.
+	if err := CheckRemap("ok", 0.125, 0.125); err != nil {
+		t.Fatalf("expected remap flagged: %v", err)
+	}
+	if err := CheckRemap("bad", 0.30, 0.125); err == nil {
+		t.Fatal("a swap moving 2.4x its share passed the bound")
+	}
+	// Tiny shares get the additive allowance (bucket granularity).
+	if err := CheckRemap("tiny", 0.02, 0.0); err != nil {
+		t.Fatalf("sub-granularity movement flagged: %v", err)
+	}
+	// A full-table swap (first admission, last drain) is legal by
+	// construction: share 1 bounds any fraction.
+	if err := CheckRemap("full", 1.0, 1.0); err != nil {
+		t.Fatalf("full-share swap flagged: %v", err)
+	}
+}

@@ -40,6 +40,27 @@ type Rollup struct {
 	MinInterval, MaxInterval, MeanInterval time.Duration
 }
 
+// Silent reports a window in which the application published nothing at
+// all: no records delivered AND no losses counted. A window with
+// Records == 0 but Missed > 0 is not silent — records were published and
+// lost before delivery (a lapped ring, a reconnect gap), which proves the
+// producer alive. This is the distinction a weight policy drains on.
+func (r Rollup) Silent() bool { return r.Records == 0 && r.Missed == 0 }
+
+// ObservedRate returns the window's best available beats-per-second
+// estimate: the windowed Rate when valid, else the reciprocal of the mean
+// inter-beat interval (which a 1-record window still has, via the gap
+// carried from the previous window), else 0 — no evidence.
+func (r Rollup) ObservedRate() float64 {
+	if r.RateOK && r.Rate.PerSec > 0 {
+		return r.Rate.PerSec
+	}
+	if r.MeanInterval > 0 {
+		return 1 / r.MeanInterval.Seconds()
+	}
+	return 0
+}
+
 // RollupWindow reduces one application's stream batches into successive
 // Rollups. It is the batch-reducer counterpart of Window: where Window
 // retains the last N records for judgment, RollupWindow retains O(1) state

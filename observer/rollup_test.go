@@ -120,3 +120,33 @@ func TestDownsamplerPerApp(t *testing.T) {
 		t.Fatalf("conservation broken: records %d missed %d", recs, missed)
 	}
 }
+
+func TestRollupSilent(t *testing.T) {
+	if !(Rollup{}).Silent() {
+		t.Fatal("empty window not silent")
+	}
+	if (Rollup{Records: 1}).Silent() {
+		t.Fatal("window with records judged silent")
+	}
+	// Losses prove publication: an all-lapped window is alive, not silent
+	// — the distinction that keeps a restarting producer routable.
+	if (Rollup{Missed: 7}).Silent() {
+		t.Fatal("all-lapped window judged silent")
+	}
+}
+
+func TestRollupObservedRate(t *testing.T) {
+	r := Rollup{Rate: heartbeat.Rate{PerSec: 42}, RateOK: true, MeanInterval: time.Second}
+	if got := r.ObservedRate(); got != 42 {
+		t.Fatalf("ObservedRate = %v, want the windowed rate", got)
+	}
+	// A 1-record window has no windowed rate but does carry the interval
+	// spanning from the previous window.
+	r = Rollup{MeanInterval: 250 * time.Millisecond}
+	if got := r.ObservedRate(); got != 4 {
+		t.Fatalf("ObservedRate = %v, want 4 from the mean interval", got)
+	}
+	if got := (Rollup{}).ObservedRate(); got != 0 {
+		t.Fatalf("ObservedRate with no evidence = %v, want 0", got)
+	}
+}

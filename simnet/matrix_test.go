@@ -107,14 +107,20 @@ func TestScenarioMatrix(t *testing.T) {
 			if stats.Resumed {
 				total.Resumed = true
 			}
+			total.Drains += stats.Drains
+			total.Reclaims += stats.Reclaims
+			if stats.MaxRemap > total.MaxRemap {
+				total.MaxRemap = stats.MaxRemap
+			}
 			mu.Unlock()
 		}(seed)
 	}
 	wg.Wait()
 	elapsed := time.Since(started)
-	t.Logf("matrix: %d scenarios (direct=%d file=%d relay-tree=%d), %.0f simulated seconds in %v: delivered=%d missed=%d restarts=%d reconnects=%d lives=%d resumed=%v",
+	t.Logf("matrix: %d scenarios (direct=%d file=%d relay-tree=%d), %.0f simulated seconds in %v: delivered=%d missed=%d restarts=%d reconnects=%d lives=%d resumed=%v drains=%d reclaims=%d maxremap=%.2f",
 		count, topo[0], topo[1], topo[2], total.SimSeconds, elapsed.Round(time.Millisecond),
-		total.Delivered, total.Missed, total.Restarts, total.Reconnects, total.Lives, total.Resumed)
+		total.Delivered, total.Missed, total.Restarts, total.Reconnects, total.Lives, total.Resumed,
+		total.Drains, total.Reclaims, total.MaxRemap)
 	if failures > 0 {
 		return // per-scenario errors already reported with their seeds
 	}
@@ -146,6 +152,9 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 	if !total.Resumed {
 		t.Errorf("matrix never exercised consumer cursor-resume")
+	}
+	if total.Drains == 0 || total.Reclaims == 0 {
+		t.Errorf("matrix never exercised the balancer drain/reclaim arc: drains=%d reclaims=%d", total.Drains, total.Reclaims)
 	}
 	for i, n := range topo {
 		if n == 0 {

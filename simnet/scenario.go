@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/balance"
 	"repro/hbfile"
 	"repro/hbnet"
 	"repro/heartbeat"
@@ -88,6 +89,13 @@ const (
 	// write timeout fires on the virtual clock, and the subscriber is
 	// disconnected mid-stream and must reconnect from its cursor.
 	EvSlowConsumer
+	// EvNodeDrain flatlines producer P for Arg nanoseconds and asserts the
+	// balancer's whole reaction arc (relay-tree only): the health-weight
+	// policy must drain the node after consecutive silent rollup windows,
+	// the table swap must reshuffle no more of the key space than the
+	// remap invariant allows, and after the producer recovers the node
+	// must reclaim full weight through the ramp before the scenario ends.
+	EvNodeDrain
 )
 
 func (k EventKind) String() string {
@@ -114,6 +122,8 @@ func (k EventKind) String() string {
 		return "resume"
 	case EvSlowConsumer:
 		return "slow-consumer"
+	case EvNodeDrain:
+		return "node-drain"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -183,9 +193,35 @@ func Generate(seed int64) Scenario {
 	window := func() time.Duration {
 		return time.Duration(float64(time.Second) * (0.3 + 0.9*rng.Float64()))
 	}
+	// The node-drain arc (relay-tree, half the scenarios): one producer
+	// flatlines early and long enough that the balancer must drain it
+	// (several whole rollup windows of silence), then recovers with enough
+	// windows left before the scenario ends for the reclaim ramp to
+	// complete. Drawn before the producer faults so those can be steered
+	// off the drained producer — a restart or second silence landing on it
+	// would make the drain/reclaim assertion unprovable.
+	drained := -1
+	if sc.Topology == TopoRelayTree && rng.Intn(2) == 0 {
+		drained = rng.Intn(sc.Producers)
+		sc.Events = append(sc.Events, Event{
+			Kind:     EvNodeDrain,
+			Producer: drained,
+			At:       time.Duration(float64(sc.Duration) * (0.2 + 0.1*rng.Float64())),
+			Arg:      time.Duration((3.5 + rng.Float64()) * float64(sc.Rollup)),
+		})
+	}
 	producerFaults := []EventKind{EvRestart, EvRecreate, EvLap, EvSilence}
 	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		if drained >= 0 && sc.Producers == 1 {
+			break // the drain IS this scenario's producer fault
+		}
 		ev := Event{At: at(), Producer: rng.Intn(sc.Producers), Kind: producerFaults[rng.Intn(len(producerFaults))]}
+		if drained >= 0 {
+			// Steer the fault onto any other producer, preserving the draw.
+			if ev.Producer = ev.Producer % (sc.Producers - 1); ev.Producer >= drained {
+				ev.Producer++
+			}
+		}
 		if ev.Kind == EvSilence {
 			ev.Arg = window()
 		}
@@ -232,6 +268,12 @@ type Stats struct {
 	Restarts   int
 	Reconnects int
 	Resumed    bool
+	// Balancer accounting (relay-tree): drain and reclaim swaps observed
+	// for the EvNodeDrain target, and the largest key-space fraction any
+	// single table swap moved.
+	Drains   int
+	Reclaims int
+	MaxRemap float64
 }
 
 // Run executes the scenario and verifies the delivery contract. The
@@ -932,6 +974,70 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 		}
 	}()
 
+	// The balancer under test: a live routing table driven by each LEAF's
+	// own rollup feed (the root's rollups are per-leaf aggregates; only
+	// the leaves emit per-producer windows), exactly how a fleet-scale
+	// balancer would watch its backends. Every swap is checked against the
+	// remap invariant; when the schedule contains an EvNodeDrain, the
+	// verdict additionally requires the full drain → minimal reshuffle →
+	// reclaim arc to have completed for the drained producer's app.
+	drainApp := ""
+	for _, ev := range sc.Events {
+		if ev.Kind == EvNodeDrain {
+			drainApp = fmt.Sprintf("app%d", ev.Producer)
+		}
+	}
+	var (
+		balMu    sync.Mutex
+		balErr   error
+		drains   int
+		reclaims int
+		maxRemap float64
+	)
+	updater := balance.NewUpdater(balance.New(balance.WithBuckets(512)), balance.DefaultPolicy(),
+		balance.WithOnSwap(func(sw balance.Swap) {
+			balMu.Lock()
+			defer balMu.Unlock()
+			if err := simcheck.CheckRemap("balancer swap "+sw.Node, sw.Frac(), sw.Share); err != nil && balErr == nil {
+				balErr = err
+			}
+			if f := sw.Frac(); f > maxRemap {
+				maxRemap = f
+			}
+			if sw.Node == drainApp {
+				if sw.New == 0 {
+					drains++
+				}
+				if sw.New == 1 && sw.Old < 1 && drains > 0 {
+					reclaims++
+				}
+			}
+		}))
+	for _, leaf := range leaves {
+		nw.SetLatency("mon", leaf.addr, time.Duration(rng.Int63n(int64(sc.MaxLink+1))))
+		feed := hbnet.DialRollupFeed(leaf.addr, "rollup", dialOpts()...)
+		wg.Add(1)
+		go func(feed hbnet.RollupFeed) {
+			defer wg.Done()
+			// The client under the feed reconnects by cursor on its own;
+			// this loop only survives a torn-down open (a leaf listener
+			// outage racing the initial dial), resuming from the last
+			// delivered emission so no window is double-absorbed.
+			var since uint64
+			for ctx.Err() == nil {
+				feed.Consume(ctx, since, func(b hbnet.RollupBatch) error {
+					since = b.Cursor
+					updater.Absorb(b.Rollups...)
+					return nil
+				})
+				if ctx.Err() != nil {
+					return
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(feed)
+	}
+
 	// The fault scheduler.
 	stats := Stats{}
 	linkName := func(i int) (a, b string) {
@@ -1036,7 +1142,13 @@ schedule:
 		rollupMu.Lock()
 		rollupTotal := rollups.Records + rollups.Missed
 		rollupMu.Unlock()
-		if consumerTotal == rootHead && rootHead == leafSum && rollupTotal == rootHead && consumerTotal > 0 {
+		// A node-drain scenario must also have completed its arc: the
+		// balancer's rollup subscriptions ride the same faulted network,
+		// so the drained app's reclaim can trail the record pipeline.
+		balMu.Lock()
+		balSettled := drainApp == "" || balErr != nil || (drains > 0 && reclaims > 0)
+		balMu.Unlock()
+		if consumerTotal == rootHead && rootHead == leafSum && rollupTotal == rootHead && consumerTotal > 0 && balSettled {
 			if consumerTotal == lastTotal {
 				stable++
 				if stable >= 5 {
@@ -1093,6 +1205,23 @@ schedule:
 	if verdict != nil {
 		return stats, verdict
 	}
+	// Balancer verdict: every swap stayed inside the remap bound, and a
+	// scheduled node-drain completed its whole arc.
+	balMu.Lock()
+	stats.Drains, stats.Reclaims, stats.MaxRemap = drains, reclaims, maxRemap
+	balVerdict := balErr
+	balMu.Unlock()
+	if balVerdict != nil {
+		return stats, balVerdict
+	}
+	if drainApp != "" {
+		if stats.Drains == 0 {
+			return stats, fmt.Errorf("node-drain scenario: balancer never drained %s (weight now %.2f)", drainApp, updater.Weight(drainApp))
+		}
+		if stats.Reclaims == 0 {
+			return stats, fmt.Errorf("node-drain scenario: %s drained but never reclaimed full weight (weight now %.2f)", drainApp, updater.Weight(drainApp))
+		}
+	}
 	for _, p := range producers {
 		stats.Restarts += p.lives() - 1
 	}
@@ -1125,7 +1254,10 @@ func (sc Scenario) applyProducerFault(producers []*producer, rng *rand.Rand, clk
 		}
 	case EvLap:
 		producers[ev.Producer].burst(3*sc.RingCap + rng.Intn(sc.RingCap))
-	case EvSilence:
+	case EvSilence, EvNodeDrain:
+		// A node-drain is mechanically a silence window; what distinguishes
+		// it is the balancer assertions the relay-tree runner makes around
+		// it (drain observed, remap bounded, reclaim completed).
 		producers[ev.Producer].silence(clk.Now().Add(ev.Arg))
 	default:
 		return false, nil

@@ -2,7 +2,7 @@
 // CI signal, so a performance regression fails `make ci` the same way a
 // broken test does instead of waiting for a human to eyeball the JSON.
 //
-// Two checks, both over `go test -json` captures of benchmark runs:
+// Three checks, all over `go test -json` captures of benchmark runs:
 //
 //	benchgate -file BENCH_relay.json -bench Relay/fanin-32 -metric records/s \
 //	    -baseline tools/benchgate/baseline.json -tolerance 0.20
@@ -18,6 +18,13 @@
 // asserts the first benchmark's metric beats the second's in the same
 // capture — the relative claim (shared memory outruns loopback TCP) that
 // must hold on any machine, however fast the machine is.
+//
+//	benchgate -file BENCH_balance.json -bench Pick/cow/p8 \
+//	    -metric allocs/op -atmost 0
+//
+// asserts the named benchmark's metric is at most the given ceiling — an
+// absolute claim (a lock-free read path allocates nothing, a remap stays
+// under its disruption bound) that holds on any machine or not at all.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "JSON file of {bench: {metric: value}} baselines")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression vs the baseline")
 	faster := flag.String("faster", "", "A,B: assert benchmark A's metric >= benchmark B's in the same capture")
+	atmost := flag.String("atmost", "", "ceiling: assert the -bench metric is <= this value")
 	flag.Parse()
 
 	if *file == "" {
@@ -61,6 +69,19 @@ func main() {
 				a, *metric, av, b, bv)
 		}
 		fmt.Printf("benchgate: %s %s %.0f >= %s %.0f ok (%.2fx)\n", a, *metric, av, b, bv, av/bv)
+	case *atmost != "":
+		if *bench == "" {
+			fatalf("benchgate: -atmost needs -bench")
+		}
+		ceil, err := strconv.ParseFloat(*atmost, 64)
+		if err != nil {
+			fatalf("benchgate: bad -atmost %q: %v", *atmost, err)
+		}
+		got := lookup(results, *bench, *metric)
+		if got > ceil {
+			fatalf("benchgate: %s %s = %g exceeds the ceiling %g", *bench, *metric, got, ceil)
+		}
+		fmt.Printf("benchgate: %s %s %g <= %g ok\n", *bench, *metric, got, ceil)
 	case *baselinePath != "":
 		if *bench == "" {
 			fatalf("benchgate: -baseline needs -bench")
@@ -78,7 +99,7 @@ func main() {
 		fmt.Printf("benchgate: %s %s %.0f within %.0f%% of baseline %.0f ok\n",
 			*bench, *metric, got, *tolerance*100, base)
 	default:
-		fatalf("benchgate: nothing to check: pass -baseline or -faster")
+		fatalf("benchgate: nothing to check: pass -baseline, -faster, or -atmost")
 	}
 }
 
