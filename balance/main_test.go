@@ -1,0 +1,11 @@
+package balance
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves goroutines running —
+// the updater's decision loop must stop when its stream ends.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -111,6 +111,8 @@ func emptyAssign(n int) []int32 {
 // Pick returns the node owning key's bucket. It is the per-request path:
 // one atomic load, one hash, one index — lock-free and allocation-free.
 // ok is false when no node currently holds weight.
+//
+//hbvet:hotpath
 func (t *Table) Pick(key uint64) (node string, ok bool) {
 	s := t.state.Load()
 	i := s.assign[splitmix64(key)&uint64(len(s.assign)-1)]
@@ -122,6 +124,8 @@ func (t *Table) Pick(key uint64) (node string, ok bool) {
 
 // PickString is Pick over a string key (an URL path, a session id),
 // hashed with FNV-1a — still allocation-free.
+//
+//hbvet:hotpath
 func (t *Table) PickString(key string) (node string, ok bool) {
 	return t.Pick(hashString(key))
 }

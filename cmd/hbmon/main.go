@@ -127,7 +127,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()}
+	classifier := &observer.Classifier{Window: *window, Epoch: time.Now()} //hbvet:allow wallclock -- live monitor: rate epochs are real wall time by definition
 
 	if *connect != "" {
 		if *rollup {
@@ -227,7 +227,7 @@ func main() {
 			os.Exit(1)
 		}
 		report(classifier.Classify(snap), -1, 0)
-		time.Sleep(*interval)
+		time.Sleep(*interval) //hbvet:allow wallclock -- live monitor poll cadence; hbmon has no virtual mode
 	}
 }
 
@@ -274,7 +274,7 @@ func runFollow(stream observer.Stream, classifier *observer.Classifier, interval
 	ctx := context.Background()
 	var lastCount, lastMissed uint64
 	for reports := 0; count == 0 || reports < count; reports++ {
-		if _, err := observer.CollectInto(ctx, stream, win, time.Now().Add(interval)); err != nil {
+		if _, err := observer.CollectInto(ctx, stream, win, time.Now().Add(interval)); err != nil { //hbvet:allow wallclock -- live monitor batch deadline; hbmon has no virtual mode
 			fmt.Fprintln(os.Stderr, "hbmon:", err)
 			os.Exit(1)
 		}
@@ -372,7 +372,7 @@ func runRollups(c *hbnet.Client, count int, printSwaps bool) {
 	if printSwaps {
 		opts = append(opts, balance.WithOnSwap(func(s balance.Swap) {
 			fmt.Printf("%s  balance: %s %.2f -> %.2f, remapped %.1f%% of keys (weight share %.1f%%)\n",
-				time.Now().Format("15:04:05.000"), s.Node, s.Old, s.New, 100*s.Frac(), 100*s.Share)
+				time.Now().Format("15:04:05.000"), s.Node, s.Old, s.New, 100*s.Frac(), 100*s.Share) //hbvet:allow wallclock -- wall-clock timestamp on a human-facing report line
 		}))
 	}
 	updater := balance.NewUpdater(balance.New(), balance.DefaultPolicy(), opts...)
@@ -429,7 +429,7 @@ func report(st observer.Status, delta int64, missed uint64) {
 	if st.RateOK {
 		rate = fmt.Sprintf("rate %7.2f beats/s", st.Rate)
 	}
-	line := fmt.Sprintf("%s  beats %8d", time.Now().Format("15:04:05.000"), st.Count)
+	line := fmt.Sprintf("%s  beats %8d", time.Now().Format("15:04:05.000"), st.Count) //hbvet:allow wallclock -- wall-clock timestamp on a human-facing report line
 	if delta >= 0 {
 		line += fmt.Sprintf("  +%d", delta)
 	}

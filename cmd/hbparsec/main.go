@@ -98,24 +98,24 @@ func runReal(k parsec.Kernel, d time.Duration, hbPath string, workers int) error
 
 	var sink uint64
 	var units uint64
-	start := time.Now()
+	start := time.Now() //hbvet:allow wallclock -- benchmark driver: measures real runtime of real work
 	if workers > 1 {
 		// Per-thread heartbeats for every worker plus attributed global
 		// beats (see parsec.RunParallel). Sized by duration estimate:
 		// run in slices until the deadline.
 		deadline := start.Add(d)
 		slice := 4 * k.UnitsPerBeat()
-		for time.Now().Before(deadline) {
+		for time.Now().Before(deadline) { //hbvet:allow wallclock -- real-runtime benchmark deadline
 			sink ^= parsec.RunParallel(func() parsec.Kernel {
 				nk, _ := parsec.ByName(k.Name())
 				return nk
-			}, hb, workers, slice, time.Now().UnixNano())
+			}, hb, workers, slice, time.Now().UnixNano()) //hbvet:allow wallclock -- worker RNG seed entropy for the benchmark run
 			units += uint64(workers * slice)
 		}
 	} else {
-		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		rng := rand.New(rand.NewSource(time.Now().UnixNano())) //hbvet:allow wallclock -- RNG seed entropy for the benchmark run
 		deadline := start.Add(d)
-		for time.Now().Before(deadline) {
+		for time.Now().Before(deadline) { //hbvet:allow wallclock -- real-runtime benchmark deadline
 			for u := 0; u < k.UnitsPerBeat(); u++ {
 				cs, _ := k.DoUnit(rng)
 				sink ^= cs
@@ -124,7 +124,7 @@ func runReal(k parsec.Kernel, d time.Duration, hbPath string, workers int) error
 			hb.Beat()
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //hbvet:allow wallclock -- closes the real-runtime measurement opened at start
 	rate := float64(hb.Count()) / elapsed.Seconds()
 	winRate, _ := hb.Rate(0)
 	fmt.Printf("%-14s %-22s beats %6d  units %10d  avg %10.2f beats/s  window %10.2f beats/s  (checksum %x)\n",

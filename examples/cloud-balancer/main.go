@@ -112,11 +112,11 @@ func runNode(name string) {
 		if slow.Load() {
 			gate.Lock()
 			if slow.Load() {
-				time.Sleep(250 * time.Millisecond)
+				time.Sleep(250 * time.Millisecond) //hbvet:allow wallclock -- injected real service latency: the slow-node phase of the demo
 			}
 			gate.Unlock()
 		} else {
-			time.Sleep(time.Millisecond)
+			time.Sleep(time.Millisecond) //hbvet:allow wallclock -- baseline real service latency for a real HTTP handler
 		}
 		hb.Beat()
 		io.WriteString(w, name)
@@ -165,12 +165,12 @@ func fail(format string, args ...interface{}) {
 }
 
 func waitFor(what string, d time.Duration, cond func() bool) {
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(d) //hbvet:allow wallclock -- real deadline for a cross-process condition; no clock spans the fleet
+	for time.Now().Before(deadline) { //hbvet:allow wallclock -- checks the real deadline set above
 		if cond() {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //hbvet:allow wallclock -- real polling cadence for a cross-process condition
 	}
 	fail("timed out after %v waiting for %s", d, what)
 }
@@ -178,7 +178,7 @@ func waitFor(what string, d time.Duration, cond func() bool) {
 func runBalancer() {
 	// The whole demonstration is bounded: a wedged phase is an audit
 	// failure, not a hang.
-	time.AfterFunc(90*time.Second, func() { fail("demo exceeded its 90s deadline") })
+	time.AfterFunc(90*time.Second, func() { fail("demo exceeded its 90s deadline") }) //hbvet:allow wallclock -- hard real-time bound so a wedged demo fails loudly instead of hanging
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -241,7 +241,7 @@ func runBalancer() {
 			go func(c *exec.Cmd) { c.Wait(); close(done) }(cmd)
 			select {
 			case <-done:
-			case <-time.After(3 * time.Second):
+			case <-time.After(3 * time.Second): //hbvet:allow wallclock -- real kill timeout for a real child process
 				cmd.Process.Kill()
 				<-done
 			}
@@ -423,7 +423,7 @@ func runBalancer() {
 						workErrs.Add(1)
 					}
 				}
-				time.Sleep(3 * time.Millisecond)
+				time.Sleep(3 * time.Millisecond) //hbvet:allow wallclock -- real request pacing against a real HTTP server
 			}
 		}(int64(w))
 	}

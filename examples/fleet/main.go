@@ -128,7 +128,7 @@ func runProducer(path string) {
 		io.Copy(io.Discard, os.Stdin) // EOF on stdin = stop
 		close(stop)
 	}()
-	ticker := time.NewTicker(beatInterval)
+	ticker := time.NewTicker(beatInterval) //hbvet:allow wallclock -- child process beats in real time over real TCP; no virtual clock spans processes
 	defer ticker.Stop()
 	for beating := true; beating; {
 		select {
@@ -173,7 +173,7 @@ func runRelayProcess(addUpstreams func(*hbnet.Relay) error, atExit func()) {
 			if tries > 200 {
 				log.Fatal(err)
 			}
-			time.Sleep(10 * time.Millisecond)
+			time.Sleep(10 * time.Millisecond) //hbvet:allow wallclock -- real listen-retry backoff while a prior process releases the port
 		}
 		go srv.Serve(l)
 		return srv, l
@@ -195,7 +195,7 @@ func runRelayProcess(addUpstreams func(*hbnet.Relay) error, atExit func()) {
 		// healthy node. Subscribers redial with their cursors and lose
 		// nothing the rings retain.
 		srv.Close()
-		time.Sleep(time.Second)
+		time.Sleep(time.Second) //hbvet:allow wallclock -- staged real-time outage window for the demo narrative
 		srv, _ = serve(addr)
 		fmt.Println("RESTORED")
 	}
@@ -256,7 +256,7 @@ func (c *child) stop(wantDone bool) uint64 {
 	go func() { c.cmd.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second):
+	case <-time.After(5 * time.Second): //hbvet:allow wallclock -- real kill timeout for a real child process
 		c.cmd.Process.Kill()
 		<-done
 	}
@@ -348,9 +348,9 @@ func runFleet() {
 		}
 	}
 	pump := func(d time.Duration) {
-		deadline := time.Now().Add(d)
-		for time.Now().Before(deadline) {
-			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		deadline := time.Now().Add(d) //hbvet:allow wallclock -- real drain deadline: the fleet runs across processes in wall time
+		for time.Now().Before(deadline) { //hbvet:allow wallclock -- checks the real drain deadline set above
+			ctx, cancel := context.WithDeadline(context.Background(), deadline) //hbvet:allow wallclock -- bounds a real network drain with the same wall deadline
 			drainAudit(ctx)
 			cancel()
 			drainRollups(noWait)
@@ -392,8 +392,8 @@ func runFleet() {
 
 	// Let the tail drain through both relay layers and the last rollup
 	// windows flush, then take the final audit.
-	deadline := time.Now().Add(15 * time.Second)
-	for uint64(len(auditSeqs))+auditMissed < produced && time.Now().Before(deadline) {
+	deadline := time.Now().Add(15 * time.Second) //hbvet:allow wallclock -- real drain deadline: the fleet runs across processes in wall time
+	for uint64(len(auditSeqs))+auditMissed < produced && time.Now().Before(deadline) { //hbvet:allow wallclock -- checks the real drain deadline set above
 		pump(200 * time.Millisecond)
 	}
 	var rollupTotal uint64
@@ -404,7 +404,7 @@ func runFleet() {
 		}
 		return rollupTotal + rollupMissed
 	}
-	for recount() < produced && time.Now().Before(deadline) {
+	for recount() < produced && time.Now().Before(deadline) { //hbvet:allow wallclock -- checks the real drain deadline set above
 		pump(200 * time.Millisecond)
 	}
 

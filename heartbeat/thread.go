@@ -61,7 +61,7 @@ func (t *Thread) now() int64 {
 	if t.coarse != nil {
 		n = t.coarse.nanos.Load()
 	} else {
-		n = t.nowNanos()
+		n = t.nowNanos() //hbvet:allow hotpath -- injected clock read; the contract-bearing config (CoarseClock) takes the atomic-load branch above
 	}
 	if n < t.lastNanos {
 		return t.lastNanos
@@ -78,18 +78,26 @@ func (t *Thread) ID() int32 { return t.id }
 func (t *Thread) Name() string { return t.name }
 
 // Beat registers a local heartbeat with tag 0 (HB_heartbeat, local=true).
+//
+//hbvet:hotpath
 func (t *Thread) Beat() { t.local.Push(t.now(), 0) }
 
 // BeatTag registers a local heartbeat carrying a caller-defined tag.
+//
+//hbvet:hotpath
 func (t *Thread) BeatTag(tag int64) { t.local.Push(t.now(), tag) }
 
 // GlobalBeat registers a heartbeat on the application's global history,
 // attributed to this thread. The write lands in this thread's lock-free
 // shard; the aggregator assigns its global sequence number when the shard
 // is merged (on read, on the flush interval, or on backlog pressure).
+//
+//hbvet:hotpath
 func (t *Thread) GlobalBeat() { t.g.beat(t.now(), 0) }
 
 // GlobalBeatTag is GlobalBeat with a tag.
+//
+//hbvet:hotpath
 func (t *Thread) GlobalBeatTag(tag int64) { t.g.beat(t.now(), tag) }
 
 // Count returns the number of local heartbeats ever registered.

@@ -30,7 +30,7 @@ func Now(clk Clock) time.Time {
 	if clk != nil {
 		return clk.Now()
 	}
-	return time.Now()
+	return time.Now() //hbvet:allow wallclock -- nil-clock fallback: this function is the wall-read seam itself
 }
 
 // After waits d on clk's schedule: clocks implementing WaitClock wait in
@@ -41,7 +41,7 @@ func After(clk Clock, d time.Duration) <-chan time.Time {
 	if wc, ok := clk.(WaitClock); ok {
 		return wc.After(d)
 	}
-	return time.After(d)
+	return time.After(d) //hbvet:allow wallclock -- non-WaitClock fallback: this function is the wall-wait seam itself
 }
 
 // SleepCtx blocks for d on clk's schedule or until ctx is cancelled; false
@@ -87,7 +87,7 @@ func NewTicker(clk Clock, d time.Duration) *Ticker {
 	if _, virtual := clk.(WaitClock); virtual {
 		tk.ch = After(clk, d)
 	} else {
-		tk.t = time.NewTicker(d)
+		tk.t = time.NewTicker(d) //hbvet:allow wallclock,clockthread -- wall-path branch of the clock-dispatching ticker seam
 		tk.ch = tk.t.C
 	}
 	return tk
@@ -130,7 +130,7 @@ func (t *Ticker) Stop() {
 func ContextWithTimeout(parent context.Context, clk Clock, d time.Duration) (context.Context, context.CancelFunc) {
 	wc, ok := clk.(WaitClock)
 	if !ok {
-		return context.WithTimeout(parent, d)
+		return context.WithTimeout(parent, d) //hbvet:allow wallclock -- wall-clock branch of the deadline seam itself
 	}
 	ctx := &waitClockCtx{parent: parent, done: make(chan struct{})}
 	stop := make(chan struct{})

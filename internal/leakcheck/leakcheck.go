@@ -1,0 +1,117 @@
+// Package leakcheck fails a test binary that exits with stray goroutines
+// still running — the lifecycle companion to hbvet's static checks: the
+// wallclock analyzer proves loops wait on the injected clock, this
+// package proves the loops actually end. It is a dependency-free take on
+// goleak (the container this repo builds in has no module cache, so
+// importing one was never an option): snapshot the goroutine dump after
+// the tests run, strip the goroutines that belong to the runtime and the
+// testing framework, and retry over a grace window so goroutines that are
+// merely slow to unwind — connection readers draining after Close, timer
+// callbacks mid-fire — get to finish before the verdict.
+//
+// Wire it into a package with one line:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxWait is the total grace window for goroutines to unwind before the
+// remaining ones are declared leaked.
+const maxWait = 2 * time.Second
+
+// Main runs the package's tests, then fails the binary if goroutines
+// leaked. Passing tests exit non-zero when a leak is found, with the
+// offending stacks on stderr.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running after tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check waits for stray goroutines to unwind and returns the stacks of
+// those that never did (empty means clean). Exposed separately from Main
+// so an individual test can assert cleanliness at a checkpoint.
+func Check() []string {
+	var leaked []string
+	for deadline := time.Now().Add(maxWait); ; { //hbvet:allow wallclock -- test-binary grace window: real goroutines unwind in real time
+		leaked = interesting(stacks())
+		if len(leaked) == 0 || time.Now().After(deadline) { //hbvet:allow wallclock -- checks the real grace deadline set above
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond) //hbvet:allow wallclock -- real backoff between goroutine-dump samples
+	}
+}
+
+// stacks returns the full goroutine dump split into one string per
+// goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// benignSubstrings mark goroutines that belong to the harness, the
+// runtime, or this package — never to the code under test.
+var benignSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.ensureSigM",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"os/signal.loop",
+}
+
+// interesting filters a goroutine dump down to the goroutines the code
+// under test is answerable for.
+func interesting(gs []string) []string {
+	var out []string
+	for _, g := range gs {
+		if g == "" {
+			continue
+		}
+		// The dumping goroutine itself: only it can be inside stacks()
+		// (or runtime.Stack, depending on what the traceback elides).
+		if strings.Contains(g, "leakcheck.stacks(") || strings.Contains(g, "runtime.Stack(") {
+			continue
+		}
+		benign := false
+		for _, s := range benignSubstrings {
+			if strings.Contains(g, s) {
+				benign = true
+				break
+			}
+		}
+		if !benign {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCleanAfterGoroutineExits: a goroutine that finishes within the
+// grace window is not a leak.
+func TestCleanAfterGoroutineExits(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond) //hbvet:allow wallclock -- leak-check self test exercises a real slow-to-unwind goroutine
+		close(done)
+	}()
+	if leaked := Check(); len(leaked) != 0 {
+		t.Fatalf("goroutine finishing inside the grace window reported as leak:\n%s",
+			strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}
+
+// TestDetectsParkedGoroutine: a goroutine blocked forever is reported,
+// with its stack.
+func TestDetectsParkedGoroutine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full grace window")
+	}
+	block := make(chan struct{})
+	gone := make(chan struct{})
+	// Unblock the goroutine and wait for it to actually exit before the
+	// test returns, so the deliberate leak cannot bleed into later tests'
+	// goroutine dumps.
+	defer func() { close(block); <-gone }()
+	started := make(chan struct{})
+	go func() {
+		defer close(gone)
+		close(started)
+		<-block
+	}()
+	<-started
+	leaked := Check()
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine not reported")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestDetectsParkedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the parked goroutine:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestBenignFiltering: the dump of an idle test binary is entirely benign.
+func TestBenignFiltering(t *testing.T) {
+	if leaked := interesting(stacks()); len(leaked) != 0 {
+		t.Fatalf("idle binary reports leaks:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}

@@ -89,11 +89,15 @@ func NewSP(capacity int) *SP {
 func (r *SP) Cap() int { return len(r.idx) }
 
 // Total returns the number of records ever pushed.
+//
+//hbvet:hotpath
 func (r *SP) Total() uint64 { return r.total.Load() }
 
 // Entries returns the number of time-index entries ever written. The
 // difference between two observations bounds how many distinct timestamps
 // the producer has emitted in between.
+//
+//hbvet:hotpath
 func (r *SP) Entries() uint64 { return r.entries.Load() }
 
 // Push appends a record with the given timestamp and tag and returns its
@@ -101,6 +105,8 @@ func (r *SP) Entries() uint64 { return r.entries.Load() }
 // this to amortize index-pressure checks). Push must only ever be called
 // from one goroutine. It never allocates and, while the timestamp stays the
 // same and tag == 0, performs exactly one atomic store.
+//
+//hbvet:hotpath
 func (r *SP) Push(timeNanos, tag int64) (seq uint64, newRun bool) {
 	seq = r.seq + 1
 	r.seq = seq
@@ -161,6 +167,8 @@ func (r *SP) tag(seq uint64) int64 {
 
 // Read reconstructs the record with the given sequence number. ok is false
 // when seq has not been pushed yet or is too old to reconstruct.
+//
+//hbvet:hotpath
 func (r *SP) Read(seq uint64) (Entry, bool) {
 	if seq == 0 || seq > r.total.Load() {
 		return Entry{}, false
@@ -314,6 +322,8 @@ func (c *Cursor) advance(seq uint64) {
 
 // PeekTime returns the timestamp of the next record. It must only be called
 // when at least one record is pending.
+//
+//hbvet:hotpath
 func (c *Cursor) PeekTime() int64 {
 	c.advance(c.next + 1)
 	return c.tm
@@ -321,6 +331,8 @@ func (c *Cursor) PeekTime() int64 {
 
 // RunLen reports how many pending records, up to limit, share the next
 // record's timestamp run.
+//
+//hbvet:hotpath
 func (c *Cursor) RunLen(limit uint64) uint64 {
 	c.advance(c.next + 1)
 	end := limit
@@ -334,6 +346,8 @@ func (c *Cursor) RunLen(limit uint64) uint64 {
 }
 
 // Skip consumes n records without reconstructing them.
+//
+//hbvet:hotpath
 func (c *Cursor) Skip(n uint64) {
 	c.next += n
 	c.advance(c.next)
@@ -341,6 +355,8 @@ func (c *Cursor) Skip(n uint64) {
 
 // Next reconstructs and consumes the next record. ok is false when no
 // record at or below limit is pending.
+//
+//hbvet:hotpath
 func (c *Cursor) Next(limit uint64) (Entry, bool) {
 	if c.next >= limit {
 		return Entry{}, false

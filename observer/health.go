@@ -110,10 +110,7 @@ func (c *Classifier) grace() time.Duration {
 }
 
 func (c *Classifier) now() time.Time {
-	if c.Clock != nil {
-		return c.Clock.Now()
-	}
-	return time.Now()
+	return heartbeat.Now(c.Clock)
 }
 
 // Classify judges one snapshot. It recomputes the windowed statistics from

@@ -1,0 +1,11 @@
+package observer_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaves goroutines running —
+// monitors, watchdogs, and follow loops must all unwind on Stop/cancel.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -551,7 +551,7 @@ func (sc Scenario) runLocal(dir string) (Stats, error) {
 						stream = ns
 						return
 					}
-					time.Sleep(200 * time.Microsecond) // producer mid-restart: retry
+					time.Sleep(200 * time.Microsecond) //hbvet:allow wallclock -- producer mid-restart retry: real-time pacing because the harness goroutine races virtual time, which may be parked mid-restart
 				}
 			}
 			for ctx.Err() == nil {
@@ -622,7 +622,7 @@ func (sc Scenario) runLocal(dir string) (Stats, error) {
 		p.paused = true
 		p.mu.Unlock()
 	}
-	deadline := time.Now().Add(settleDeadline)
+	deadline := time.Now().Add(settleDeadline) //hbvet:allow wallclock -- settle deadline is a real-time bound on the harness itself, not on simulated components
 	stable := 0
 	for {
 		done := true
@@ -651,10 +651,10 @@ func (sc Scenario) runLocal(dir string) (Stats, error) {
 		if hasErr(&consumerErr) || stable >= 3 {
 			break
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //hbvet:allow wallclock -- checks the harness real-time settle deadline set above
 			return stats, settleFailure(producers, trackers)
 		}
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(200 * time.Microsecond) //hbvet:allow wallclock -- real-time sampling cadence while virtual time races between samples
 	}
 
 	// Verdict.
@@ -927,7 +927,7 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 						consumerMu.Unlock()
 						break
 					}
-					time.Sleep(500 * time.Microsecond)
+					time.Sleep(500 * time.Microsecond) //hbvet:allow wallclock -- real-time reconnect pacing: the consumer lives outside the virtual clock
 				}
 				continue
 			}
@@ -1033,7 +1033,7 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				time.Sleep(500 * time.Microsecond)
+				time.Sleep(500 * time.Microsecond) //hbvet:allow wallclock -- real-time poll cadence for the rollup feed while virtual time races
 			}
 		}(feed)
 	}
@@ -1122,7 +1122,7 @@ schedule:
 		p.paused = true
 		p.mu.Unlock()
 	}
-	deadline := time.Now().Add(settleDeadline)
+	deadline := time.Now().Add(settleDeadline) //hbvet:allow wallclock -- settle deadline is a real-time bound on the harness itself, not on simulated components
 	var lastTotal uint64
 	stable := 0
 	for {
@@ -1161,11 +1161,11 @@ schedule:
 		} else {
 			stable = 0
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //hbvet:allow wallclock -- checks the harness real-time settle deadline set above
 			return stats, fmt.Errorf("relay settle timed out: consumer=%d rootHead=%d leafSum=%d rollupTotal=%d",
 				consumerTotal, rootHead, leafSum, rollupTotal)
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //hbvet:allow wallclock -- real-time sampling cadence while virtual time races between samples
 	}
 
 	// Verdict.

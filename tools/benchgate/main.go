@@ -25,6 +25,17 @@
 // asserts the named benchmark's metric is at most the given ceiling — an
 // absolute claim (a lock-free read path allocates nothing, a remap stays
 // under its disruption bound) that holds on any machine or not at all.
+//
+//	benchgate -require tools/benchgate/require.json
+//
+// checks a committed contract file of such ceilings, where every entry
+// also names the //hbvet:hotpath-marked function the measurement covers
+// and the source file carrying the mark. benchgate verifies the mark is
+// still present on that function before checking the number, so the
+// static contract (hbvet proves the path allocation-free by analysis)
+// and the measured contract (the benchmark observes 0 allocs/op) are tied
+// to the same code and cannot drift apart silently: unmarking the
+// function fails the gate even while the benchmark still happens to pass.
 package main
 
 import (
@@ -46,8 +57,13 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression vs the baseline")
 	faster := flag.String("faster", "", "A,B: assert benchmark A's metric >= benchmark B's in the same capture")
 	atmost := flag.String("atmost", "", "ceiling: assert the -bench metric is <= this value")
+	require := flag.String("require", "", "JSON contract file of ceilings tied to //hbvet:hotpath marks")
 	flag.Parse()
 
+	if *require != "" {
+		checkRequired(*require)
+		return
+	}
 	if *file == "" {
 		fatalf("benchgate: -file is required")
 	}
@@ -106,6 +122,89 @@ func main() {
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// contract is one entry of the -require file: a benchmark ceiling bound to
+// the hotpath-marked function the benchmark measures.
+type contract struct {
+	// Capture is the go test -json file holding the measurement, relative
+	// to the contract file's directory's module root (i.e. the repo root,
+	// where make runs).
+	Capture string  `json:"capture"`
+	Bench   string  `json:"bench"`
+	Metric  string  `json:"metric"`
+	AtMost  float64 `json:"atmost"`
+	// Func is the declaration prefix of the //hbvet:hotpath function this
+	// measurement covers, e.g. "func (t *Table) Pick(". Source is the file
+	// declaring it.
+	Func   string `json:"func"`
+	Source string `json:"source"`
+}
+
+// checkRequired verifies every entry of the contract file: the static mark
+// first, then the measured ceiling.
+func checkRequired(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+	var contracts []contract
+	if err := json.Unmarshal(data, &contracts); err != nil {
+		fatalf("benchgate: %s: %v", path, err)
+	}
+	if len(contracts) == 0 {
+		fatalf("benchgate: %s: empty contract file", path)
+	}
+	captures := make(map[string]map[string]result)
+	for _, c := range contracts {
+		if err := verifyMark(c.Source, c.Func); err != nil {
+			fatalf("benchgate: %s: %v — the measured 0-alloc gate must cover an hbvet-verified hot path", path, err)
+		}
+		results, ok := captures[c.Capture]
+		if !ok {
+			results, err = parseCapture(c.Capture)
+			if err != nil {
+				fatalf("benchgate: %v", err)
+			}
+			captures[c.Capture] = results
+		}
+		got := lookup(results, c.Bench, c.Metric)
+		if got > c.AtMost {
+			fatalf("benchgate: %s %s = %g exceeds the required ceiling %g (contract for %s: %s)",
+				c.Bench, c.Metric, got, c.AtMost, c.Source, c.Func)
+		}
+		fmt.Printf("benchgate: %s %s %g <= %g ok (hotpath mark on %q verified)\n",
+			c.Bench, c.Metric, got, c.AtMost, c.Func)
+	}
+}
+
+// verifyMark checks that source still declares funcPrefix under an
+// //hbvet:hotpath marker: the first func declaration after each marker is
+// a marked function.
+func verifyMark(source, funcPrefix string) error {
+	data, err := os.ReadFile(source)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	marked := false
+	for i, line := range lines {
+		if strings.TrimSpace(line) != "//hbvet:hotpath" {
+			continue
+		}
+		for _, after := range lines[i+1:] {
+			if strings.HasPrefix(after, "func ") {
+				if strings.HasPrefix(after, funcPrefix) {
+					marked = true
+				}
+				break
+			}
+		}
+	}
+	if !marked {
+		return fmt.Errorf("%s: no //hbvet:hotpath mark found on %q", source, funcPrefix)
+	}
+	return nil
 }
 
 // result is one benchmark's reported metrics, keyed by unit ("ns/op",

@@ -1,0 +1,12 @@
+package clockthread_test
+
+import (
+	"testing"
+
+	"repro/tools/hbvet/internal/analysistest"
+	"repro/tools/hbvet/internal/passes/clockthread"
+)
+
+func TestClockthread(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clockthread.Analyzer, "ct")
+}

@@ -1,0 +1,61 @@
+// Package ct is the clockthread analyzer's golden input: types that
+// store a clock and then read the wall anyway, in methods and in
+// constructors, plus the shapes that must stay silent.
+package ct
+
+import "time"
+
+// Clock is shape-matched (an interface with Now() time.Time), not
+// name-matched: any clock-ish interface puts its holder under the rule.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type Holder struct {
+	clk Clock
+	n   int
+}
+
+func NewHolder(clk Clock) *Holder {
+	h := &Holder{clk: clk}
+	h.n = int(time.Now().UnixNano()) // want `constructor NewHolder of Holder calls time\.Now directly`
+	return h
+}
+
+func (h *Holder) Tick() {
+	time.Sleep(time.Millisecond) // want `method Tick of Holder calls time\.Sleep directly`
+}
+
+func (h *Holder) Good() time.Time {
+	return h.clk.Now()
+}
+
+// A wallclock allow does not cover clockthread: the stricter analyzer
+// needs its own name on the line.
+func (h *Holder) WrongAllow() time.Time {
+	return time.Now() //hbvet:allow wallclock -- wrong analyzer for this site // want `method WrongAllow of Holder calls time\.Now directly`
+}
+
+func (h *Holder) Excused() time.Time {
+	return time.Now() //hbvet:allow clockthread -- golden test: a justified clockthread allow stays silent
+}
+
+// NoClock stores no clock: its methods answer to wallclock only, never to
+// clockthread.
+type NoClock struct{ n int }
+
+func (n *NoClock) Free() time.Time { return time.Now() }
+
+// Waiter has no Now() time.Time, so WaitHolder is not a clock holder.
+type Waiter interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+type WaitHolder struct{ w Waiter }
+
+func (w *WaitHolder) M() time.Time { return time.Now() }
+
+// helper returns no clock-storing type and takes no receiver: not a
+// constructor, not a method — out of scope.
+func helper() time.Time { return time.Now() }

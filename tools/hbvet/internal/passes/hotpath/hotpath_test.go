@@ -1,0 +1,19 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/tools/hbvet/internal/analysistest"
+	"repro/tools/hbvet/internal/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "hot")
+}
+
+// TestCrossPackageFacts loads hotdep (whose Fast carries the mark) before
+// hotuser and checks the mark travels: Fast is callable from a hot path,
+// Slow is not.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpath.Analyzer, "hotdep", "hotuser")
+}

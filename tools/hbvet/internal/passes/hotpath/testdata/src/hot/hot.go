@@ -1,0 +1,110 @@
+// Package hot is the hotpath analyzer's golden input: every violation
+// class, the transitive same-package walk, and the allow edge that prunes
+// an amortized slow path out of the steady-state contract.
+package hot
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+type state struct {
+	count atomic.Uint64
+	keys  []int
+	mu    sync.Mutex
+	hook  func() int
+	box   []any
+}
+
+type pair struct{ a, b int }
+
+type reader interface{ Read() int }
+
+//hbvet:hotpath
+func (s *state) Clean(k int) int {
+	s.count.Add(1)
+	i := sort.SearchInts(s.keys, k)
+	return s.cleanHelper(i)
+}
+
+// cleanHelper is unmarked but reached from Clean, so it is verified
+// transitively — and is clean, so silent.
+func (s *state) cleanHelper(i int) int {
+	if i < len(s.keys) {
+		return s.keys[i]
+	}
+	return -1
+}
+
+//hbvet:hotpath
+func (s *state) Transitive() int {
+	return s.spill()
+}
+
+// spill's body is the violation: the finding lands here, not at the call.
+func (s *state) spill() int {
+	buf := make([]int, 8) // want `hot path \(via spill\): make allocates`
+	return len(buf)
+}
+
+//hbvet:hotpath
+func (s *state) Allocates(v int, bs []byte, str string) {
+	_ = make([]int, 4)          // want `make allocates`
+	_ = new(int)                // want `new allocates`
+	s.keys = append(s.keys, v)  // want `append may grow the backing array`
+	_ = []int{1, 2}             // want `slice literal allocates`
+	_ = map[int]int{}           // want `map literal allocates`
+	_ = &pair{1, 2}             // want `escaping composite literal allocates`
+	_ = func() int { return v } // want `function literal allocates a closure`
+	_ = str + "x"               // want `string concatenation allocates`
+	_ = any(v)                  // want `conversion to interface allocates`
+	_ = []byte(str)             // want `string-to-slice conversion allocates`
+	_ = string(bs)              // want `slice-to-string conversion allocates`
+	take(v)                     // want `argument boxes into interface parameter and allocates`
+	logf(v)                     // want `argument boxes into interface parameter and allocates`
+	logf(s.box...)              // passing the []any through boxes nothing
+}
+
+func take(any) {}
+
+func logf(args ...any) {}
+
+//hbvet:hotpath
+func (s *state) Blocks(ch chan int) {
+	s.mu.Lock() // want `lock/synchronization operation \(\*sync\.Mutex\)\.Lock`
+	ch <- 1     // want `channel send blocks`
+	<-ch        // want `channel receive blocks`
+	close(ch)   // want `channel close`
+	for range ch { // want `ranging over a channel blocks`
+	}
+	select {} // want `select blocks`
+	go spin() // want `starting a goroutine allocates`
+}
+
+func spin() {}
+
+//hbvet:hotpath
+func (s *state) Indirect(r reader, f func() int) int {
+	n := s.hook()                // want `call through a function-valued field cannot be verified`
+	n += f()                     // want `call through a function value cannot be verified`
+	n += r.Read()                // want `dynamic Read call through an interface cannot be verified`
+	n += strings.Count("a", "a") // want `call into non-hotpath function strings\.Count`
+	return n
+}
+
+//hbvet:hotpath
+func (s *state) Amortized() {
+	s.flushSlow() //hbvet:allow hotpath -- golden test: amortized spill, measured off the steady state
+}
+
+// flushSlow allocates freely, but the only path into it is the allowed
+// edge above — the allow prunes traversal, so nothing here is reported.
+func (s *state) flushSlow() {
+	s.keys = append(s.keys, make([]int, 16)...)
+}
+
+// notHot is never marked and never reached from a hot path: free to
+// allocate without comment.
+func notHot() []int { return make([]int, 1) }

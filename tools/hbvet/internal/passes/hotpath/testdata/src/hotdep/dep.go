@@ -1,0 +1,10 @@
+// Package hotdep is the dependency side of the cross-package fact test:
+// Fast exports its hotpath mark as a fact; Slow is ordinary code.
+package hotdep
+
+//hbvet:hotpath
+func Fast(x int) int { return x * 2 }
+
+// Slow allocates, but no hot path in this package reaches it, so it is
+// not checked here — the question is whether *callers* may use it.
+func Slow(x int) []int { return make([]int, x) }

@@ -1,0 +1,13 @@
+// Package hotuser imports hotdep from its own hot path: the mark on
+// hotdep.Fast arrives as a fact (dependencies are analyzed first), while
+// unmarked hotdep.Slow is a violation.
+package hotuser
+
+import "hotdep"
+
+//hbvet:hotpath
+func Use(x int) int {
+	y := hotdep.Fast(x)
+	_ = hotdep.Slow(x) // want `call into non-hotpath function hotdep\.Slow`
+	return y
+}

@@ -1,0 +1,64 @@
+// Package a is the wallclock analyzer's golden input: direct wall-clock
+// reads and waits, the justified-allow escape hatch, and the shapes that
+// must stay silent.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func violations(ctx context.Context) {
+	_ = time.Now()                       // want `direct time\.Now call outside a clock seam`
+	time.Sleep(time.Millisecond)         // want `direct time\.Sleep call`
+	<-time.After(time.Second)            // want `direct time\.After call`
+	t := time.NewTicker(time.Second)     // want `direct time\.NewTicker call`
+	t.Stop()
+	tm := time.NewTimer(time.Second) // want `direct time\.NewTimer call`
+	tm.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `direct time\.AfterFunc call`
+	_ = time.Since(time.Time{})            // want `direct time\.Since call`
+
+	c1, cancel1 := context.WithTimeout(ctx, time.Second) // want `direct context\.WithTimeout call`
+	defer cancel1()
+	_ = c1
+	c2, cancel2 := context.WithDeadline(ctx, time.Time{}) // want `direct context\.WithDeadline call`
+	defer cancel2()
+	_ = c2
+}
+
+// valueReference passes time.Now around without calling it — still a
+// wall-clock dependency.
+func valueReference() func() time.Time {
+	return time.Now // want `direct time\.Now call`
+}
+
+func allowed() {
+	time.Sleep(time.Millisecond) //hbvet:allow wallclock -- golden test: a justified edge stays silent
+	//hbvet:allow wallclock -- golden test: a standalone allow covers the next line
+	_ = time.Now()
+}
+
+// unjustified allows silence nothing and are themselves reported.
+func unjustified() {
+	time.Sleep(time.Millisecond) //hbvet:allow wallclock // want `direct time\.Sleep call` `malformed //hbvet:allow comment`
+}
+
+// otherAnalyzerAllow must not leak across analyzers: an allow naming
+// hotpath does not cover a wallclock finding.
+func otherAnalyzerAllow() {
+	time.Sleep(time.Millisecond) //hbvet:allow hotpath -- wrong analyzer name // want `direct time\.Sleep call`
+}
+
+// silent shapes: durations, comparisons, formatting — time usage that
+// never reads the wall. In particular the time.Time methods sharing names
+// with banned package functions ((time.Time).After/Sub) are arithmetic.
+func silent(a, b time.Time) time.Duration {
+	if a.After(b) {
+		return a.Sub(b)
+	}
+	if a.Before(b) {
+		return b.Sub(a)
+	}
+	return 3 * time.Second
+}

@@ -1,0 +1,11 @@
+// Package inside sits under sim/, one of the wallclock analyzer's seam
+// directories: the simulated-time implementation is the one place that
+// may read the wall freely, so nothing here wants anything.
+package inside
+
+import "time"
+
+func seamCode() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,103 @@
+// Command hbvet is this repository's custom static-analysis suite: a
+// multichecker enforcing the invariants the compiler cannot see and the
+// test suite only samples.
+//
+//	go run ./tools/hbvet ./...        # the whole module (what `make analyze` runs)
+//	go run ./tools/hbvet ./balance    # one package (dependencies load automatically for facts)
+//
+// Three analyzers run by default (select a subset with -run):
+//
+//   - wallclock: no direct time.Now/Sleep/After/NewTicker/NewTimer or
+//     context.WithTimeout/WithDeadline outside the clock seams
+//     (heartbeat/clock*.go, sim/). Everything else must run on the
+//     injected heartbeat.Clock, or carry //hbvet:allow wallclock -- <reason>.
+//   - hotpath: functions marked //hbvet:hotpath are transitively
+//     allocation-, lock-, and channel-free, and only call verified code.
+//   - clockthread: a type that stores a clock must use it — its methods
+//     and constructors may not read the wall directly, whatever blanket
+//     wallclock waivers exist.
+//
+// hbvet exits non-zero when any finding survives seam and allow
+// filtering, printing one "path:line:col: analyzer: message" per line,
+// so it slots into `make ci` exactly like go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/tools/hbvet/internal/analysis"
+	"repro/tools/hbvet/internal/load"
+	"repro/tools/hbvet/internal/passes/clockthread"
+	"repro/tools/hbvet/internal/passes/hotpath"
+	"repro/tools/hbvet/internal/passes/wallclock"
+)
+
+var all = []*analysis.Analyzer{wallclock.Analyzer, hotpath.Analyzer, clockthread.Analyzer}
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hbvet [-run analyzer,...] [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hbvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		os.Exit(2)
+	}
+	prog, err := load.Load(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbvet:", err)
+		os.Exit(2)
+	}
+
+	facts := analysis.NewFacts()
+	failed := false
+	for _, pkg := range prog.Packages {
+		findings, err := analysis.RunPackage(&analysis.Package{
+			Fset:    prog.Fset,
+			Files:   pkg.Files,
+			Pkg:     pkg.Pkg,
+			Info:    pkg.Info,
+			RelPath: prog.RelPath,
+		}, analyzers, facts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbvet:", err)
+			os.Exit(2)
+		}
+		if !pkg.Requested {
+			continue // loaded for facts only
+		}
+		for _, f := range findings {
+			failed = true
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.RelFile, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
