@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet analyze build build-extras test race net-loopback sim-matrix drain-scenario fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm bench-balance benchgate
+.PHONY: ci vet analyze build build-extras test race net-loopback sim-matrix scale-matrix drain-scenario fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
-ci: vet analyze build build-extras race net-loopback sim-matrix drain-scenario fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm bench-balance benchgate
+ci: vet analyze build build-extras race net-loopback sim-matrix scale-matrix drain-scenario fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +64,24 @@ sim-matrix:
 		sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' BENCH_sim.json \
 			| awk '{printf "%s", $$0}' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
 			| grep -E 'matrix:|SIMNET_SEED' || true; \
+		exit $$status
+
+# The scale matrix: seeded 10k-producer relay-tree runs (Zipf hot-key
+# skew, producer churn, correlated silence bursts) through package loadgen
+# under virtual time, plus the equal-volume state-growth check, plus the
+# benchmark that records p99 virtual delivery latency and heap
+# bytes/producer into BENCH_scale.json for benchgate's ceilings. `-short`
+# keeps the PR tier at 10k producers; SCALE_FULL=1 adds the 100k and 1M
+# tiers. A failing scenario prints SCALE_SEED=<seed> for exact replay.
+scale-matrix:
+	@rm -f BENCH_scale.json
+	$(GO) test -run 'TestScale' $(if $(SCALE_FULL),,-short) \
+		-bench 'BenchmarkScale' -benchtime=1x -timeout 30m \
+		-v -json ./simnet > BENCH_scale.json; \
+		status=$$?; \
+		sed -n 's/^{.*"Output":"\(.*\)"}$$/\1/p' BENCH_scale.json \
+			| awk '{printf "%s", $$0}' | sed -e 's/\\n/\n/g' -e 's/\\t/\t/g' \
+			| grep -E 'scale:|SCALE_SEED' || true; \
 		exit $$status
 
 # The balancer's tests in isolation, race-checked: the drain/reclaim
@@ -156,8 +174,11 @@ bench-balance:
 # function still carries its //hbvet:hotpath mark so the static and
 # measured 0-alloc guarantees cover the same code), and keep a single-node
 # removal's remap fraction under the minimal-disruption ceiling
-# (simcheck.RemapBound of a 1/8 share). Run after bench-relay, bench-shm,
-# and bench-balance have refreshed the JSON captures.
+# (simcheck.RemapBound of a 1/8 share). The require contract also gates
+# the scale-matrix recording (BENCH_scale.json): p99 virtual delivery
+# latency and heap bytes/producer at the 10k-producer tier against their
+# committed ceilings. Run after scale-matrix, bench-relay, bench-shm, and
+# bench-balance have refreshed the JSON captures.
 benchgate:
 	$(GO) run ./tools/benchgate -file BENCH_relay.json -bench Relay/fanin-32 \
 		-metric records/s -baseline tools/benchgate/baseline.json -tolerance 0.20

@@ -584,18 +584,23 @@ type Relay struct {
 	onRollup     func([]observer.Rollup)
 	clk          heartbeat.Clock // nil = wall clock
 
-	merged  *replayRing
-	rollups *rollupRing
+	merged    *replayRing
+	rollups   *rollupRing
+	compacted *rollupRing
 
-	mu      sync.Mutex
-	ds      *observer.Downsampler // guarded by mu: pumps absorb on shutdown
-	ups     map[string]*relayUpstream
-	order   []string
-	winFrom time.Time // current rollup window's start
-	runCtx  context.Context
-	events  chan relayEvent
-	pumps   sync.WaitGroup
-	closed  bool
+	mu        sync.Mutex
+	ds        *observer.Downsampler // guarded by mu: pumps absorb on shutdown
+	ups       map[string]*relayUpstream
+	order     []string
+	compactor *observer.RollupCompactor // guarded by mu, like ds
+	rups      map[string]*rollupUpstream
+	rupOrder  []string
+	rupMissed uint64    // child rollup emissions lapped before absorption
+	winFrom   time.Time // current rollup window's start
+	runCtx    context.Context
+	events    chan relayEvent
+	pumps     sync.WaitGroup
+	closed    bool
 }
 
 type relayUpstream struct {
@@ -613,11 +618,27 @@ type relayUpstream struct {
 	pending *observer.Batch
 }
 
+// rollupUpstream mirrors relayUpstream for a child's already-downsampled
+// feed: the pump forwards RollupBatches into the relay loop, which folds
+// them into the compactor instead of the downsampler.
+type rollupUpstream struct {
+	name    string
+	stream  RollupStream
+	cancel  context.CancelFunc
+	pumping bool
+	eof     bool
+	pending *RollupBatch // see relayUpstream.pending
+}
+
 type relayEvent struct {
 	up    *relayUpstream
 	batch observer.Batch
 	err   error
 	eof   bool
+	// Rollup-upstream events: when rup is set, rbatch carries the child's
+	// windows and the other payload fields are unused.
+	rup    *rollupUpstream
+	rbatch RollupBatch
 }
 
 // NewRelay creates a relay with no upstreams yet.
@@ -626,6 +647,8 @@ func NewRelay(opts ...RelayOption) *Relay {
 		rollupEvery: time.Second,
 		ds:          observer.NewDownsampler(),
 		ups:         make(map[string]*relayUpstream),
+		compactor:   observer.NewRollupCompactor(),
+		rups:        make(map[string]*rollupUpstream),
 		events:      make(chan relayEvent, 64),
 	}
 	for _, o := range opts {
@@ -634,6 +657,7 @@ func NewRelay(opts ...RelayOption) *Relay {
 	r.winFrom = r.now()
 	r.merged = newReplayRing(r.mergedRetain)
 	r.rollups = newRollupRing(r.rollupRetain)
+	r.compacted = newRollupRing(r.rollupRetain)
 	return r
 }
 
@@ -708,6 +732,58 @@ func (r *Relay) AddFileUpstream(app, path string, poll time.Duration) error {
 	return nil
 }
 
+// AddRollupUpstream registers a child relay's rollup stream under a unique
+// name: hierarchical rollup compaction. Where AddUpstream makes this relay
+// re-reduce raw records (per-producer work), a rollup upstream feeds the
+// child's already-reduced per-app windows into a RollupCompactor, so an
+// interior node's rollup state is O(apps) — constant per application,
+// independent of how many producers beat below the child. The relay takes
+// ownership (the stream is closed with the relay when it implements
+// io.Closer); the pump starts immediately when Run is active.
+func (r *Relay) AddRollupUpstream(name string, stream RollupStream) error {
+	if stream == nil {
+		return fmt.Errorf("hbnet: nil rollup upstream stream for %q", name)
+	}
+	if len(name) > maxFeedName {
+		return fmt.Errorf("hbnet: rollup upstream name exceeds %d bytes", maxFeedName)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("hbnet: relay closed")
+	}
+	if _, dup := r.rups[name]; dup {
+		return fmt.Errorf("hbnet: duplicate rollup upstream %q", name)
+	}
+	rup := &rollupUpstream{name: name, stream: stream}
+	r.rups[name] = rup
+	r.rupOrder = append(r.rupOrder, name)
+	if r.runCtx != nil && r.runCtx.Err() == nil {
+		r.startRollupPumpLocked(rup)
+	}
+	return nil
+}
+
+// DialRollupUpstream dials a child relay's published rollup feed and
+// registers it for compaction — how an interior node of a relay tree
+// subscribes to the per-app summaries below it. The relay's clock is
+// propagated like DialUpstream's. The returned client is owned by the
+// relay; it is returned for introspection.
+func (r *Relay) DialRollupUpstream(name, addr, feed string, opts ...ClientOption) (*Client, error) {
+	if r.clk != nil {
+		opts = append([]ClientOption{WithClientClock(r.clk)}, opts...)
+	}
+	c, err := DialRollup(addr, feed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.AddRollupUpstream(name, clientRollupStream{c}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
 // Apps returns the upstream names in registration order.
 func (r *Relay) Apps() []string {
 	r.mu.Lock()
@@ -740,6 +816,35 @@ func (r *Relay) RollupFeed() RollupFeed {
 	}
 }
 
+// CompactedFeed returns the hierarchically compacted feed: one Rollup per
+// application per interval, merged from every rollup upstream — the
+// O(apps) view a relay-tree root exports, however many producers feed the
+// leaves. Publish it with srv.PublishRollup under its own name (by
+// convention "apps", beside the relay's own per-upstream "rollup" feed).
+func (r *Relay) CompactedFeed() RollupFeed {
+	return func(ctx context.Context, since uint64) (RollupStream, error) {
+		return &rollupReplayStream{ring: r.compacted, cursor: since}, nil
+	}
+}
+
+// RollupApps returns the application names the compactor tracks, in first-
+// seen order: at a tree's root, the fleet's applications.
+func (r *Relay) RollupApps() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.compactor.Apps()
+}
+
+// RollupUpstreamMissed returns how many child rollup emissions were lapped
+// before this relay absorbed them. The compacted feed's count conservation
+// is exact only while it stays zero (the same caveat as
+// simcheck.RollupAccount's EmissionsMissed).
+func (r *Relay) RollupUpstreamMissed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rupMissed
+}
+
 // PublishOn registers the merged feed and the rollup feed on srv under the
 // given names (the conventional pair is "merged" and "rollup"). Either
 // name may be empty to skip that feed.
@@ -767,12 +872,20 @@ func (r *Relay) Run(ctx context.Context) {
 	for _, app := range r.order {
 		r.startPumpLocked(r.ups[app])
 	}
+	for _, name := range r.rupOrder {
+		r.startRollupPumpLocked(r.rups[name])
+	}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		for _, up := range r.ups {
 			if up.cancel != nil {
 				up.cancel()
+			}
+		}
+		for _, rup := range r.rups {
+			if rup.cancel != nil {
+				rup.cancel()
 			}
 		}
 		r.mu.Unlock()
@@ -798,6 +911,13 @@ func (r *Relay) Run(ctx context.Context) {
 				r.absorbLocked(up, b)
 			}
 		}
+		for _, name := range r.rupOrder {
+			if rup := r.rups[name]; rup.pending != nil {
+				b := *rup.pending
+				rup.pending = nil
+				r.absorbRollupsLocked(b)
+			}
+		}
 		r.mu.Unlock()
 	}()
 	tick := heartbeat.NewTicker(r.clk, r.rollupEvery)
@@ -818,21 +938,29 @@ func (r *Relay) Run(ctx context.Context) {
 // now reads the relay's clock, falling back to the wall clock.
 func (r *Relay) now() time.Time { return heartbeat.Now(r.clk) }
 
-// flushRollups emits one rollup per upstream for the elapsed window.
+// flushRollups emits one rollup per upstream for the elapsed window, and —
+// when rollup upstreams are registered — one compacted rollup per app into
+// the compacted history.
 func (r *Relay) flushRollups() {
 	now := r.now()
 	r.mu.Lock()
 	rs := r.ds.Flush(r.winFrom, now)
+	cs := r.compactor.Flush(r.winFrom, now)
 	r.winFrom = now
 	cb := r.onRollup
 	r.mu.Unlock()
 	r.rollups.append(rs)
+	r.compacted.append(cs)
 	if cb != nil && len(rs) > 0 {
 		cb(rs)
 	}
 }
 
 func (r *Relay) handleEvent(ev relayEvent) {
+	if ev.rup != nil {
+		r.handleRollupEvent(ev)
+		return
+	}
 	r.mu.Lock()
 	up := ev.up
 	if live, ok := r.ups[up.app]; !ok || live != up {
@@ -854,6 +982,39 @@ func (r *Relay) handleEvent(ev relayEvent) {
 	}
 	r.absorbLocked(up, ev.batch)
 	r.mu.Unlock()
+}
+
+func (r *Relay) handleRollupEvent(ev relayEvent) {
+	r.mu.Lock()
+	rup := ev.rup
+	if live, ok := r.rups[rup.name]; !ok || live != rup {
+		r.mu.Unlock()
+		return // removed/replaced while the event was in flight
+	}
+	if ev.err != nil {
+		cb := r.onError
+		r.mu.Unlock()
+		if cb != nil {
+			cb(rup.name, ev.err)
+		}
+		return
+	}
+	if ev.eof {
+		rup.eof = true
+		r.mu.Unlock()
+		return
+	}
+	r.absorbRollupsLocked(ev.rbatch)
+	r.mu.Unlock()
+}
+
+// absorbRollupsLocked folds one child delivery into the compactor. Callers
+// hold r.mu.
+func (r *Relay) absorbRollupsLocked(b RollupBatch) {
+	for _, ru := range b.Rollups {
+		r.compactor.Absorb(ru)
+	}
+	r.rupMissed += b.Missed
 }
 
 // absorbLocked merges one upstream batch: into the replay ring (re-
@@ -1051,7 +1212,94 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 	}()
 }
 
-// Close ends both feeds (subscribers drain, then EOF) and releases every
+// startRollupPumpLocked starts the goroutine that blocks in a rollup
+// upstream's Next and forwards deliveries to the relay loop — the same
+// shape as startPumpLocked with RollupBatch payloads. Callers hold r.mu.
+func (r *Relay) startRollupPumpLocked(rup *rollupUpstream) {
+	if rup.pumping || rup.eof {
+		return
+	}
+	rup.pumping = true
+	pctx, cancel := context.WithCancel(r.runCtx)
+	rup.cancel = cancel
+	r.pumps.Add(1)
+	go func() {
+		defer func() {
+			r.mu.Lock()
+			rup.pumping = false
+			r.mu.Unlock()
+			r.pumps.Done()
+		}()
+		var pt *pollTimeout
+		if _, isWait := r.clk.(heartbeat.WaitClock); !isWait {
+			pt = newPollTimeout(pctx)
+		}
+		for {
+			var b RollupBatch
+			var err error
+			if pt != nil {
+				pt.arm(r.rollupEvery)
+				b, err = rup.stream.Next(pt)
+				pt.disarm()
+			} else {
+				nctx, ncancel := heartbeat.ContextWithTimeout(pctx, r.clk, r.rollupEvery)
+				b, err = rup.stream.Next(nctx)
+				ncancel()
+			}
+			if err == nil {
+				select {
+				case r.events <- relayEvent{rup: rup, rbatch: b}:
+				case <-pctx.Done():
+					// Park the in-hand delivery for the shutdown drain, like
+					// the raw pump (see startPumpLocked). Compaction is
+					// commutative over deliveries, but the cursor was already
+					// advanced upstream — dropping it would lose windows.
+					r.mu.Lock()
+					rup.pending = &b
+					r.mu.Unlock()
+					return
+				}
+				continue
+			}
+			if pctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue // idle window: loop and re-poll
+			}
+			if errors.Is(err, io.EOF) {
+				select {
+				case r.events <- relayEvent{rup: rup, eof: true}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			if errors.Is(err, ErrRejected) {
+				select {
+				case r.events <- relayEvent{rup: rup, err: err}:
+				case <-pctx.Done():
+				}
+				select {
+				case r.events <- relayEvent{rup: rup, eof: true}:
+				case <-pctx.Done():
+				}
+				return
+			}
+			select {
+			case r.events <- relayEvent{rup: rup, err: err}:
+			case <-pctx.Done():
+				return
+			}
+			select {
+			case <-heartbeat.After(r.clk, r.rollupEvery):
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Close ends every feed (subscribers drain, then EOF) and releases every
 // upstream stream. Close is idempotent; cancel Run's context first (or
 // concurrently) — Close does not stop a running loop, it only closes the
 // histories and upstreams.
@@ -1066,6 +1314,10 @@ func (r *Relay) Close() error {
 	for _, app := range r.order {
 		ups = append(ups, r.ups[app])
 	}
+	rups := make([]*rollupUpstream, 0, len(r.rupOrder))
+	for _, name := range r.rupOrder {
+		rups = append(rups, r.rups[name])
+	}
 	r.mu.Unlock()
 	for _, up := range ups {
 		if up.cancel != nil {
@@ -1075,7 +1327,16 @@ func (r *Relay) Close() error {
 			c.Close()
 		}
 	}
+	for _, rup := range rups {
+		if rup.cancel != nil {
+			rup.cancel()
+		}
+		if c, ok := rup.stream.(io.Closer); ok {
+			c.Close()
+		}
+	}
 	r.merged.close()
 	r.rollups.close()
+	r.compacted.close()
 	return nil
 }

@@ -587,3 +587,82 @@ func TestRollupKindMismatch(t *testing.T) {
 		t.Fatalf("raw dial of rollup feed: %v, want ErrRejected", err)
 	}
 }
+
+// Tentpole: hierarchical rollup compaction. A root relay subscribes to a
+// leaf relay's ROLLUP feed instead of its raw merged feed, folds the
+// child's per-app windows through a RollupCompactor, and re-exports them
+// as its own compacted feed — so an interior node's rollup state is
+// O(apps), independent of the producer count below, while Records+Missed
+// still conserve end to end.
+func TestRelayRollupCompaction(t *testing.T) {
+	const perApp = 120
+	hbs, _, leafAddr := relayPair(t, 2, 20*time.Millisecond)
+
+	root := NewRelay(WithRollupInterval(20 * time.Millisecond))
+	if _, err := root.DialRollupUpstream("leaf", leafAddr, "rollup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.AddRollupUpstream("leaf", nil); err == nil {
+		t.Fatal("duplicate rollup upstream accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); root.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done; root.Close() })
+	srv := NewServer()
+	if err := srv.PublishRollup("apps", root.CompactedFeed()); err != nil {
+		t.Fatal(err)
+	}
+	rootAddr := startServer(t, srv)
+
+	c, err := DialRollup(rootAddr, "apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < perApp; i++ {
+		for _, hb := range hbs {
+			hb.Beat()
+		}
+	}
+	for _, hb := range hbs {
+		hb.Flush()
+	}
+
+	var account simcheck.RollupAccount
+	sums := map[string]uint64{}
+	deadline := time.Now().Add(10 * time.Second)
+	for sums["a"]+sums["b"] < 2*perApp {
+		if time.Now().After(deadline) {
+			t.Fatalf("compacted rollups incomplete: %v", sums)
+		}
+		dctx, dcancel := context.WithDeadline(context.Background(), deadline)
+		rb, err := c.NextRollups(dctx)
+		dcancel()
+		if err != nil {
+			t.Fatalf("NextRollups: %v (got %v)", err, sums)
+		}
+		account.AbsorbRollups(rb.Rollups, rb.Missed)
+		for _, r := range rb.Rollups {
+			sums[r.App] += r.Records + r.Missed
+		}
+	}
+	if sums["a"] != perApp || sums["b"] != perApp {
+		t.Fatalf("per-app compacted counts %v, want %d each", sums, perApp)
+	}
+	if err := account.CheckConserved("compacted feed", 2*perApp); err != nil {
+		t.Fatal(err)
+	}
+	if missed := root.RollupUpstreamMissed(); missed != 0 {
+		t.Fatalf("root lapped %d child emissions in a short run", missed)
+	}
+	// The O(apps) claim, directly: the root tracks the fleet's two
+	// applications, yet has zero raw upstreams of its own.
+	if apps := root.RollupApps(); !reflect.DeepEqual(apps, []string{"a", "b"}) {
+		t.Fatalf("RollupApps() = %v, want [a b]", apps)
+	}
+	if raw := root.Apps(); len(raw) != 0 {
+		t.Fatalf("root re-tracks raw upstreams %v through a rollup subscription", raw)
+	}
+}

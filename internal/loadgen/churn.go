@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ChurnEvent is one scheduled membership change of one producer: a leave
+// (the producer stops beating) or a join (it comes back — or arrives for
+// the first time — as the next Life). Life numbers a producer's
+// incarnations starting at 1 for the initial one; a rejoin increments it,
+// and the pump stamps every record's Tag with the emitting life, so a
+// consumer can prove no record was emitted by a life that had already
+// ended.
+type ChurnEvent struct {
+	// At is the event's offset from the run start, in virtual time.
+	At       time.Duration
+	Producer int
+	Join     bool
+	// Life is the incarnation the event ends (leave) or begins (join).
+	Life int
+}
+
+// ChurnSchedule draws a deterministic membership schedule: frac of the
+// producers leave somewhere in the middle of a run of length dur, and a
+// seeded subset of the leavers rejoins later as Life 2. Events are sorted
+// by At (ties by producer), which is the order the pump applies them in.
+// The same rng state always yields the same schedule.
+func ChurnSchedule(rng *rand.Rand, producers int, frac float64, dur time.Duration) []ChurnEvent {
+	n := int(float64(producers) * frac)
+	if n <= 0 || producers <= 0 || dur <= 0 {
+		return nil
+	}
+	if n > producers {
+		n = producers
+	}
+	churners := rng.Perm(producers)[:n]
+	events := make([]ChurnEvent, 0, 2*n)
+	for _, p := range churners {
+		leave := time.Duration((0.25 + 0.45*rng.Float64()) * float64(dur))
+		events = append(events, ChurnEvent{At: leave, Producer: p, Life: 1})
+		if rng.Float64() < 0.7 { // the rest leave for good
+			rejoin := leave + time.Duration((0.15+0.6*rng.Float64())*float64(dur-leave))
+			events = append(events, ChurnEvent{At: rejoin, Producer: p, Join: true, Life: 2})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Producer < events[j].Producer
+	})
+	return events
+}
+
+// ValidateChurn checks a schedule's well-formedness for a fleet of
+// `producers`: producers in range, per-producer events alternate
+// leave/join with strictly increasing times, and — the resurrection guard
+// — every join begins a life strictly greater than the life the previous
+// leave ended. A schedule that passes cannot make a producer beat under a
+// stale Life.
+func ValidateChurn(events []ChurnEvent, producers int) error {
+	type state struct {
+		live     bool
+		seen     bool
+		lastAt   time.Duration
+		lastLife int
+	}
+	states := make(map[int]*state)
+	for i, ev := range events {
+		if ev.Producer < 0 || ev.Producer >= producers {
+			return fmt.Errorf("event %d: producer %d out of range [0,%d)", i, ev.Producer, producers)
+		}
+		st := states[ev.Producer]
+		if st == nil {
+			st = &state{live: true, lastLife: 1}
+			states[ev.Producer] = st
+		}
+		if st.seen && ev.At <= st.lastAt {
+			return fmt.Errorf("event %d: producer %d at %v not after previous event at %v", i, ev.Producer, ev.At, st.lastAt)
+		}
+		if ev.Join {
+			if st.live {
+				return fmt.Errorf("event %d: producer %d joins while live", i, ev.Producer)
+			}
+			if ev.Life <= st.lastLife {
+				return fmt.Errorf("event %d: producer %d rejoins as life %d, stale after life %d", i, ev.Producer, ev.Life, st.lastLife)
+			}
+			st.live, st.lastLife = true, ev.Life
+		} else {
+			if !st.live {
+				return fmt.Errorf("event %d: producer %d leaves while gone", i, ev.Producer)
+			}
+			if ev.Life != st.lastLife {
+				return fmt.Errorf("event %d: producer %d leave ends life %d, want %d", i, ev.Producer, ev.Life, st.lastLife)
+			}
+			st.live = false
+		}
+		st.seen, st.lastAt = true, ev.At
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChurnScheduleValid: every generated schedule passes the
+// no-resurrection validator across seeds, fleet sizes and fractions.
+func TestChurnScheduleValid(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, producers := range []int{1, 3, 100, 5000} {
+			for _, frac := range []float64{0, 0.1, 0.5, 1.0} {
+				rng := rand.New(rand.NewSource(seed))
+				evs := ChurnSchedule(rng, producers, frac, 10*time.Second)
+				if err := ValidateChurn(evs, producers); err != nil {
+					t.Fatalf("seed %d producers %d frac %g: %v", seed, producers, frac, err)
+				}
+				want := int(float64(producers) * frac)
+				leavers := make(map[int]bool)
+				for _, ev := range evs {
+					if !ev.Join {
+						leavers[ev.Producer] = true
+					}
+					if ev.At <= 0 || ev.At >= 10*time.Second {
+						t.Fatalf("event outside the run: %+v", ev)
+					}
+				}
+				if len(leavers) != want {
+					t.Fatalf("seed %d: %d distinct leavers, want %d", seed, len(leavers), want)
+				}
+			}
+		}
+	}
+}
+
+// TestChurnScheduleDeterminism: same rng state, same schedule.
+func TestChurnScheduleDeterminism(t *testing.T) {
+	a := ChurnSchedule(rand.New(rand.NewSource(9)), 500, 0.3, 8*time.Second)
+	b := ChurnSchedule(rand.New(rand.NewSource(9)), 500, 0.3, 8*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedules from the same seed differ")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty schedule")
+	}
+}
+
+// TestChurnRejoinLives: every rejoin begins a strictly newer life than the
+// leave that preceded it — the schedule-level half of the stale-Life
+// guard (the pump-level half is TestFleetPump's tag check).
+func TestChurnRejoinLives(t *testing.T) {
+	evs := ChurnSchedule(rand.New(rand.NewSource(4)), 1000, 0.5, 10*time.Second)
+	last := make(map[int]ChurnEvent)
+	rejoins := 0
+	for _, ev := range evs {
+		if prev, ok := last[ev.Producer]; ok && ev.Join {
+			rejoins++
+			if ev.Life <= prev.Life {
+				t.Fatalf("producer %d rejoins as life %d after leaving life %d", ev.Producer, ev.Life, prev.Life)
+			}
+			if ev.At <= prev.At {
+				t.Fatalf("producer %d rejoins at %v, not after its leave at %v", ev.Producer, ev.At, prev.At)
+			}
+		}
+		last[ev.Producer] = ev
+	}
+	if rejoins == 0 {
+		t.Fatal("schedule has no rejoins; the resurrection guard went unexercised")
+	}
+}
+
+// TestValidateChurnRejects: hand-built illegal schedules must fail — in
+// particular a producer resurrecting under a stale (non-incremented) Life.
+func TestValidateChurnRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []ChurnEvent
+	}{
+		{"stale-life resurrection", []ChurnEvent{
+			{At: time.Second, Producer: 0, Life: 1},
+			{At: 2 * time.Second, Producer: 0, Join: true, Life: 1},
+		}},
+		{"life regression", []ChurnEvent{
+			{At: time.Second, Producer: 0, Life: 1},
+			{At: 2 * time.Second, Producer: 0, Join: true, Life: 0},
+		}},
+		{"join while live", []ChurnEvent{
+			{At: time.Second, Producer: 0, Join: true, Life: 2},
+		}},
+		{"double leave", []ChurnEvent{
+			{At: time.Second, Producer: 0, Life: 1},
+			{At: 2 * time.Second, Producer: 0, Life: 1},
+		}},
+		{"time regression", []ChurnEvent{
+			{At: 2 * time.Second, Producer: 0, Life: 1},
+			{At: time.Second, Producer: 0, Join: true, Life: 2},
+		}},
+		{"producer out of range", []ChurnEvent{
+			{At: time.Second, Producer: 7, Life: 1},
+		}},
+	}
+	for _, tc := range cases {
+		if err := ValidateChurn(tc.evs, 5); err == nil {
+			t.Errorf("%s: validator accepted an illegal schedule", tc.name)
+		}
+	}
+}

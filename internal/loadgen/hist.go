@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Hist is a streaming histogram for delivery-latency accounting at scale:
+// fixed memory however many samples arrive, O(1) insert, quantiles with a
+// bounded relative error, and exact (integer-sum) merges. The bucketing is
+// logarithmic with 2^sub linear sub-buckets per octave — the HDR shape —
+// so a million observations spanning nanoseconds to minutes fit in a few
+// kilobytes while p99 stays within relErr of the true value.
+//
+// Hist is not safe for concurrent use; each consumer owns one and Merge
+// combines them.
+type Hist struct {
+	sub    uint // sub-bucket bits; values < 1<<sub are recorded exactly
+	counts []uint64
+	n      uint64
+}
+
+// defaultSubBits gives a relative quantile error <= 2^(1-7) ≈ 1.6%.
+const defaultSubBits = 7
+
+// NewHist returns a histogram with the default precision.
+func NewHist() *Hist { return NewHistPrecision(defaultSubBits) }
+
+// NewHistPrecision returns a histogram with 2^sub linear sub-buckets per
+// octave: values below 2^sub are exact, values above have relative error
+// at most 2^(1-sub). sub must be in [1, 20] (beyond 20 the table stops
+// being "a few kilobytes").
+func NewHistPrecision(sub uint) *Hist {
+	if sub < 1 || sub > 20 {
+		panic(fmt.Sprintf("loadgen: NewHistPrecision sub = %d, want 1..20", sub))
+	}
+	return &Hist{sub: sub, counts: make([]uint64, (64-sub+1)<<sub)}
+}
+
+// index maps a value to its bucket: octave k = max(0, bits needed beyond
+// the sub-bucket resolution), then the top sub bits of v select the linear
+// sub-bucket within the octave.
+func (h *Hist) index(v uint64) int {
+	k := uint(bits.Len64(v|(1<<h.sub-1))) - h.sub
+	return int(k<<h.sub) + int(v>>k)
+}
+
+// bucketMax returns the largest value the bucket holds — the value
+// Quantile reports, so reported quantiles never understate the truth.
+func (h *Hist) bucketMax(idx int) int64 {
+	k := uint(idx) >> h.sub
+	m := uint64(idx) & (1<<h.sub - 1)
+	if k == 0 {
+		return int64(m)
+	}
+	return int64((m+1)<<k - 1)
+}
+
+// Observe records one value. Negative values (clock skew between
+// concurrent hops) clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.index(uint64(v))]++
+	h.n++
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Merge folds o into h: pure integer sums, so merging is exact,
+// commutative and associative — shard histograms per consumer and combine
+// at the end. The two histograms must share a precision.
+func (h *Hist) Merge(o *Hist) error {
+	if o.sub != h.sub {
+		return fmt.Errorf("loadgen: merging histograms of precision %d and %d", o.sub, h.sub)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	return nil
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// bucket max of the ceil(q*n)-th smallest observation. Zero observations
+// yield 0; a single observation answers every q. q outside (0,1] clamps.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if r := math.Ceil(q * float64(h.n)); r >= 1 {
+		rank = h.n // q at or above 1 (or n huge): the maximum
+		if r < float64(h.n) {
+			rank = uint64(r)
+		}
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return h.bucketMax(i)
+		}
+	}
+	return h.bucketMax(len(h.counts) - 1) // unreachable: cum ends at n
+}
+
+// QuantileDuration is Quantile in nanoseconds, as a Duration.
+func (h *Hist) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// RelErr returns the histogram's worst-case relative quantile error for
+// values at or above the exact range.
+func (h *Hist) RelErr() float64 { return math.Pow(2, 1-float64(h.sub)) }

@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refQuantile is the sorted-reference definition Quantile approximates:
+// the ceil(q*n)-th smallest sample.
+func refQuantile(sorted []int64, q float64) int64 {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+var quantiles = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}
+
+// TestHistEdges: the zero-sample and single-sample table.
+func TestHistEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		q       float64
+		want    int64
+	}{
+		{"empty p50", nil, 0.5, 0},
+		{"empty p100", nil, 1.0, 0},
+		{"single p1", []int64{37}, 0.01, 37},
+		{"single p50", []int64{37}, 0.5, 37},
+		{"single p100", []int64{37}, 1.0, 37},
+		{"single zero", []int64{0}, 0.5, 0},
+		{"negative clamps", []int64{-5}, 1.0, 0},
+		{"two p50", []int64{10, 20}, 0.5, 10},
+		{"two p51", []int64{10, 20}, 0.51, 20},
+		{"q clamps low", []int64{10, 20}, -1, 10},
+		{"q clamps high", []int64{10, 20}, 7, 20},
+	}
+	for _, tc := range cases {
+		h := NewHistPrecision(10)
+		for _, v := range tc.samples {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+		if got := h.Count(); got != uint64(len(tc.samples)) {
+			t.Errorf("%s: Count = %d, want %d", tc.name, got, len(tc.samples))
+		}
+	}
+}
+
+// TestHistExactSmallRange: values inside the linear range (below 2^sub)
+// land in single-value buckets, so every quantile must equal the sorted
+// reference exactly, on random workloads.
+func TestHistExactSmallRange(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		h := NewHistPrecision(10) // exact below 1024
+		samples := make([]int64, n)
+		for i := range samples {
+			samples[i] = int64(rng.Intn(1024))
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			if got, want := h.Quantile(q), refQuantile(samples, q); got != want {
+				t.Fatalf("seed %d n %d: Quantile(%g) = %d, want exact %d", seed, n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestHistRelativeError: across a wide dynamic range the estimate must
+// bracket the reference from above within the advertised relative error —
+// never understate a latency.
+func TestHistRelativeError(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHist()
+		n := 20_000
+		samples := make([]int64, n)
+		for i := range samples {
+			// Log-uniform over ~9 decades, like latencies spanning ns..s.
+			samples[i] = int64(1) << uint(rng.Intn(30))
+			samples[i] += rng.Int63n(samples[i] + 1)
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			got, want := h.Quantile(q), refQuantile(samples, q)
+			if got < want {
+				t.Fatalf("seed %d: Quantile(%g) = %d understates reference %d", seed, q, got, want)
+			}
+			if maxAbs := float64(want) * (1 + h.RelErr()); float64(got) > maxAbs {
+				t.Fatalf("seed %d: Quantile(%g) = %d exceeds reference %d by more than relErr %.3f",
+					seed, q, got, want, h.RelErr())
+			}
+		}
+	}
+}
+
+// TestHistMergeAssociativity: merge is integer addition, so (a+b)+c and
+// a+(b+c) must agree bucket-for-bucket — shard-and-combine is exact.
+func TestHistMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mk := func() *Hist {
+		h := NewHist()
+		for i, n := 0, 1000+rng.Intn(2000); i < n; i++ {
+			h.Observe(rng.Int63n(1 << 40))
+		}
+		return h
+	}
+	a, b, c := mk(), mk(), mk()
+	left := NewHist() // (a+b)+c
+	for _, h := range []*Hist{a, b, c} {
+		if err := left.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc := NewHist()
+	for _, h := range []*Hist{b, c} {
+		if err := bc.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	right := NewHist() // a+(b+c)
+	for _, h := range []*Hist{a, bc} {
+		if err := right.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if left.Count() != right.Count() || left.Count() != a.Count()+b.Count()+c.Count() {
+		t.Fatalf("counts: left %d right %d parts %d", left.Count(), right.Count(), a.Count()+b.Count()+c.Count())
+	}
+	for i := range left.counts {
+		if left.counts[i] != right.counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, left.counts[i], right.counts[i])
+		}
+	}
+	for _, q := range quantiles {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("Quantile(%g): %d vs %d", q, left.Quantile(q), right.Quantile(q))
+		}
+	}
+}
+
+// TestHistMergePrecisionMismatch: merging incompatible bucketings must be
+// refused, not silently mangled.
+func TestHistMergePrecisionMismatch(t *testing.T) {
+	if err := NewHistPrecision(7).Merge(NewHistPrecision(8)); err == nil {
+		t.Fatal("merge across precisions succeeded")
+	}
+}
+
+// TestHistDuration: the Duration wrappers round-trip nanoseconds.
+func TestHistDuration(t *testing.T) {
+	h := NewHistPrecision(12)
+	h.ObserveDuration(1500 * time.Nanosecond)
+	if got := h.QuantileDuration(1.0); got != 1500*time.Nanosecond {
+		t.Fatalf("QuantileDuration = %v, want 1.5µs", got)
+	}
+}

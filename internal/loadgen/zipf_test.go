@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfDeterminism: the same seed must produce the identical sample
+// sequence — the property every SCALE_SEED replay rests on.
+func TestZipfDeterminism(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, 1 << 40} {
+		z := NewZipf(64, 1.1)
+		a, b := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		for i := 0; i < 10_000; i++ {
+			if x, y := z.Sample(a), z.Sample(b); x != y {
+				t.Fatalf("seed %d: sample %d diverged: %d vs %d", seed, i, x, y)
+			}
+		}
+	}
+}
+
+// TestZipfFullSupport: at small N every rank must be reachable — the long
+// tail exists, it is just thin.
+func TestZipfFullSupport(t *testing.T) {
+	for _, s := range []float64{0, 0.8, 1.1, 2.0} {
+		z := NewZipf(8, s)
+		rng := rand.New(rand.NewSource(7))
+		seen := make(map[int]int)
+		for i := 0; i < 20_000; i++ {
+			r := z.Sample(rng)
+			if r < 0 || r >= z.N() {
+				t.Fatalf("s=%g: sample %d out of range", s, r)
+			}
+			seen[r]++
+		}
+		for rank := 0; rank < z.N(); rank++ {
+			if seen[rank] == 0 {
+				t.Fatalf("s=%g: rank %d never drawn in 20k samples (weight %g)", s, rank, z.Weight(rank))
+			}
+		}
+	}
+}
+
+// TestZipfRankFrequencySlope: the defining Zipf property — on a log-log
+// plot of frequency vs rank, the empirical slope of the well-sampled top
+// ranks must match -s within tolerance.
+func TestZipfRankFrequencySlope(t *testing.T) {
+	for _, s := range []float64{0.8, 1.1, 1.5} {
+		const n, samples, top = 200, 400_000, 30
+		z := NewZipf(n, s)
+		rng := rand.New(rand.NewSource(11))
+		freq := make([]float64, n)
+		for i := 0; i < samples; i++ {
+			freq[z.Sample(rng)]++
+		}
+		// Least-squares slope of log(freq) on log(rank+1) over the top
+		// ranks, where sampling noise is negligible.
+		var sx, sy, sxx, sxy float64
+		for r := 0; r < top; r++ {
+			if freq[r] == 0 {
+				t.Fatalf("s=%g: top rank %d unsampled", s, r)
+			}
+			x, y := math.Log(float64(r+1)), math.Log(freq[r]/samples)
+			sx, sy, sxx, sxy = sx+x, sy+y, sxx+x*x, sxy+x*y
+		}
+		slope := (float64(top)*sxy - sx*sy) / (float64(top)*sxx - sx*sx)
+		if math.Abs(slope+s) > 0.08 {
+			t.Fatalf("s=%g: empirical rank-frequency slope %.3f, want %.3f ± 0.08", s, slope, -s)
+		}
+	}
+}
+
+// TestZipfWeights: the analytic masses are a distribution and monotone
+// decreasing, and the empirical frequency of the hottest rank converges to
+// its weight.
+func TestZipfWeights(t *testing.T) {
+	z := NewZipf(50, 1.2)
+	var sum float64
+	for r := 0; r < z.N(); r++ {
+		w := z.Weight(r)
+		if w <= 0 {
+			t.Fatalf("rank %d: weight %g", r, w)
+		}
+		if r > 0 && w > z.Weight(r-1)+1e-12 {
+			t.Fatalf("rank %d heavier than rank %d", r, r-1)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 1", sum)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const samples = 200_000
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if z.Sample(rng) == 0 {
+			hot++
+		}
+	}
+	got, want := float64(hot)/samples, z.Weight(0)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("hottest rank frequency %.4f, want %.4f ± 0.01", got, want)
+	}
+}

@@ -265,3 +265,22 @@ func (a *RollupAccount) CheckConserved(label string, head uint64) error {
 	}
 	return Conserved(label, a.Records, a.Missed, head)
 }
+
+// Ceiling checks a measured scalar against an explicit budget — the scale
+// harness's resource invariants (p99 latency, bytes per producer) phrased
+// the same way the delivery invariants are: a named check that returns the
+// violation, so the caller can attach the replay seed.
+func Ceiling(label string, got, max float64) error {
+	if got > max {
+		return fmt.Errorf("%s: %g exceeds the ceiling %g", label, got, max)
+	}
+	return nil
+}
+
+// RequireCeiling fails the test when got exceeds its ceiling.
+func RequireCeiling(tb testing.TB, label string, got, max float64) {
+	tb.Helper()
+	if err := Ceiling(label, got, max); err != nil {
+		tb.Fatal(err)
+	}
+}

@@ -224,3 +224,19 @@ func TestCheckRemap(t *testing.T) {
 		t.Fatalf("full-share swap flagged: %v", err)
 	}
 }
+
+func TestCeiling(t *testing.T) {
+	if err := Ceiling("p99 (ms)", 11, 2500); err != nil {
+		t.Fatalf("measurement under its ceiling flagged: %v", err)
+	}
+	if err := Ceiling("p99 (ms)", 2500, 2500); err != nil {
+		t.Fatalf("measurement exactly at its ceiling flagged: %v", err)
+	}
+	err := Ceiling("bytes/producer", 9000, 7000)
+	if err == nil {
+		t.Fatal("budget blowout not detected")
+	}
+	if !strings.Contains(err.Error(), "bytes/producer") {
+		t.Fatalf("violation does not name the budget: %v", err)
+	}
+}

@@ -45,6 +45,43 @@ func TestGenerateIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateWithPinsScale pins the GenConfig contract: a requested
+// producer count is honored exactly (the bare generator caps producers at
+// 3 and used to silently inflate a small count up to the leaf count), the
+// zero config reproduces Generate byte for byte, and every fault in the
+// schedule still targets a producer that exists.
+func TestGenerateWithPinsScale(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if a, b := Generate(seed), GenerateWith(seed, GenConfig{}); !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: GenerateWith zero config diverges from Generate:\n%+v\n%+v", seed, a, b)
+		}
+		for _, producers := range []int{1, 2, 4, 9, 33} {
+			sc := GenerateWith(seed, GenConfig{Producers: producers})
+			if sc.Producers != producers {
+				t.Fatalf("seed %d: pinned %d producers, got %d", seed, producers, sc.Producers)
+			}
+			if sc.Topology == TopoRelayTree && (sc.Leaves < 1 || sc.Leaves > sc.Producers) {
+				t.Fatalf("seed %d: %d leaves for %d pinned producers", seed, sc.Leaves, producers)
+			}
+			for _, ev := range sc.Events {
+				if ev.Producer < 0 || ev.Producer >= sc.Producers {
+					t.Fatalf("seed %d: event %v targets producer %d of %d", seed, ev.Kind, ev.Producer, sc.Producers)
+				}
+			}
+			if again := GenerateWith(seed, GenConfig{Producers: producers}); !reflect.DeepEqual(sc, again) {
+				t.Fatalf("seed %d producers %d: GenerateWith is not deterministic", seed, producers)
+			}
+		}
+		sc := GenerateWith(seed, GenConfig{Producers: 6, Leaves: 2})
+		if sc.Producers != 6 {
+			t.Fatalf("seed %d: pinned 6 producers with 2 leaves, got %d", seed, sc.Producers)
+		}
+		if sc.Topology == TopoRelayTree && sc.Leaves != 2 {
+			t.Fatalf("seed %d: pinned 2 leaves, got %d", seed, sc.Leaves)
+		}
+	}
+}
+
 // TestScenarioMatrix is the tentpole suite: hundreds of simulated seconds
 // of lapped rings, producer restarts, file recreations, link blips,
 // partitions, and relay outages, across every topology, in a few real

@@ -1,0 +1,9 @@
+//go:build !race
+
+package simnet
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// tests shrink or skip their fleets under it (a 100k-producer run under
+// -race costs minutes, and the race coverage it adds over the small fleet
+// is nil — the code paths are identical).
+const raceEnabled = false

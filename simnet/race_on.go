@@ -1,0 +1,7 @@
+//go:build race
+
+package simnet
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_off.go.
+const raceEnabled = true

@@ -164,6 +164,25 @@ func (sc Scenario) String() string {
 // slow consumer} × topology {direct, file, relay-tree}. The same seed
 // always generates the same scenario.
 func Generate(seed int64) Scenario {
+	return GenerateWith(seed, GenConfig{})
+}
+
+// GenConfig pins parts of a generated scenario that Generate otherwise
+// draws small: zero fields keep the draw, positive fields override it
+// after the draw, so the rng stream — and with it every downstream draw
+// (fault schedule, latencies) — is identical whether or not a field is
+// pinned. Generate(seed) == GenerateWith(seed, GenConfig{}) exactly.
+type GenConfig struct {
+	// Producers overrides the drawn producer count (the draw caps at 3).
+	// A pinned count is honored exactly: a relay-tree scenario shrinks its
+	// Leaves to fit rather than silently inflating Producers.
+	Producers int
+	// Leaves overrides the drawn leaf count (relay-tree only).
+	Leaves int
+}
+
+// GenerateWith is Generate with GenConfig overrides applied.
+func GenerateWith(seed int64, cfg GenConfig) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := Scenario{
 		Seed:      seed,
@@ -175,10 +194,20 @@ func Generate(seed int64) Scenario {
 		RingCap:   32 << rng.Intn(3), // 32, 64, 128
 		Rollup:    time.Duration(100+rng.Intn(151)) * time.Millisecond,
 	}
+	if cfg.Producers > 0 {
+		sc.Producers = cfg.Producers
+	}
 	if sc.Topology == TopoRelayTree {
 		sc.Leaves = 1 + rng.Intn(2)
+		if cfg.Leaves > 0 {
+			sc.Leaves = cfg.Leaves
+		}
 		if sc.Producers < sc.Leaves {
-			sc.Producers = sc.Leaves
+			if cfg.Producers > 0 {
+				sc.Leaves = sc.Producers
+			} else {
+				sc.Producers = sc.Leaves
+			}
 		}
 		sc.MaxLink = time.Duration(rng.Intn(4)) * time.Millisecond
 	}

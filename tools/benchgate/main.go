@@ -157,8 +157,14 @@ func checkRequired(path string) {
 	}
 	captures := make(map[string]map[string]result)
 	for _, c := range contracts {
-		if err := verifyMark(c.Source, c.Func); err != nil {
-			fatalf("benchgate: %s: %v — the measured 0-alloc gate must cover an hbvet-verified hot path", path, err)
+		// A contract may tie its ceiling to an //hbvet:hotpath mark (the
+		// 0-alloc gates do) or stand alone as a pure measured budget (the
+		// scale-matrix latency and memory ceilings): the mark is only
+		// verified when the contract names one.
+		if c.Func != "" {
+			if err := verifyMark(c.Source, c.Func); err != nil {
+				fatalf("benchgate: %s: %v — the measured 0-alloc gate must cover an hbvet-verified hot path", path, err)
+			}
 		}
 		results, ok := captures[c.Capture]
 		if !ok {
@@ -170,11 +176,19 @@ func checkRequired(path string) {
 		}
 		got := lookup(results, c.Bench, c.Metric)
 		if got > c.AtMost {
-			fatalf("benchgate: %s %s = %g exceeds the required ceiling %g (contract for %s: %s)",
-				c.Bench, c.Metric, got, c.AtMost, c.Source, c.Func)
+			where := "measured budget"
+			if c.Func != "" {
+				where = fmt.Sprintf("contract for %s: %s", c.Source, c.Func)
+			}
+			fatalf("benchgate: %s %s = %g exceeds the required ceiling %g (%s)",
+				c.Bench, c.Metric, got, c.AtMost, where)
 		}
-		fmt.Printf("benchgate: %s %s %g <= %g ok (hotpath mark on %q verified)\n",
-			c.Bench, c.Metric, got, c.AtMost, c.Func)
+		if c.Func != "" {
+			fmt.Printf("benchgate: %s %s %g <= %g ok (hotpath mark on %q verified)\n",
+				c.Bench, c.Metric, got, c.AtMost, c.Func)
+		} else {
+			fmt.Printf("benchgate: %s %s %g <= %g ok\n", c.Bench, c.Metric, got, c.AtMost)
+		}
 	}
 }
 
