@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet analyze build build-extras test race net-loopback sim-matrix scale-matrix drain-scenario fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm bench-balance benchgate
+.PHONY: ci vet analyze build build-extras test race net-loopback sim-matrix scale-matrix drain-scenario failover-scenario fuzz-short docs bench-short bench bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
-ci: vet analyze build build-extras race net-loopback sim-matrix scale-matrix drain-scenario fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm bench-balance benchgate
+ci: vet analyze build build-extras race net-loopback sim-matrix scale-matrix drain-scenario failover-scenario fuzz-short docs bench-short bench-compare bench-net bench-relay bench-shm bench-balance benchgate
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,20 @@ scale-matrix:
 # swaps under -race, and the end-to-end updater drain all in one place.
 drain-scenario:
 	$(GO) test -race ./balance ./internal/simcheck
+
+# The elastic-membership shard, race-checked: the deterministic leaf-die
+# failover and backpressure-shed tests, then full scenario-runner replays
+# of generated leaf-die seeds (seeds whose schedules contain EvLeafDie —
+# re-probe if the generator's draw order ever changes). The failover arc
+# also runs inside sim-matrix, whose gate asserts handoffs were exercised;
+# this shard keeps an elastic-membership failure attributable. A failing
+# scenario prints SIMNET_SEED=<seed> for exact replay.
+failover-scenario:
+	$(GO) test -race -run 'TestLeafDieFailoverDeterministic|TestBackpressureShedExactlyAccountsGap' ./simnet
+	@for seed in 1 26 42; do \
+		echo "failover-scenario: replaying SIMNET_SEED=$$seed"; \
+		SIMNET_SEED=$$seed $(GO) test -race -run 'TestScenarioMatrix' ./simnet || exit 1; \
+	done
 
 # Short go-fuzz passes over the hbnet wire codec: the decoders face bytes
 # from the network, so they must never panic and must decode accepted

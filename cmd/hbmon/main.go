@@ -300,7 +300,11 @@ func runRelay(listen string, upstreams, upstreamFiles []string, mergedFeed, roll
 		fmt.Fprintln(os.Stderr, "hbmon: -relay requires at least one -upstream or -upstream-file")
 		os.Exit(2)
 	}
-	relay := hbnet.NewRelay(
+	// The rollup callback runs on the relay's merge loop, after relay is
+	// assigned, so the shed-delta read below needs no synchronization.
+	var relay *hbnet.Relay
+	var lastShed uint64
+	relay = hbnet.NewRelay(
 		hbnet.WithRollupInterval(rollupInterval),
 		hbnet.WithRelayOnError(func(app string, err error) {
 			fmt.Fprintf(os.Stderr, "hbmon: upstream %s: %v\n", app, err)
@@ -308,6 +312,13 @@ func runRelay(listen string, upstreams, upstreamFiles []string, mergedFeed, roll
 		hbnet.WithRelayOnRollup(func(rs []observer.Rollup) {
 			for _, r := range rs {
 				reportRollup(r, -1)
+			}
+			// Backpressure visibility: when lagging subscribers forced this
+			// relay to shed merged history since the last window, say so —
+			// shed loss is deliberate and must never be silent.
+			if shed := relay.Shed(); shed > lastShed {
+				fmt.Printf("relay: shed %d records to slow subscribers (total %d)\n", shed-lastShed, shed)
+				lastShed = shed
 			}
 		}),
 	)

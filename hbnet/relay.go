@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/heartbeat"
@@ -87,6 +89,17 @@ type replayRing struct {
 	notify chan struct{}
 	closed bool
 
+	// Shed accounting: winBase is the newest evicted record's Seq — a
+	// cursor at or above it is still inside the retained window; a cursor
+	// below it has been lapped and the span up to the shed floor is
+	// charged to shedTotal when the subscriber next reads. lagBound, when
+	// positive, additionally floors every read at head-lagBound (the
+	// WithShedLag policy), so a slow subscriber is advanced and the skip
+	// counted instead of silently trailing the full ring.
+	winBase   uint64
+	lagBound  int
+	shedTotal uint64
+
 	// Encode-once fan-out cache (guarded by mu): the encoded frame of the
 	// last frameSince read, keyed by the cursor it was read from. In the
 	// fan-out steady state every subscriber sits at the same cursor, so N
@@ -136,12 +149,16 @@ func (r *replayRing) append(recs []heartbeat.Record, missed uint64, producer int
 		if producer >= 0 {
 			rec.Producer = producer
 		}
-		r.recs[(r.start+r.n)%len(r.recs)] = rec
+		idx := (r.start + r.n) % len(r.recs)
 		if r.n < len(r.recs) {
 			r.n++
 		} else {
+			// Overwriting the oldest retained record: every cursor below
+			// its seq is now lapped (see winBase).
+			r.winBase = r.recs[idx].Seq
 			r.start = (r.start + 1) % len(r.recs)
 		}
+		r.recs[idx] = rec
 	}
 	if r.fbuf != nil {
 		r.fbuf.release()
@@ -161,12 +178,25 @@ func (r *replayRing) close() {
 	r.mu.Unlock()
 }
 
+// shedFloorLocked returns the lowest cursor this read may proceed from:
+// winBase (everything below it was lapped out of the ring) raised to
+// head-lagBound when the shed-lag policy is set. Callers hold r.mu.
+func (r *replayRing) shedFloorLocked() uint64 {
+	floor := r.winBase
+	if r.lagBound > 0 && r.head > uint64(r.lagBound) && r.head-uint64(r.lagBound) > floor {
+		floor = r.head - uint64(r.lagBound)
+	}
+	return floor
+}
+
 // readSince returns up to max retained records with Seq > since plus the
-// cursor to resume from, the current notify channel (valid until the next
-// append) and the closed flag. When the returned batch is not truncated by
-// max the cursor advances to head, so trailing gap seqs (upstream losses
-// with no records) are accounted in the same read.
-func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, cur uint64, notify <-chan struct{}, closed bool) {
+// cursor to resume from, how many seqs below the shed floor were skipped
+// for this subscriber (already folded into shedTotal), the current notify
+// channel (valid until the next append) and the closed flag. When the
+// returned batch is not truncated by max the cursor advances to head, so
+// trailing gap seqs (upstream losses with no records) are accounted in the
+// same read.
+func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, cur uint64, shed uint64, notify <-chan struct{}, closed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	closed = r.closed
@@ -175,11 +205,19 @@ func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, c
 		// since): return head either way so the caller resynchronizes.
 		// Only this branch can leave the caller waiting, so only it pays
 		// for a wait channel.
-		return nil, r.head, r.waitChanLocked(), closed
+		return nil, r.head, 0, r.waitChanLocked(), closed
 	}
-	// First retained index with Seq > since (records are Seq-ordered).
+	eff := since
+	if floor := r.shedFloorLocked(); eff < floor {
+		// Lapped (or beyond the lag bound): the span up to the floor was
+		// dropped by THIS ring — attribute it, don't just widen Missed.
+		shed = floor - eff
+		r.shedTotal += shed
+		eff = floor
+	}
+	// First retained index with Seq > eff (records are Seq-ordered).
 	i := sort.Search(r.n, func(i int) bool {
-		return r.recs[(r.start+i)%len(r.recs)].Seq > since
+		return r.recs[(r.start+i)%len(r.recs)].Seq > eff
 	})
 	take := r.n - i
 	truncated := false
@@ -197,7 +235,14 @@ func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, c
 	} else {
 		cur = r.head
 	}
-	return out, cur, notify, closed
+	return out, cur, shed, notify, closed
+}
+
+// shed returns the cumulative shed count across every subscriber read.
+func (r *replayRing) shed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shedTotal
 }
 
 // frameSince is readSince's zero-copy counterpart: the same read, returned
@@ -212,19 +257,29 @@ func (r *replayRing) readSince(since uint64, max int) (out []heartbeat.Record, c
 // Frame size needs no guard here: take <= maxRelayBatch and a worst-case
 // record encodes to ~35 bytes, keeping every frame far inside
 // maxFramePayload.
-func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64, notify <-chan struct{}, closed bool) {
+func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64, shed uint64, notify <-chan struct{}, closed bool) {
 	r.mu.Lock()         //hbvet:allow hotpath -- bounded per-feed critical section; the gated contract is zero allocations, not zero locks
 	defer r.mu.Unlock() //hbvet:allow hotpath -- pairs with the lock above
 	closed = r.closed
 	if r.head <= since {
-		return nil, r.head, r.waitChanLocked(), closed //hbvet:allow hotpath -- caught-up park path: lazily makes the notify channel, off the delivery path
+		return nil, r.head, 0, r.waitChanLocked(), closed //hbvet:allow hotpath -- caught-up park path: lazily makes the notify channel, off the delivery path
+	}
+	eff := since
+	if floor := r.shedFloorLocked(); eff < floor {
+		// Shed attribution happens before the cache check so a cache hit
+		// still charges this subscriber; the shed span stays inside the
+		// frame's Missed (computed from the original cursor below), so the
+		// wire contract is unchanged — shed refines Missed, never adds to it.
+		shed = floor - eff
+		r.shedTotal += shed
+		eff = floor
 	}
 	if r.fbuf != nil && r.fkey == since {
 		r.fbuf.retain()
-		return r.fbuf, r.fcur, notify, closed
+		return r.fbuf, r.fcur, shed, notify, closed
 	}
 	i := sort.Search(r.n, func(i int) bool { //hbvet:allow hotpath -- encode-once path: runs only on cache miss, once per (cursor, head)
-		return r.recs[(r.start+i)%len(r.recs)].Seq > since
+		return r.recs[(r.start+i)%len(r.recs)].Seq > eff
 	})
 	take := r.n - i
 	truncated := take > max
@@ -255,7 +310,16 @@ func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64
 		r.fbuf.release() //hbvet:allow hotpath -- encode-once path: cache handoff, once per new frame
 	}
 	r.fbuf, r.fkey, r.fcur = fb, since, cur
-	return fb, cur, notify, closed
+	return fb, cur, shed, notify, closed
+}
+
+// ShedCounter is implemented by subscriber streams that count how many
+// sequence numbers the publisher shed to them: records dropped by this
+// hop's bounded window (or its WithShedLag policy) rather than lost
+// upstream. Shed is always a refinement of the Missed the same subscriber
+// observed — shed <= missed, never in addition to it.
+type ShedCounter interface {
+	Shed() uint64
 }
 
 // replayStream is one subscriber's cursor over a replayRing; it satisfies
@@ -264,14 +328,23 @@ func (r *replayRing) frameSince(since uint64, max int) (fb *frameBuf, cur uint64
 type replayStream struct {
 	ring   *replayRing
 	cursor uint64
+	shedN  atomic.Uint64
 }
+
+// Shed reports how many seqs the ring shed to this subscriber (lapped or
+// lag-bounded spans skipped at read time) — the per-subscriber share of the
+// ring's total. Safe to call concurrently with Next/NextFrame.
+func (s *replayStream) Shed() uint64 { return s.shedN.Load() }
 
 func (s *replayStream) Next(ctx context.Context) (observer.Batch, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	for {
-		recs, cur, notify, closed := s.ring.readSince(s.cursor, maxRelayBatch)
+		recs, cur, shed, notify, closed := s.ring.readSince(s.cursor, maxRelayBatch)
+		if shed != 0 {
+			s.shedN.Add(shed)
+		}
 		if cur < s.cursor {
 			// The ring's head is behind the cursor: the cursor came from a
 			// previous life of the relay. Resynchronize from the beginning
@@ -307,7 +380,10 @@ func (s *replayStream) NextFrame(ctx context.Context) (*frameBuf, error) {
 		ctx = context.Background()
 	}
 	for {
-		fb, cur, notify, closed := s.ring.frameSince(s.cursor, maxRelayBatch)
+		fb, cur, shed, notify, closed := s.ring.frameSince(s.cursor, maxRelayBatch)
+		if shed != 0 {
+			s.shedN.Add(shed)
+		}
 		if cur < s.cursor {
 			s.cursor = 0 // previous relay life: resynchronize (see Next)
 			continue
@@ -558,6 +634,19 @@ func WithRelayClock(clk heartbeat.Clock) RelayOption {
 	return func(r *Relay) { r.clk = clk }
 }
 
+// WithShedLag bounds how far behind the merged head a raw subscriber may
+// trail before the relay sheds the excess: a subscriber whose cursor falls
+// more than n seqs behind is advanced to head-n on its next read and the
+// skipped span counted (per-subscriber via ShedCounter, relay-wide via
+// Shed) instead of silently trailing the full replay ring. n <= 0 (the
+// default) disables the policy — only an actual ring lap sheds. Shed seqs
+// stay inside the subscriber's Missed: the wire contract delivered+Missed
+// == head is unchanged; shedding attributes the loss to this hop's
+// backpressure decision rather than to the upstream.
+func WithShedLag(n int) RelayOption {
+	return func(r *Relay) { r.shedLag = n }
+}
+
 // Relay is a hierarchical fan-in node: it subscribes to N upstream
 // heartbeat streams, merges them into one bounded history in its own dense
 // sequence space, reduces them into per-app rollup windows every interval,
@@ -580,6 +669,7 @@ type Relay struct {
 	rollupEvery  time.Duration
 	mergedRetain int
 	rollupRetain int
+	shedLag      int // WithShedLag bound on the merged ring; 0 = off
 	onError      func(app string, err error)
 	onRollup     func([]observer.Rollup)
 	clk          heartbeat.Clock // nil = wall clock
@@ -588,29 +678,40 @@ type Relay struct {
 	rollups   *rollupRing
 	compacted *rollupRing
 
+	// drainMu serializes consumption of r.events: Run holds it for its
+	// whole execution, and removal's drainEvents takes it only when no Run
+	// loop is live — so the channel never has two consumers, which would
+	// break per-upstream FIFO order. Ordered before mu (never acquired
+	// while holding mu).
+	drainMu sync.Mutex
+
 	mu        sync.Mutex
 	ds        *observer.Downsampler // guarded by mu: pumps absorb on shutdown
 	ups       map[string]*relayUpstream
 	order     []string
+	nextID    int32 // next upstream id: unique per registration life, never reused
 	compactor *observer.RollupCompactor // guarded by mu, like ds
 	rups      map[string]*rollupUpstream
 	rupOrder  []string
 	rupMissed uint64    // child rollup emissions lapped before absorption
 	winFrom   time.Time // current rollup window's start
 	runCtx    context.Context
+	runDone   chan struct{} // non-nil while a Run loop consumes r.events; closed at its exit
 	events    chan relayEvent
 	pumps     sync.WaitGroup
 	closed    bool
 }
 
 type relayUpstream struct {
-	app     string
-	id      int32
-	stream  observer.Stream
-	rec     BatchRecycler // stream's recycler, when it has one
-	cancel  context.CancelFunc
-	pumping bool
-	eof     bool
+	app      string
+	id       int32
+	stream   observer.Stream
+	rec      BatchRecycler // stream's recycler, when it has one
+	cancel   context.CancelFunc
+	pumping  bool
+	eof      bool
+	removing bool          // a RemoveUpstream owns this registration's teardown
+	done     chan struct{} // closed when the current pump goroutine exits; nil before first start
 	// pending holds a batch the pump consumed from the stream but could
 	// not hand to a stopped Run loop; the next shutdown drain (or Run)
 	// absorbs it after the older events still queued in r.events, so the
@@ -622,12 +723,14 @@ type relayUpstream struct {
 // feed: the pump forwards RollupBatches into the relay loop, which folds
 // them into the compactor instead of the downsampler.
 type rollupUpstream struct {
-	name    string
-	stream  RollupStream
-	cancel  context.CancelFunc
-	pumping bool
-	eof     bool
-	pending *RollupBatch // see relayUpstream.pending
+	name     string
+	stream   RollupStream
+	cancel   context.CancelFunc
+	pumping  bool
+	eof      bool
+	removing bool          // see relayUpstream.removing
+	done     chan struct{} // see relayUpstream.done
+	pending  *RollupBatch  // see relayUpstream.pending
 }
 
 type relayEvent struct {
@@ -639,6 +742,9 @@ type relayEvent struct {
 	// windows and the other payload fields are unused.
 	rup    *rollupUpstream
 	rbatch RollupBatch
+	// gate, when set, is a drain sentinel: every event queued before it has
+	// been handled once the consumer closes it. All other fields are unused.
+	gate chan struct{}
 }
 
 // NewRelay creates a relay with no upstreams yet.
@@ -656,6 +762,7 @@ func NewRelay(opts ...RelayOption) *Relay {
 	}
 	r.winFrom = r.now()
 	r.merged = newReplayRing(r.mergedRetain)
+	r.merged.lagBound = r.shedLag
 	r.rollups = newRollupRing(r.rollupRetain)
 	r.compacted = newRollupRing(r.rollupRetain)
 	return r
@@ -681,7 +788,12 @@ func (r *Relay) AddUpstream(app string, stream observer.Stream) error {
 	if _, dup := r.ups[app]; dup {
 		return fmt.Errorf("hbnet: duplicate upstream %q", app)
 	}
-	up := &relayUpstream{app: app, id: int32(len(r.order)), stream: stream}
+	// Ids are allocated, never recycled: a name removed and re-added gets a
+	// fresh id, so records from the two registration lives stay
+	// distinguishable in the merged seq space (len(r.order) would collide
+	// after any removal).
+	up := &relayUpstream{app: app, id: r.nextID, stream: stream}
+	r.nextID++
 	up.rec, _ = stream.(BatchRecycler)
 	r.ups[app] = up
 	r.order = append(r.order, app)
@@ -726,6 +838,282 @@ func (r *Relay) AddFileUpstream(app, path string, poll time.Duration) error {
 	if err := r.AddUpstream(app, s); err != nil {
 		if c, ok := s.(io.Closer); ok {
 			c.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// CursorSource is implemented by streams that report how far into their
+// upstream's sequence space they have consumed — the resume cursor. A
+// Handoff from a removal carries it so the destination can resume exactly
+// where the source stopped (Client implements it; DialUpstreamFrom accepts
+// it).
+type CursorSource interface {
+	Cursor() uint64
+}
+
+// Handoff is what removing an upstream yields: everything a caller needs to
+// re-home the producer on another relay without double-delivering or
+// gapping. Stream is the detached source stream (nil when the removal
+// closed it); Cursor is its final consumed position when the stream reports
+// one (HasCursor). Re-homing has two shapes: re-add the detached Stream
+// itself (its internal cursor carries the position — RebalanceStream), or
+// dial a fresh connection positioned at Cursor (DialUpstreamFrom /
+// Rebalance).
+type Handoff struct {
+	App       string
+	Stream    observer.Stream
+	Cursor    uint64
+	HasCursor bool
+}
+
+// RemoveUpstream retires the named upstream at runtime: its pump is
+// cancelled, every batch it already queued — and any batch a previous
+// shutdown parked — is absorbed into the merged history in order, its final
+// partial rollup window is emitted, its stream is closed (the relay owns
+// it), and the name becomes reusable immediately. Safe while Run is active
+// or stopped; returns an error for an unknown name. The returned Handoff
+// carries the stream's final cursor when it reports one (CursorSource), so
+// a caller re-homing the producer can resume it elsewhere exactly.
+func (r *Relay) RemoveUpstream(app string) (Handoff, error) {
+	return r.removeUpstream(app, true)
+}
+
+// DetachUpstream is RemoveUpstream without closing the stream: ownership
+// transfers to the caller through Handoff.Stream, which resumes from its
+// internal position when re-added elsewhere — the cursor-preserving half of
+// a migration.
+func (r *Relay) DetachUpstream(app string) (Handoff, error) {
+	return r.removeUpstream(app, false)
+}
+
+func (r *Relay) removeUpstream(app string, closeStream bool) (Handoff, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return Handoff{}, fmt.Errorf("hbnet: relay closed")
+	}
+	up, ok := r.ups[app]
+	if !ok {
+		r.mu.Unlock()
+		return Handoff{}, fmt.Errorf("hbnet: unknown upstream %q", app)
+	}
+	if up.removing {
+		r.mu.Unlock()
+		return Handoff{}, fmt.Errorf("hbnet: upstream %q already being removed", app)
+	}
+	up.removing = true // pumps will not restart for it
+	cancel, done := up.cancel, up.done
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done // pump exited: all its events are queued (or parked in pending)
+	}
+	// Flush the event channel before finalizing so the batches the pump
+	// queued land in the merged history ahead of the parked pending — the
+	// same oldest-first order Run's own shutdown preserves.
+	r.drainEvents()
+	r.mu.Lock()
+	if live, ok := r.ups[app]; !ok || live != up {
+		// The eof path retired it while we drained (closing the stream
+		// there); the name is free either way.
+		r.mu.Unlock()
+		return Handoff{App: app}, nil
+	}
+	if up.pending != nil {
+		b := *up.pending
+		up.pending = nil
+		r.absorbLocked(up, b)
+	}
+	delete(r.ups, app)
+	r.dropOrderLocked(app)
+	final, active := r.ds.Remove(app, r.winFrom, r.now())
+	r.mu.Unlock()
+	if active {
+		// The removed app's mid-window counts become one last emission, so
+		// rollup conservation holds across the removal.
+		r.rollups.append([]observer.Rollup{final})
+	}
+	h := Handoff{App: app, Stream: up.stream}
+	if cs, ok := up.stream.(CursorSource); ok {
+		h.Cursor, h.HasCursor = cs.Cursor(), true
+	}
+	if closeStream {
+		h.Stream = nil
+		if c, ok := up.stream.(io.Closer); ok {
+			c.Close()
+		}
+	}
+	return h, nil
+}
+
+// RemoveRollupUpstream retires the named rollup upstream the same way
+// RemoveUpstream retires a raw one: pump cancelled, queued and parked
+// deliveries folded into the compactor, stream closed, name freed.
+// Compactor per-app state stays — the applications still exist even when
+// this child stops reporting them.
+func (r *Relay) RemoveRollupUpstream(name string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("hbnet: relay closed")
+	}
+	rup, ok := r.rups[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("hbnet: unknown rollup upstream %q", name)
+	}
+	if rup.removing {
+		r.mu.Unlock()
+		return fmt.Errorf("hbnet: rollup upstream %q already being removed", name)
+	}
+	rup.removing = true
+	cancel, done := rup.cancel, rup.done
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+	r.drainEvents()
+	r.mu.Lock()
+	if live, ok := r.rups[name]; !ok || live != rup {
+		r.mu.Unlock()
+		return nil // the eof path retired it while we drained
+	}
+	if rup.pending != nil {
+		b := *rup.pending
+		rup.pending = nil
+		r.absorbRollupsLocked(b)
+	}
+	delete(r.rups, name)
+	r.dropRupOrderLocked(name)
+	r.mu.Unlock()
+	if c, ok := rup.stream.(io.Closer); ok {
+		c.Close()
+	}
+	return nil
+}
+
+// drainEvents flushes every event queued in r.events at the moment of the
+// call before returning — through the live Run loop when one is active (a
+// gated sentinel event keeps the loop the channel's only consumer), inline
+// under drainMu otherwise. Removal calls it after its pump has exited, so
+// everything that pump queued is absorbed before the registration is
+// finalized.
+func (r *Relay) drainEvents() {
+	for {
+		r.mu.Lock()
+		runDone := r.runDone
+		r.mu.Unlock()
+		if runDone != nil {
+			gate := make(chan struct{})
+			select {
+			case r.events <- relayEvent{gate: gate}:
+				select {
+				case <-gate:
+					return
+				case <-runDone:
+					// Run exited before consuming the sentinel; it is still
+					// queued — loop and drain inline (closing the gate is a
+					// no-op there).
+				}
+			case <-runDone:
+				// Run exited before accepting the sentinel; drain inline.
+			}
+			continue
+		}
+		if r.drainMu.TryLock() {
+			for {
+				select {
+				case ev := <-r.events:
+					r.handleEvent(ev)
+					continue
+				default:
+				}
+				break
+			}
+			r.drainMu.Unlock()
+			return
+		}
+		// A Run loop is mid-entry or mid-exit: let it progress, re-read
+		// runDone, and retry.
+		runtime.Gosched()
+	}
+}
+
+// DialUpstreamFrom is DialUpstream with an explicit start cursor: the
+// subscription resumes after position since in the feed's sequence space —
+// the receiving half of a cursor-preserving handoff (pass Handoff.Cursor
+// from the removal on the source relay).
+func (r *Relay) DialUpstreamFrom(app, addr, feed string, since uint64, opts ...ClientOption) (*Client, error) {
+	if r.clk != nil {
+		opts = append([]ClientOption{WithClientClock(r.clk)}, opts...)
+	}
+	c, err := DialFrom(addr, feed, since, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.AddUpstream(app, c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Rebalance migrates a dialed upstream from src to dst: src's registration
+// is removed (its connection closed) and dst dials the same feed resuming
+// at the cursor src had consumed to, so the producer's records arrive
+// exactly once across the move — no double delivery, no gap beyond what the
+// feed itself already lapped. The source stream must report its cursor
+// (CursorSource, as every *Client does); for streams that do not, move the
+// stream object itself with RebalanceStream.
+func Rebalance(src, dst *Relay, app, addr, feed string, opts ...ClientOption) (*Client, error) {
+	src.mu.Lock()
+	up, ok := src.ups[app]
+	var cs CursorSource
+	if ok {
+		cs, _ = up.stream.(CursorSource)
+	}
+	src.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("hbnet: unknown upstream %q", app)
+	}
+	if cs == nil {
+		return nil, fmt.Errorf("hbnet: upstream %q reports no cursor; use RebalanceStream", app)
+	}
+	h, err := src.RemoveUpstream(app)
+	if err != nil {
+		return nil, err
+	}
+	return dst.DialUpstreamFrom(app, addr, feed, h.Cursor, opts...)
+}
+
+// RebalanceStream migrates the named upstream from src to dst by moving the
+// stream object itself: detach from src (draining everything already
+// consumed into src's history), re-add to dst. The stream's internal
+// cursor carries the position, so delivery continues on dst exactly where
+// src stopped — the migration path for file tails and in-process streams
+// that cannot be re-dialed.
+func RebalanceStream(src, dst *Relay, app string) error {
+	h, err := src.DetachUpstream(app)
+	if err != nil {
+		return err
+	}
+	if h.Stream == nil {
+		return fmt.Errorf("hbnet: upstream %q had no stream to migrate", app)
+	}
+	if err := dst.AddUpstream(app, h.Stream); err != nil {
+		// Try to put it back rather than strand a live stream; if src
+		// refuses too (closed, name retaken), release it.
+		if rerr := src.AddUpstream(app, h.Stream); rerr != nil {
+			if c, ok := h.Stream.(io.Closer); ok {
+				c.Close()
+			}
 		}
 		return err
 	}
@@ -799,6 +1187,15 @@ func (r *Relay) MergedHead() uint64 {
 	return r.merged.head
 }
 
+// Shed returns the cumulative count of merged-history seqs shed across all
+// raw subscribers: spans a subscriber skipped because this relay's bounded
+// window lapped them (or its WithShedLag policy advanced past them), each
+// subscriber read charged individually. Shed loss is always inside the
+// Missed those subscribers observed — this counter attributes it to this
+// hop's backpressure rather than to the upstreams. Per-subscriber shares
+// are available on streams opened from MergedFeed via ShedCounter.
+func (r *Relay) Shed() uint64 { return r.merged.shed() }
+
 // MergedFeed returns the raw merged feed: every upstream's records in the
 // relay's own dense sequence space (Producer = hop-local upstream id),
 // replay-then-live-push from any cursor.
@@ -868,6 +1265,8 @@ func (r *Relay) PublishOn(srv *Server, mergedName, rollupName string) error {
 func (r *Relay) Run(ctx context.Context) {
 	r.mu.Lock()
 	r.runCtx = ctx
+	runDone := make(chan struct{})
+	r.runDone = runDone
 	r.winFrom = r.now()
 	for _, app := range r.order {
 		r.startPumpLocked(r.ups[app])
@@ -876,6 +1275,10 @@ func (r *Relay) Run(ctx context.Context) {
 		r.startRollupPumpLocked(r.rups[name])
 	}
 	r.mu.Unlock()
+	// Hold drainMu for the whole run: this loop is the channel's only
+	// consumer while it lives, and a concurrent removal coordinates through
+	// runDone (a gated sentinel event) instead of competing for events.
+	r.drainMu.Lock()
 	defer func() {
 		r.mu.Lock()
 		for _, up := range r.ups {
@@ -905,20 +1308,25 @@ func (r *Relay) Run(ctx context.Context) {
 		}
 		r.mu.Lock()
 		for _, app := range r.order {
-			if up := r.ups[app]; up.pending != nil {
+			// A concurrent removal may have finalized between the drain
+			// above and this lock; its pending was absorbed there.
+			if up := r.ups[app]; up != nil && up.pending != nil {
 				b := *up.pending
 				up.pending = nil
 				r.absorbLocked(up, b)
 			}
 		}
 		for _, name := range r.rupOrder {
-			if rup := r.rups[name]; rup.pending != nil {
+			if rup := r.rups[name]; rup != nil && rup.pending != nil {
 				b := *rup.pending
 				rup.pending = nil
 				r.absorbRollupsLocked(b)
 			}
 		}
+		r.runDone = nil
 		r.mu.Unlock()
+		close(runDone)
+		r.drainMu.Unlock()
 	}()
 	tick := heartbeat.NewTicker(r.clk, r.rollupEvery)
 	defer tick.Stop()
@@ -957,6 +1365,11 @@ func (r *Relay) flushRollups() {
 }
 
 func (r *Relay) handleEvent(ev relayEvent) {
+	if ev.gate != nil {
+		// Drain sentinel: everything queued before it has been handled.
+		close(ev.gate)
+		return
+	}
 	if ev.rup != nil {
 		r.handleRollupEvent(ev)
 		return
@@ -977,11 +1390,58 @@ func (r *Relay) handleEvent(ev relayEvent) {
 	}
 	if ev.eof {
 		up.eof = true
+		if up.removing || r.closed {
+			// A concurrent RemoveUpstream owns the teardown (or relay Close
+			// already collected the stream for closing).
+			r.mu.Unlock()
+			return
+		}
+		// Retire for good: the stream has ended, so free the registration —
+		// absorb anything a previous shutdown parked, emit the app's final
+		// partial rollup window, release the stream, and make the name
+		// reusable. (Leaving it in r.ups kept the stream open and the name
+		// taken until relay Close: the retired-upstream leak.)
+		if up.pending != nil {
+			b := *up.pending
+			up.pending = nil
+			r.absorbLocked(up, b)
+		}
+		delete(r.ups, up.app)
+		r.dropOrderLocked(up.app)
+		final, active := r.ds.Remove(up.app, r.winFrom, r.now())
 		r.mu.Unlock()
+		if active {
+			r.rollups.append([]observer.Rollup{final})
+		}
+		if c, ok := up.stream.(io.Closer); ok {
+			c.Close()
+		}
 		return
 	}
 	r.absorbLocked(up, ev.batch)
 	r.mu.Unlock()
+}
+
+// dropOrderLocked removes app from the registration-order slice. Callers
+// hold r.mu.
+func (r *Relay) dropOrderLocked(app string) {
+	for i, a := range r.order {
+		if a == app {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropRupOrderLocked removes name from the rollup-upstream order slice.
+// Callers hold r.mu.
+func (r *Relay) dropRupOrderLocked(name string) {
+	for i, n := range r.rupOrder {
+		if n == name {
+			r.rupOrder = append(r.rupOrder[:i], r.rupOrder[i+1:]...)
+			return
+		}
+	}
 }
 
 func (r *Relay) handleRollupEvent(ev relayEvent) {
@@ -1001,7 +1461,24 @@ func (r *Relay) handleRollupEvent(ev relayEvent) {
 	}
 	if ev.eof {
 		rup.eof = true
+		if rup.removing || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		// Retire like a raw upstream (see handleEvent): absorb any parked
+		// delivery, free the name, release the stream. Compactor state is
+		// keyed by application, not by child name, so it stays.
+		if rup.pending != nil {
+			b := *rup.pending
+			rup.pending = nil
+			r.absorbRollupsLocked(b)
+		}
+		delete(r.rups, rup.name)
+		r.dropRupOrderLocked(rup.name)
 		r.mu.Unlock()
+		if c, ok := rup.stream.(io.Closer); ok {
+			c.Close()
+		}
 		return
 	}
 	r.absorbRollupsLocked(ev.rbatch)
@@ -1115,10 +1592,12 @@ func (p *pollTimeout) Err() error {
 // startPumpLocked starts the goroutine that blocks in the upstream's Next
 // and forwards batches to the relay loop. Callers hold r.mu.
 func (r *Relay) startPumpLocked(up *relayUpstream) {
-	if up.pumping || up.eof {
+	if up.pumping || up.eof || up.removing {
 		return
 	}
 	up.pumping = true
+	done := make(chan struct{})
+	up.done = done
 	pctx, cancel := context.WithCancel(r.runCtx)
 	up.cancel = cancel
 	r.pumps.Add(1)
@@ -1127,6 +1606,7 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 			r.mu.Lock()
 			up.pumping = false
 			r.mu.Unlock()
+			close(done) // after pending is parked: removal reads it via this edge
 			r.pumps.Done()
 		}()
 		// Wall-clock (and coarse-clock) relays poll through one reusable
@@ -1216,10 +1696,12 @@ func (r *Relay) startPumpLocked(up *relayUpstream) {
 // upstream's Next and forwards deliveries to the relay loop — the same
 // shape as startPumpLocked with RollupBatch payloads. Callers hold r.mu.
 func (r *Relay) startRollupPumpLocked(rup *rollupUpstream) {
-	if rup.pumping || rup.eof {
+	if rup.pumping || rup.eof || rup.removing {
 		return
 	}
 	rup.pumping = true
+	done := make(chan struct{})
+	rup.done = done
 	pctx, cancel := context.WithCancel(r.runCtx)
 	rup.cancel = cancel
 	r.pumps.Add(1)
@@ -1228,6 +1710,7 @@ func (r *Relay) startRollupPumpLocked(rup *rollupUpstream) {
 			r.mu.Lock()
 			rup.pumping = false
 			r.mu.Unlock()
+			close(done)
 			r.pumps.Done()
 		}()
 		var pt *pollTimeout

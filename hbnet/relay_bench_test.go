@@ -25,6 +25,12 @@ func BenchmarkRelay(b *testing.B) {
 		})
 	}
 
+	// Handoff disruption: how many already-delivered records a re-home
+	// replays into the destination relay. Cursor preservation makes it 0 —
+	// benchgate's require contract holds replayed/op at that ceiling, so a
+	// regression to full-history replay fails ci.
+	b.Run("handoff", benchRelayHandoff)
+
 	// The reducer alone, in-process: what each absorbed batch costs the
 	// rollup path (no network, 64-record batches).
 	b.Run("downsample", func(b *testing.B) {
@@ -46,6 +52,70 @@ func BenchmarkRelay(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "records/s")
 	})
+}
+
+// benchRelayHandoff builds a producer with a deep delivered history, then
+// migrates its upstream between two relays b.N times with Rebalance. The
+// reported replayed/op is how many of those already-delivered records a
+// re-home pushed into the destination again — 0 when the handoff cursor is
+// preserved, the full history per op if a regression re-dials from zero.
+func benchRelayHandoff(b *testing.B) {
+	const history = 1 << 14
+	hb, err := heartbeat.New(20, heartbeat.WithCapacity(1<<16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { hb.Close() })
+	srv := NewServer()
+	srv.PublishHeartbeat("app", hb)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	b.Cleanup(func() { srv.Close() })
+	addr := l.Addr().String()
+
+	relays := [2]*Relay{
+		NewRelay(WithRollupInterval(100*time.Millisecond), WithMergedRetain(1<<16)),
+		NewRelay(WithRollupInterval(100*time.Millisecond), WithMergedRetain(1<<16)),
+	}
+	for _, r := range relays {
+		r := r
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); r.Run(ctx) }()
+		b.Cleanup(func() { cancel(); <-done; r.Close() })
+	}
+	up, err := relays[0].DialUpstream("app", addr, "app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < history; i++ {
+		hb.Beat()
+	}
+	hb.Flush()
+	deadline := time.Now().Add(30 * time.Second)
+	for up.Cursor() < history {
+		if time.Now().After(deadline) {
+			b.Fatalf("warm-up stuck at cursor %d", up.Cursor())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cur := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rebalance(relays[cur], relays[1-cur], "app", addr, "app"); err != nil {
+			b.Fatal(err)
+		}
+		cur = 1 - cur
+	}
+	b.StopTimer()
+	// No beats happened during the moves, so any merged-head growth beyond
+	// the warmed history is replayed delivery.
+	replayed := relays[0].MergedHead() + relays[1].MergedHead() - history
+	b.ReportMetric(float64(replayed)/float64(b.N), "replayed/op")
 }
 
 func benchRelayFanIn(b *testing.B, fan int) {

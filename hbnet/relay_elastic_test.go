@@ -1,0 +1,492 @@
+package hbnet
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/heartbeat"
+	"repro/observer"
+)
+
+// drainMergedFeed reads the relay's merged feed from zero until want seqs
+// (records + missed) are accounted for.
+func drainMergedFeed(t *testing.T, r *Relay, want uint64) ([]heartbeat.Record, uint64) {
+	t.Helper()
+	s, err := r.MergedFeed()(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []heartbeat.Record
+	var missed uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for uint64(len(recs))+missed < want {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		b, err := s.Next(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("merged feed at %d+%d of %d: %v", len(recs), missed, want, err)
+		}
+		recs = append(recs, b.Records...)
+		missed += b.Missed
+	}
+	return recs, missed
+}
+
+// waitMergedHead polls until the relay's merged head reaches want.
+func waitMergedHead(t *testing.T, r *Relay, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.MergedHead() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("merged head stuck at %d, want %d", r.MergedHead(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// closeTrackStream wraps a stream and records whether the owner released it.
+type closeTrackStream struct {
+	observer.Stream
+	once   sync.Once
+	closed chan struct{}
+}
+
+func newCloseTrackStream(s observer.Stream) *closeTrackStream {
+	return &closeTrackStream{Stream: s, closed: make(chan struct{})}
+}
+
+func (c *closeTrackStream) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func newTestHB(t *testing.T) *heartbeat.Heartbeat {
+	t.Helper()
+	hb, err := heartbeat.New(20, heartbeat.WithCapacity(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hb.Close() })
+	return hb
+}
+
+func beatN(hb *heartbeat.Heartbeat, n int) {
+	for i := 0; i < n; i++ {
+		hb.Beat()
+	}
+	hb.Flush()
+}
+
+// Tentpole: RemoveUpstream while Run is live retires the registration
+// completely — pump stopped, already-delivered records kept, stream closed,
+// name immediately reusable — and the merged history stays conserved and
+// dense across the removal and the re-add.
+func TestRelayRemoveUpstream(t *testing.T) {
+	relay := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	hbA, hbB := newTestHB(t), newTestHB(t)
+	streamA := newCloseTrackStream(observer.HeartbeatStream(hbA))
+	if err := relay.AddUpstream("a", streamA); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.AddUpstream("b", observer.HeartbeatStream(hbB)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done; relay.Close() }()
+
+	beatN(hbA, 100)
+	beatN(hbB, 100)
+	waitMergedHead(t, relay, 200)
+
+	h, err := relay.RemoveUpstream("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.App != "a" || h.Stream != nil {
+		t.Fatalf("handoff %+v: want App a and a closed (nil) stream", h)
+	}
+	select {
+	case <-streamA.closed:
+	default:
+		t.Fatal("removed upstream's stream was not closed")
+	}
+	if apps := relay.Apps(); !reflect.DeepEqual(apps, []string{"b"}) {
+		t.Fatalf("Apps() = %v after removal, want [b]", apps)
+	}
+
+	// The name is free again, immediately.
+	hbA2 := newTestHB(t)
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hbA2)); err != nil {
+		t.Fatalf("re-adding removed name: %v", err)
+	}
+	beatN(hbA2, 50)
+	beatN(hbB, 50)
+	waitMergedHead(t, relay, 300)
+
+	recs, missed := drainMergedFeed(t, relay, 300)
+	if missed != 0 {
+		t.Fatalf("missed %d with ample retention across a removal", missed)
+	}
+	assertDense(t, recs, 0)
+	if len(recs) != 300 {
+		t.Fatalf("got %d records, want 300", len(recs))
+	}
+}
+
+// Satellite: upstream ids are unique per registration life. Before the fix,
+// AddUpstream assigned int32(len(r.order)), so removing "a" and re-adding
+// it aliased the new registration with "b"'s id in the merged seq space.
+func TestRelayRemoveReaddNoIDAlias(t *testing.T) {
+	relay := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	hb1, hb2, hb3 := newTestHB(t), newTestHB(t), newTestHB(t)
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hb1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.AddUpstream("b", observer.HeartbeatStream(hb2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done; relay.Close() }()
+
+	beatN(hb1, 10)
+	beatN(hb2, 10)
+	waitMergedHead(t, relay, 20)
+	if _, err := relay.RemoveUpstream("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hb3)); err != nil {
+		t.Fatal(err)
+	}
+	beatN(hb3, 10)
+	waitMergedHead(t, relay, 30)
+
+	recs, missed := drainMergedFeed(t, relay, 30)
+	if missed != 0 {
+		t.Fatalf("missed %d", missed)
+	}
+	perID := map[int32]int{}
+	for _, r := range recs {
+		perID[r.Producer]++
+	}
+	// Three registration lives, three distinct ids: 10 records each. The
+	// aliasing bug would fold re-added "a" onto id 1 (perID[1] == 20).
+	want := map[int32]int{0: 10, 1: 10, 2: 10}
+	if !reflect.DeepEqual(perID, want) {
+		t.Fatalf("records per producer id = %v, want %v", perID, want)
+	}
+}
+
+// blockingStream never yields; it exists so a registration can sit idle
+// while the test stages relay state by hand.
+type blockingStream struct{}
+
+func (blockingStream) Next(ctx context.Context) (observer.Batch, error) {
+	<-ctx.Done()
+	return observer.Batch{}, ctx.Err()
+}
+
+// Satellite: a removed upstream's parked pending batch. A Run shutdown
+// parks an in-hand batch in up.pending behind whatever the pump already
+// queued in r.events; removing that upstream afterwards must absorb both,
+// oldest first — neither resurrecting them out of order nor dropping them.
+// The mid-shutdown state is staged directly (the select race in the pump
+// makes parking non-deterministic through the public API alone).
+func TestRelayRemoveAbsorbsParkedPending(t *testing.T) {
+	relay := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	if err := relay.AddUpstream("a", blockingStream{}); err != nil {
+		t.Fatal(err)
+	}
+	relay.mu.Lock()
+	up := relay.ups["a"]
+	relay.mu.Unlock()
+
+	rec := func(nanos int64) heartbeat.Record {
+		return heartbeat.Record{Time: time.Unix(0, nanos)}
+	}
+	queued := observer.Batch{Records: []heartbeat.Record{rec(1), rec(2)}, Count: 2}
+	parked := observer.Batch{Records: []heartbeat.Record{rec(3)}, Count: 3}
+	// The exact state a cancelled Run leaves: an older batch still queued in
+	// the event channel, a newer one parked in pending, no loop consuming.
+	relay.events <- relayEvent{up: up, batch: queued}
+	relay.mu.Lock()
+	up.pending = &parked
+	relay.mu.Unlock()
+
+	if _, err := relay.RemoveUpstream("a"); err != nil {
+		t.Fatal(err)
+	}
+	if relay.MergedHead() != 3 {
+		t.Fatalf("merged head %d after removal, want 3 (queued + parked)", relay.MergedHead())
+	}
+	recs, missed := drainMergedFeed(t, relay, 3)
+	if missed != 0 {
+		t.Fatalf("missed %d", missed)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if recs[i].Time.UnixNano() != want {
+			t.Fatalf("record %d carries marker %d, want %d (out-of-order absorb)", i, recs[i].Time.UnixNano(), want)
+		}
+	}
+
+	// And a later Run over the freed name must not resurrect anything.
+	hb := newTestHB(t)
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hb)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done; relay.Close() }()
+	beatN(hb, 5)
+	waitMergedHead(t, relay, 8)
+	if relay.MergedHead() != 8 {
+		t.Fatalf("merged head %d, want 8", relay.MergedHead())
+	}
+}
+
+// Satellite regression: a terminally rejected upstream is retired through
+// the removal path — stream released, name reusable — instead of leaking in
+// r.ups forever.
+func TestRelayRetiredRejectedNameReusable(t *testing.T) {
+	relay := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	defer relay.Close()
+	if err := relay.AddUpstream("gone", rejectedStream{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	// Retirement now frees the name; before the leak fix the registration
+	// stayed in Apps() until relay Close.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(relay.Apps()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejected upstream still registered: %v", relay.Apps())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	hb := newTestHB(t)
+	if err := relay.AddUpstream("gone", observer.HeartbeatStream(hb)); err != nil {
+		t.Fatalf("re-adding retired name: %v", err)
+	}
+	beatN(hb, 20)
+	waitMergedHead(t, relay, 20)
+}
+
+// Tentpole: cursor-preserving migration of a dialed upstream. The producer
+// moves from src to dst mid-stream; each relay sees its half exactly once —
+// the two merged heads sum to the producer's total with zero Missed.
+func TestRebalanceNoDupNoGap(t *testing.T) {
+	hb := newTestHB(t)
+	srv := NewServer()
+	srv.PublishHeartbeat("app", hb)
+	addr := startServer(t, srv)
+
+	src := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	dst := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	up, err := src.DialUpstream("app", addr, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Relay{src, dst} {
+		r := r
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); r.Run(ctx) }()
+		t.Cleanup(func() { cancel(); <-done; r.Close() })
+	}
+
+	beatN(hb, 300)
+	deadline := time.Now().Add(10 * time.Second)
+	for up.Cursor() < 300 {
+		if time.Now().After(deadline) {
+			t.Fatalf("src upstream stuck at %d", up.Cursor())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	c2, err := Rebalance(src, dst, "app", addr, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beatN(hb, 300)
+	for c2.Cursor() < 600 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dst upstream stuck at %d", c2.Cursor())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if got := src.MergedHead(); got != 300 {
+		t.Fatalf("src merged head %d, want 300 (its half, exactly once)", got)
+	}
+	if got := dst.MergedHead(); got != 300 {
+		t.Fatalf("dst merged head %d, want 300 (no replay, no gap)", got)
+	}
+	if c2.Missed() != 0 {
+		t.Fatalf("handoff gapped: dst client missed %d", c2.Missed())
+	}
+	if apps := src.Apps(); len(apps) != 0 {
+		t.Fatalf("src still tracks %v", apps)
+	}
+	if apps := dst.Apps(); !reflect.DeepEqual(apps, []string{"app"}) {
+		t.Fatalf("dst tracks %v, want [app]", apps)
+	}
+}
+
+// Tentpole: stream-object migration for upstreams that cannot re-dial. The
+// detached stream's internal cursor carries the position, so delivery
+// continues on dst exactly where src stopped.
+func TestRebalanceStreamNoDupNoGap(t *testing.T) {
+	hb := newTestHB(t)
+	src := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	dst := NewRelay(WithRollupInterval(10 * time.Millisecond))
+	if err := src.AddUpstream("a", observer.HeartbeatStream(hb)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Relay{src, dst} {
+		r := r
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); r.Run(ctx) }()
+		t.Cleanup(func() { cancel(); <-done; r.Close() })
+	}
+
+	beatN(hb, 100)
+	waitMergedHead(t, src, 100)
+	if err := RebalanceStream(src, dst, "a"); err != nil {
+		t.Fatal(err)
+	}
+	beatN(hb, 100)
+	waitMergedHead(t, dst, 100)
+
+	if got := src.MergedHead(); got != 100 {
+		t.Fatalf("src merged head %d, want 100", got)
+	}
+	recs, missed := drainMergedFeed(t, dst, 100)
+	if missed != 0 || len(recs) != 100 {
+		t.Fatalf("dst saw %d records + %d missed, want exactly the second 100", len(recs), missed)
+	}
+}
+
+// Tentpole: ring-lap shedding is counted, not silent. A subscriber that
+// fell behind a small retained window is advanced past the lapped span and
+// the skip shows up per-subscriber (ShedCounter) and relay-wide (Shed),
+// always inside the Missed the same subscriber observed.
+func TestRelayShedOnLap(t *testing.T) {
+	relay := NewRelay(WithRollupInterval(10*time.Millisecond), WithMergedRetain(32))
+	hb := newTestHB(t)
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hb)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done; relay.Close() }()
+
+	beatN(hb, 100)
+	waitMergedHead(t, relay, 100)
+
+	s, err := relay.MergedFeed()(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nctx, ncancel := context.WithTimeout(context.Background(), 5*time.Second)
+	b, err := s.Next(nctx)
+	ncancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seqs 1..68 were lapped out of the 32-slot window: delivered 69..100,
+	// Missed 68, all 68 attributed to this hop as shed.
+	if len(b.Records) != 32 || b.Missed != 68 {
+		t.Fatalf("lapped read delivered %d records, missed %d; want 32 and 68", len(b.Records), b.Missed)
+	}
+	sc, ok := s.(ShedCounter)
+	if !ok {
+		t.Fatal("merged feed stream does not expose ShedCounter")
+	}
+	if sc.Shed() != 68 {
+		t.Fatalf("subscriber shed %d, want 68", sc.Shed())
+	}
+	if relay.Shed() != 68 {
+		t.Fatalf("relay shed %d, want 68", relay.Shed())
+	}
+	if sc.Shed() > b.Missed {
+		t.Fatalf("shed %d exceeds missed %d: shed must refine Missed", sc.Shed(), b.Missed)
+	}
+
+	// The frame path charges identically (the server's zero-copy read).
+	fb, _, shed, _, _ := relay.merged.frameSince(0, maxRelayBatch)
+	if fb != nil {
+		fb.release()
+	}
+	if shed != 68 {
+		t.Fatalf("frameSince shed %d, want 68", shed)
+	}
+	if relay.Shed() != 136 {
+		t.Fatalf("relay shed %d after two lapped reads, want 136", relay.Shed())
+	}
+}
+
+// Tentpole: the WithShedLag policy sheds before the ring laps — an explicit
+// backpressure bound on how far behind a subscriber may trail.
+func TestRelayShedLag(t *testing.T) {
+	relay := NewRelay(
+		WithRollupInterval(10*time.Millisecond),
+		WithMergedRetain(1<<12), // ample: only the policy can shed
+		WithShedLag(16),
+	)
+	hb := newTestHB(t)
+	if err := relay.AddUpstream("a", observer.HeartbeatStream(hb)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); relay.Run(ctx) }()
+	defer func() { cancel(); <-done; relay.Close() }()
+
+	beatN(hb, 100)
+	waitMergedHead(t, relay, 100)
+
+	s, err := relay.MergedFeed()(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nctx, ncancel := context.WithTimeout(context.Background(), 5*time.Second)
+	b, err := s.Next(nctx)
+	ncancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 16 || b.Missed != 84 {
+		t.Fatalf("lag-bounded read delivered %d records, missed %d; want 16 and 84", len(b.Records), b.Missed)
+	}
+	if got := s.(ShedCounter).Shed(); got != 84 {
+		t.Fatalf("subscriber shed %d, want 84", got)
+	}
+	if relay.Shed() != 84 {
+		t.Fatalf("relay shed %d, want 84", relay.Shed())
+	}
+
+	// A caught-up subscriber sheds nothing further.
+	nctx2, ncancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	_, err = s.Next(nctx2)
+	ncancel2()
+	if err == nil {
+		t.Fatal("idle read returned data")
+	}
+	if got := s.(ShedCounter).Shed(); got != 84 {
+		t.Fatalf("idle read changed shed to %d", got)
+	}
+}

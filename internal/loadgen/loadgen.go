@@ -477,6 +477,16 @@ func (s *AppStream) Next(ctx context.Context) (observer.Batch, error) {
 	}
 }
 
+// Cursor reports the stream's consumed position in its own sequence space
+// — everything published so far minus what still waits undelivered — which
+// is what hbnet.CursorSource wants so a relay handoff can report exactly
+// where a migration picked the stream up.
+func (s *AppStream) Cursor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head - uint64(len(s.pending))
+}
+
 // Recycle returns a delivered batch's storage for reuse (hbnet's
 // BatchRecycler contract — the relay calls it after copying records out).
 func (s *AppStream) Recycle(b observer.Batch) {

@@ -236,6 +236,20 @@ func CheckRemap(label string, frac, share float64) error {
 	return nil
 }
 
+// CheckShed verifies the backpressure-accounting invariant: shed is a
+// refinement of Missed — every record a relay sheds off a lagging
+// subscription is also counted missed by that subscription — so the shed
+// tally can never exceed the missed tally over the same streams. A shed
+// count above Missed means loss was attributed to backpressure that the
+// delivery ledger never saw.
+func CheckShed(label string, shed, missed uint64) error {
+	if shed > missed {
+		return fmt.Errorf("%s: shed %d records but only %d were missed — shed must refine Missed, not exceed it",
+			label, shed, missed)
+	}
+	return nil
+}
+
 // RollupAccount accumulates rollup-feed deliveries for the count
 // conservation check: the sum of Records and Missed over every emitted
 // window must equal the merged head the relay observed.

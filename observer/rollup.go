@@ -233,3 +233,24 @@ func (d *Downsampler) Flush(start, end time.Time) []Rollup {
 func (d *Downsampler) Apps() []string {
 	return append([]string(nil), d.order...)
 }
+
+// Remove untracks app, flushing whatever the current window had absorbed as
+// one final partial Rollup spanning [start, end]. The second return reports
+// whether that rollup says anything (the app was tracked and its window was
+// active) — callers emit it so mid-window counts survive the removal and
+// rollup conservation holds. Removing an unknown app is a no-op.
+func (d *Downsampler) Remove(app string, start, end time.Time) (Rollup, bool) {
+	w, ok := d.apps[app]
+	if !ok {
+		return Rollup{}, false
+	}
+	delete(d.apps, app)
+	for i, a := range d.order {
+		if a == app {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	active := w.Active()
+	return w.Flush(start, end), active
+}

@@ -149,15 +149,17 @@ func TestScenarioMatrix(t *testing.T) {
 			if stats.MaxRemap > total.MaxRemap {
 				total.MaxRemap = stats.MaxRemap
 			}
+			total.Handoffs += stats.Handoffs
+			total.Shed += stats.Shed
 			mu.Unlock()
 		}(seed)
 	}
 	wg.Wait()
 	elapsed := time.Since(started)
-	t.Logf("matrix: %d scenarios (direct=%d file=%d relay-tree=%d), %.0f simulated seconds in %v: delivered=%d missed=%d restarts=%d reconnects=%d lives=%d resumed=%v drains=%d reclaims=%d maxremap=%.2f",
+	t.Logf("matrix: %d scenarios (direct=%d file=%d relay-tree=%d), %.0f simulated seconds in %v: delivered=%d missed=%d restarts=%d reconnects=%d lives=%d resumed=%v drains=%d reclaims=%d maxremap=%.2f handoffs=%d shed=%d",
 		count, topo[0], topo[1], topo[2], total.SimSeconds, elapsed.Round(time.Millisecond),
 		total.Delivered, total.Missed, total.Restarts, total.Reconnects, total.Lives, total.Resumed,
-		total.Drains, total.Reclaims, total.MaxRemap)
+		total.Drains, total.Reclaims, total.MaxRemap, total.Handoffs, total.Shed)
 	if failures > 0 {
 		return // per-scenario errors already reported with their seeds
 	}
@@ -192,6 +194,9 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 	if total.Drains == 0 || total.Reclaims == 0 {
 		t.Errorf("matrix never exercised the balancer drain/reclaim arc: drains=%d reclaims=%d", total.Drains, total.Reclaims)
+	}
+	if total.Handoffs == 0 {
+		t.Errorf("matrix never exercised the leaf-die handoff arc")
 	}
 	for i, n := range topo {
 		if n == 0 {

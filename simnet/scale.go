@@ -47,6 +47,7 @@ type ScaleScenario struct {
 	BurstFrac float64       // producer-id share each burst silences
 	BurstLen  time.Duration // silence window length
 	MaxLink   time.Duration // per-link latency drawn in [0, MaxLink]
+	Handoffs  int           // mid-run app-stream re-homes between leaves (needs Leaves >= 2)
 
 	MergedRetain int // relay replay-ring retention (default 1<<17)
 
@@ -144,6 +145,10 @@ func GenerateScale(seed int64, producers int) ScaleScenario {
 		beats = 2
 	}
 	sc.BeatEvery = sc.Duration / time.Duration(beats)
+	// Elastic-membership churn: every scale run re-homes a few app streams
+	// between leaves mid-run through the cursor-preserving handoff path.
+	// Drawn last so earlier seeds' shapes are unchanged by its addition.
+	sc.Handoffs = 1 + rng.Intn(3)
 	return sc
 }
 
@@ -156,6 +161,8 @@ type ScaleStats struct {
 	Left     int // producers that churned out
 	Rejoined int // producers that churned back in (a new Life)
 	Silenced int // producer-burst memberships applied
+	Handoffs int // app streams re-homed between leaves mid-run
+	Shed     uint64 // records shed to backpressure across the tree's rings
 
 	P50, P95, P99 time.Duration // record-time → consumer delivery, virtual
 
@@ -382,6 +389,32 @@ func (sc ScaleScenario) Run() (ScaleStats, error) {
 	wg.Add(1)
 	go func() { defer wg.Done(); fleet.Run(ctx) }()
 
+	// Mid-run elastic churn: re-home app streams between leaves through the
+	// cursor-preserving handoff path, spread across the run — membership
+	// changes while the whole fleet beats, answered by the same
+	// conservation verdict at the end.
+	handoffs := sc.Handoffs
+	if sc.Leaves < 2 {
+		handoffs = 0
+	}
+	appLeaf := make([]int, fleet.Apps())
+	for ai := range appLeaf {
+		appLeaf[ai] = ai % sc.Leaves
+	}
+	for h := 0; h < handoffs; h++ {
+		frac := float64(h+1) / float64(handoffs+1)
+		if !sleepUntilVirtual(ctx, clk, start.Add(time.Duration(frac*float64(sc.Duration)))) {
+			return stats, ctx.Err()
+		}
+		ai := rng.Intn(fleet.Apps())
+		from, to := appLeaf[ai], (appLeaf[ai]+1)%sc.Leaves
+		if err := hbnet.RebalanceStream(leaves[from].relay, leaves[to].relay, fleet.AppName(ai)); err != nil {
+			return stats, fmt.Errorf("handoff %s leaf%d→leaf%d: %w", fleet.AppName(ai), from, to, err)
+		}
+		appLeaf[ai] = to
+		stats.Handoffs++
+	}
+
 	// Run to the horizon, pause emission, then settle: wait (in real time,
 	// while virtual time races on) until every hop agrees on a stable
 	// total — consumer == root head == Σ leaf heads == fleet published —
@@ -491,6 +524,16 @@ func (sc ScaleScenario) Run() (ScaleStats, error) {
 	}
 	if sc.Bursts > 0 && stats.Silenced == 0 {
 		return stats, errors.New("silence bursts unexercised")
+	}
+	if handoffs > 0 && stats.Handoffs != handoffs {
+		return stats, fmt.Errorf("handoff churn unexercised: %d of %d re-homes ran", stats.Handoffs, handoffs)
+	}
+	stats.Shed = root.Shed()
+	for _, leaf := range leaves {
+		stats.Shed += leaf.relay.Shed()
+	}
+	if err := simcheck.CheckShed("scale tree", stats.Shed, stats.Missed); err != nil {
+		return stats, err
 	}
 
 	// The budgets, measured with the whole tier still live.

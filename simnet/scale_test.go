@@ -28,8 +28,8 @@ func scaleSeeds(t *testing.T, def []int64) []int64 {
 
 func logScale(t *testing.T, sc ScaleScenario, st ScaleStats) {
 	t.Helper()
-	t.Logf("scale: %v delivered=%d missed=%d churn=%d/%d silenced=%d p50=%v p95=%v p99=%v bytes/producer=%.0f rootApps=%d rollupApps=%d sim=%.1fs real=%.1fs",
-		sc, st.Delivered, st.Missed, st.Left, st.Rejoined, st.Silenced,
+	t.Logf("scale: %v delivered=%d missed=%d churn=%d/%d silenced=%d handoffs=%d shed=%d p50=%v p95=%v p99=%v bytes/producer=%.0f rootApps=%d rollupApps=%d sim=%.1fs real=%.1fs",
+		sc, st.Delivered, st.Missed, st.Left, st.Rejoined, st.Silenced, st.Handoffs, st.Shed,
 		st.P50, st.P95, st.P99, st.BytesPerProducer, st.RootApps, st.RootRollupApps,
 		st.SimSeconds, st.RealSeconds)
 }

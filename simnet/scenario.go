@@ -96,6 +96,13 @@ const (
 	// remap invariant allows, and after the producer recovers the node
 	// must reclaim full weight through the ramp before the scenario ends.
 	EvNodeDrain
+	// EvLeafDie decommissions leaf relay S-1 (relay-tree with >= 2 leaves):
+	// every producer upstream re-homes to a sibling leaf via
+	// cursor-preserving handoff, the root drains what the dying leaf still
+	// holds and then removes it through the runtime-membership path, and
+	// the node is shut down — after which the dense/conserved/lives
+	// invariants must hold at every hop with zero duplicate deliveries.
+	EvLeafDie
 )
 
 func (k EventKind) String() string {
@@ -124,6 +131,8 @@ func (k EventKind) String() string {
 		return "slow-consumer"
 	case EvNodeDrain:
 		return "node-drain"
+	case EvLeafDie:
+		return "leaf-die"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -134,7 +143,7 @@ type Event struct {
 	Kind     EventKind
 	Producer int           // EvRestart/EvRecreate/EvLap/EvSilence
 	Link     int           // EvLinkBlip/EvDropBytes/EvPartition: index into the scenario's links
-	Server   int           // EvServerCrash/EvListenerOutage: index into the scenario's servers
+	Server   int           // EvServerCrash/EvListenerOutage/EvLeafDie: index into the scenario's servers (EvLeafDie: 1+leaf)
 	Arg      time.Duration // window length for windowed faults; byte count for EvDropBytes
 }
 
@@ -285,6 +294,18 @@ func GenerateWith(seed int64, cfg GenConfig) Scenario {
 	if rng.Intn(2) == 0 {
 		sc.Events = append(sc.Events, Event{At: at(), Kind: EvResume})
 	}
+	// The leaf-failover arc (relay-tree with a sibling to re-home onto,
+	// half of the eligible scenarios): one leaf relay is decommissioned
+	// mid-run through the runtime-membership path. Drawn after everything
+	// else so earlier seeds' schedules are byte-identical with or without
+	// this arc in the generator.
+	if sc.Topology == TopoRelayTree && sc.Leaves >= 2 && rng.Intn(2) == 0 {
+		sc.Events = append(sc.Events, Event{
+			Kind:   EvLeafDie,
+			At:     at(),
+			Server: 1 + rng.Intn(sc.Leaves), // servers[0] is the root
+		})
+	}
 	return sc
 }
 
@@ -303,6 +324,12 @@ type Stats struct {
 	Drains   int
 	Reclaims int
 	MaxRemap float64
+	// Elastic-membership accounting (relay-tree): upstreams re-homed by an
+	// EvLeafDie decommission, and records shed to backpressure across every
+	// relay ring in the tree (always a refinement of Missed: shed <= missed
+	// on any subscription that observed the loss).
+	Handoffs int
+	Shed     uint64
 }
 
 // Run executes the scenario and verifies the delivery contract. The
@@ -781,6 +808,10 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 		srv   *hbnet.Server
 		addr  string
 		mu    sync.Mutex
+		// dead marks a leaf decommissioned by EvLeafDie: later scheduled
+		// network faults that drew the same node become no-ops instead of
+		// resurrecting its server. Only the schedule goroutine touches it.
+		dead bool
 	}
 	newServerOn := func(n *node) error {
 		// The servers run their deadline arithmetic on the virtual clock
@@ -809,6 +840,7 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 	}
 
 	leaves := make([]*node, sc.Leaves)
+	leafCancels := make([]context.CancelFunc, sc.Leaves)
 	for li := range leaves {
 		relay := hbnet.NewRelay(
 			hbnet.WithRelayClock(clk),
@@ -828,7 +860,11 @@ func (sc Scenario) runRelayTree(dir string) (Stats, error) {
 			return Stats{}, err
 		}
 		leaves[li] = n
-		go relay.Run(ctx)
+		// Each leaf's merge loop gets its own cancel so an EvLeafDie can
+		// stop exactly that leaf while the rest of the tree runs on.
+		lctx, lcancel := context.WithCancel(ctx)
+		leafCancels[li] = lcancel
+		go relay.Run(lctx)
 		defer relay.Close()
 		defer func(n *node) { n.mu.Lock(); n.srv.Close(); n.mu.Unlock() }(n)
 	}
@@ -1105,6 +1141,9 @@ schedule:
 			nw.Heal(a, b)
 		case EvServerCrash:
 			n := servers[ev.Server]
+			if n.dead {
+				continue // decommissioned by an earlier EvLeafDie: nothing to crash
+			}
 			n.mu.Lock()
 			n.srv.Close()
 			n.mu.Unlock()
@@ -1116,6 +1155,9 @@ schedule:
 			}
 		case EvListenerOutage:
 			n := servers[ev.Server]
+			if n.dead {
+				continue // decommissioned by an earlier EvLeafDie
+			}
 			nw.SetListenerDown(n.addr, true)
 			// Blip the links into the downed listener so clients must
 			// redial into the outage and back off until it lifts.
@@ -1139,6 +1181,42 @@ schedule:
 				break schedule
 			}
 			nw.SetWriteLimit("mon", "root", 0)
+		case EvLeafDie:
+			// Decommission one leaf through the runtime-membership path:
+			// re-home every producer upstream to a sibling with its cursor
+			// preserved, let the root drain what the dying leaf still holds,
+			// remove the root's upstream for it, then shut the node down.
+			li := ev.Server - 1
+			dying, sibling := leaves[li], leaves[(li+1)%sc.Leaves]
+			for _, app := range dying.relay.Apps() {
+				if err := hbnet.RebalanceStream(dying.relay, sibling.relay, app); err != nil {
+					return stats, fmt.Errorf("leaf-die: re-home %s: %w", app, err)
+				}
+				stats.Handoffs++
+			}
+			// With its upstreams detached the dying head is frozen; wait (in
+			// real time, while virtual time races on) until the root's client
+			// has drained every record the leaf ever sequenced, so removal
+			// loses nothing. The root↔leaf link may be mid-blip or mid-drop
+			// here — the client's own reconnect covers that.
+			dyingHead := dying.relay.MergedHead()
+			handoffDeadline := time.Now().Add(settleDeadline) //hbvet:allow wallclock -- real-time bound on the harness's own drain wait, not on simulated components
+			for rootUpstreams[li].Cursor() < dyingHead {
+				if time.Now().After(handoffDeadline) { //hbvet:allow wallclock -- checks the harness real-time drain deadline set above
+					return stats, fmt.Errorf("leaf-die: root drained %d of %d from %s before deadline",
+						rootUpstreams[li].Cursor(), dyingHead, dying.addr)
+				}
+				time.Sleep(500 * time.Microsecond) //hbvet:allow wallclock -- real-time poll cadence while virtual time races
+			}
+			if _, err := root.RemoveUpstream(fmt.Sprintf("leaf%d", li)); err != nil {
+				return stats, fmt.Errorf("leaf-die: remove root upstream: %w", err)
+			}
+			leafCancels[li]()
+			dying.mu.Lock()
+			dying.srv.Close()
+			dying.mu.Unlock()
+			dying.relay.Close()
+			dying.dead = true
 		}
 	}
 	sleepUntilVirtual(ctx, clk, start.Add(sc.Duration))
@@ -1256,6 +1334,13 @@ schedule:
 	}
 	for _, c := range rootUpstreams {
 		stats.Reconnects += c.Reconnects()
+	}
+	stats.Shed = root.Shed()
+	for _, leaf := range leaves {
+		stats.Shed += leaf.relay.Shed()
+	}
+	if err := simcheck.CheckShed("relay tree", stats.Shed, stats.Missed); err != nil {
+		return stats, err
 	}
 	// Wire-accounting parity: the client's own Missed tally (across every
 	// retired client plus the live one) must agree with what the tracker
